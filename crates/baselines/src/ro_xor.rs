@@ -1,0 +1,124 @@
+//! Parallel XORed ring oscillators — the classic Wold–Tan structure the
+//! paper characterises in Table 1 (min-entropy vs ring order at 100 MHz
+//! sampling).
+
+use dhtrng_core::model::{table1_ro_bias, table1_ro_coverage};
+use dhtrng_core::Trng;
+
+use crate::source::BehaviouralSource;
+
+/// Number of parallel rings XORed in the Table 1 characterisation.
+pub const TABLE1_RINGS: usize = 4;
+/// Sampling clock of the Table 1 characterisation (the paper: 100 MHz).
+pub const TABLE1_SAMPLING_HZ: f64 = 100.0e6;
+
+/// A bank of parallel `stages`-stage ring oscillators, XORed and sampled
+/// at 100 MHz.
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_baselines::RoXorTrng;
+/// use dhtrng_core::Trng;
+///
+/// // The paper's best plain-RO order.
+/// let mut bank = RoXorTrng::table1(9, 42);
+/// let bits = bank.collect_bits(10_000);
+/// assert_eq!(bits.len(), 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoXorTrng {
+    stages: u32,
+    source: BehaviouralSource,
+}
+
+impl RoXorTrng {
+    /// The Table 1 configuration: 4 parallel rings of the given order,
+    /// with bias/coverage calibrated against the paper's silicon sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= stages <= 13` (the sweep's range).
+    pub fn table1(stages: u32, seed: u64) -> Self {
+        let bias = table1_ro_bias(stages);
+        let coverage = table1_ro_coverage(stages);
+        // Ring period: 2 * N * (LUT + route) at ~0.6 ns/stage.
+        let period_ns = 2.0 * f64::from(stages) * 0.62;
+        let periods: Vec<f64> = (0..TABLE1_RINGS)
+            .map(|i| period_ns * (1.0 + 0.01 * i as f64))
+            .collect();
+        Self {
+            stages,
+            source: BehaviouralSource::new(
+                coverage,
+                bias,
+                &periods,
+                1e9 / TABLE1_SAMPLING_HZ,
+                seed,
+            ),
+        }
+    }
+
+    /// Ring order.
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Per-sample randomness coverage of the bank.
+    pub fn randomness_coverage(&self) -> f64 {
+        self.source.p_rand()
+    }
+
+    /// Calibrated residual bias of the bank.
+    pub fn residual_bias(&self) -> f64 {
+        self.source.bias()
+    }
+}
+
+impl Trng for RoXorTrng {
+    fn next_bit(&mut self) -> bool {
+        self.source.next_bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_table1_range() {
+        for stages in 2..=13 {
+            let mut bank = RoXorTrng::table1(stages, 5);
+            assert_eq!(bank.stages(), stages);
+            let bits = bank.collect_bits(50_000);
+            let ones = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+            assert!((ones - 0.5).abs() < 0.03, "stages {stages}: {ones}");
+        }
+    }
+
+    #[test]
+    fn nine_stages_has_the_lowest_bias() {
+        let best = (2..=13)
+            .min_by(|&a, &b| {
+                RoXorTrng::table1(a, 1)
+                    .residual_bias()
+                    .partial_cmp(&RoXorTrng::table1(b, 1).residual_bias())
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(best, 9, "Table 1 peak must be at 9 stages");
+    }
+
+    #[test]
+    fn shorter_rings_have_more_coverage() {
+        let fast = RoXorTrng::table1(2, 1).randomness_coverage();
+        let slow = RoXorTrng::table1(13, 1).randomness_coverage();
+        assert!(fast > slow);
+    }
+
+    #[test]
+    #[should_panic(expected = "Table 1 covers")]
+    fn out_of_range_order_panics() {
+        let _ = RoXorTrng::table1(14, 1);
+    }
+}

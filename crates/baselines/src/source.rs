@@ -1,0 +1,132 @@
+//! Shared behavioural bit source.
+//!
+//! All baseline generators follow the same Eq. 5-shaped structure the
+//! DH-TRNG core model uses: per sample, with probability `p_rand` the
+//! architecture captures a fresh random event (jitter hit, metastable
+//! resolution, collapse-count parity flip, …); otherwise the output is
+//! the deterministic beat of its free-running oscillators. A small
+//! architecture-specific systematic bias models sampler/latch mismatch.
+
+use dhtrng_core::model::BeatOscillator;
+use dhtrng_core::Trng;
+use dhtrng_noise::NoiseRng;
+
+/// A calibrated stochastic bit source (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct BehaviouralSource {
+    p_rand: f64,
+    bias: f64,
+    beats: Vec<BeatOscillator>,
+    rng: NoiseRng,
+}
+
+impl BehaviouralSource {
+    /// Creates a source.
+    ///
+    /// `beat_periods_ns` lists the free-running oscillator periods in
+    /// nanoseconds; `sample_ns` is the sampling clock period. Each beat
+    /// gets a small per-instance mismatch so the beat increments are
+    /// incommensurate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p_rand <= 1`, `0 <= bias < 0.5`, and at least
+    /// one beat period is supplied.
+    pub fn new(
+        p_rand: f64,
+        bias: f64,
+        beat_periods_ns: &[f64],
+        sample_ns: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&p_rand), "p_rand must be in [0,1]");
+        assert!((0.0..0.5).contains(&bias), "bias must be in [0,0.5)");
+        assert!(!beat_periods_ns.is_empty(), "need at least one oscillator");
+        let mut rng = NoiseRng::seed_from_u64(seed);
+        let beats = beat_periods_ns
+            .iter()
+            .map(|&period| {
+                let mismatch = 1.0 + 0.02 * (rng.uniform() - 0.5);
+                let increment = (sample_ns / (period * mismatch)).rem_euclid(1.0);
+                BeatOscillator::new(rng.uniform(), increment, 0.5)
+            })
+            .collect();
+        Self {
+            p_rand,
+            bias,
+            beats,
+            rng,
+        }
+    }
+
+    /// Per-sample randomness coverage.
+    pub fn p_rand(&self) -> f64 {
+        self.p_rand
+    }
+
+    /// Systematic bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+impl Trng for BehaviouralSource {
+    fn next_bit(&mut self) -> bool {
+        let mut beat_xor = false;
+        for beat in &mut self.beats {
+            beat_xor ^= beat.step();
+        }
+        let mut bit = if self.rng.bernoulli(self.p_rand) {
+            self.rng.bernoulli(0.5)
+        } else {
+            beat_xor
+        };
+        if !bit && self.rng.bernoulli(2.0 * self.bias) {
+            bit = true;
+        }
+        bit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_when_unbiased() {
+        let mut s = BehaviouralSource::new(0.8, 0.0, &[3.7, 5.1], 1.6, 1);
+        let n = 200_000;
+        let ones = s.collect_bits(n).iter().filter(|&&b| b).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.005, "frac = {frac}");
+    }
+
+    #[test]
+    fn bias_shows_up_in_the_mean() {
+        let mut s = BehaviouralSource::new(0.5, 0.01, &[3.7], 1.6, 2);
+        let n = 500_000;
+        let ones = s.collect_bits(n).iter().filter(|&&b| b).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.51).abs() < 0.005, "frac = {frac}");
+    }
+
+    #[test]
+    fn zero_coverage_is_pure_beat() {
+        let mut a = BehaviouralSource::new(0.0, 0.0, &[3.0], 1.0, 3);
+        let mut b = BehaviouralSource::new(0.0, 0.0, &[3.0], 1.0, 3);
+        assert_eq!(a.collect_bits(256), b.collect_bits(256));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = BehaviouralSource::new(0.7, 1e-4, &[2.9, 4.4], 1.6, 7);
+        let mut b = BehaviouralSource::new(0.7, 1e-4, &[2.9, 4.4], 1.6, 7);
+        assert_eq!(a.collect_bits(512), b.collect_bits(512));
+    }
+
+    #[test]
+    #[should_panic(expected = "p_rand")]
+    fn invalid_p_rand_panics() {
+        let _ = BehaviouralSource::new(1.5, 0.0, &[1.0], 1.0, 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! The published Table 6 comparison data.
+
+use dhtrng_fpga::efficiency_metric;
+
+/// One row of the paper's Table 6 (all power figures measured on
+/// Xilinx Artix-7 by the DH-TRNG authors).
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table6Row {
+    /// Design citation, e.g. `DAC'23`.
+    pub design: &'static str,
+    /// LUT count.
+    pub luts: u32,
+    /// DFF count.
+    pub dffs: u32,
+    /// Slice count.
+    pub slices: u32,
+    /// Throughput in Mbps.
+    pub throughput_mbps: f64,
+    /// Power in watts.
+    pub power_w: f64,
+    /// The efficiency value printed in the paper (recomputed values
+    /// match to <1 %).
+    pub published_efficiency: f64,
+}
+
+impl Table6Row {
+    /// Recomputes `Throughput / (Slices x Power)` from the row's data.
+    pub fn efficiency(&self) -> f64 {
+        efficiency_metric(self.throughput_mbps, self.slices, self.power_w)
+    }
+}
+
+/// All eight rows of Table 6, in the paper's order ("This work" last).
+pub fn paper_rows() -> Vec<Table6Row> {
+    vec![
+        Table6Row {
+            design: "FPL'20",
+            luts: 40,
+            dffs: 29,
+            slices: 10,
+            throughput_mbps: 1.91,
+            power_w: 0.043,
+            published_efficiency: 4.44,
+        },
+        Table6Row {
+            design: "TCASII'21",
+            luts: 4,
+            dffs: 3,
+            slices: 1,
+            throughput_mbps: 0.76,
+            power_w: 0.025,
+            published_efficiency: 30.40,
+        },
+        Table6Row {
+            design: "TCASI'21",
+            luts: 56,
+            dffs: 19,
+            slices: 18,
+            throughput_mbps: 100.0,
+            power_w: 0.068,
+            published_efficiency: 81.70,
+        },
+        Table6Row {
+            design: "TCASI'22",
+            luts: 32,
+            dffs: 55,
+            slices: 33,
+            throughput_mbps: 12.5,
+            power_w: 0.063,
+            published_efficiency: 6.01,
+        },
+        Table6Row {
+            design: "TCASII'22",
+            luts: 38,
+            dffs: 121,
+            slices: 38,
+            throughput_mbps: 300.0,
+            power_w: 0.119,
+            published_efficiency: 66.34,
+        },
+        Table6Row {
+            design: "TC'23",
+            luts: 152,
+            dffs: 16,
+            slices: 40,
+            throughput_mbps: 1.25,
+            power_w: 0.023,
+            published_efficiency: 1.36,
+        },
+        Table6Row {
+            design: "DAC'23",
+            luts: 24,
+            dffs: 33,
+            slices: 13,
+            throughput_mbps: 275.8,
+            power_w: 0.049,
+            published_efficiency: 432.97,
+        },
+        Table6Row {
+            design: "This work",
+            luts: 23,
+            dffs: 14,
+            slices: 8,
+            throughput_mbps: 620.0,
+            power_w: 0.068,
+            published_efficiency: 1139.7,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_rows_ending_with_this_work() {
+        let rows = paper_rows();
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows.last().unwrap().design, "This work");
+    }
+
+    #[test]
+    fn recomputed_efficiencies_match_published() {
+        for row in paper_rows() {
+            let e = row.efficiency();
+            assert!(
+                (e - row.published_efficiency).abs() / row.published_efficiency < 0.01,
+                "{}: {e} vs {}",
+                row.design,
+                row.published_efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn this_work_dominates_in_throughput_and_efficiency() {
+        let rows = paper_rows();
+        let ours = rows.last().unwrap();
+        for other in &rows[..7] {
+            assert!(ours.throughput_mbps > other.throughput_mbps, "{}", other.design);
+            assert!(ours.efficiency() > other.efficiency(), "{}", other.design);
+        }
+        // And the 2.63x headline over the prior best.
+        let prior_best = rows[..7]
+            .iter()
+            .map(Table6Row::efficiency)
+            .fold(0.0, f64::max);
+        let gain = ours.efficiency() / prior_best;
+        assert!((gain - 2.63).abs() < 0.02, "gain = {gain}");
+    }
+
+    #[test]
+    fn this_work_has_smallest_slice_count_except_the_single_slice_design() {
+        let rows = paper_rows();
+        let ours = rows.last().unwrap();
+        // TCASII'21 is a 1-slice design; ours is smallest among the rest.
+        for other in &rows[..7] {
+            if other.design != "TCASII'21" {
+                assert!(ours.slices < other.slices, "{}", other.design);
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out: the
+//! coupling and feedback strategies and the device/corner dependence.
+//!
+//! Criterion measures the behavioural-simulation cost of each variant;
+//! the group also prints each variant's modelled Eq. 5 coverage and
+//! residual bias once, so the run doubles as a quality-ablation record.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dhtrng_core::{DhTrng, Trng};
+use dhtrng_fpga::Device;
+use dhtrng_noise::PvtCorner;
+use std::hint::black_box;
+
+const BITS: usize = 1 << 15;
+
+fn ablation_benches(c: &mut Criterion) {
+    let variants: Vec<(&str, DhTrng)> = vec![
+        ("full", DhTrng::builder().seed(1).build()),
+        ("no-coupling", DhTrng::builder().seed(1).coupling(false).build()),
+        ("no-feedback", DhTrng::builder().seed(1).feedback(false).build()),
+        (
+            "no-coupling-no-feedback",
+            DhTrng::builder().seed(1).coupling(false).feedback(false).build(),
+        ),
+        (
+            "virtex6",
+            DhTrng::builder().seed(1).device(Device::virtex6()).build(),
+        ),
+        (
+            "corner--20C-0.8V",
+            DhTrng::builder()
+                .seed(1)
+                .corner(PvtCorner::new(-20.0, 0.8))
+                .build(),
+        ),
+        (
+            "slow-clock-100MHz",
+            DhTrng::builder().seed(1).sampling_hz(100.0e6).build(),
+        ),
+    ];
+
+    println!("variant quality (modelled): name, Eq.5 coverage, residual bias");
+    for (name, trng) in &variants {
+        println!(
+            "  {name:<24} P_rand = {:.4}  bias = {:.2e}",
+            trng.randomness_coverage(),
+            trng.residual_bias()
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation-generation");
+    group.throughput(Throughput::Elements(BITS as u64));
+    for (name, trng) in variants {
+        let mut trng = trng;
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for _ in 0..BITS {
+                    acc ^= u32::from(trng.next_bit());
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_benches);
+criterion_main!(benches);

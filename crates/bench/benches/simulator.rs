@@ -1,0 +1,45 @@
+//! Event-driven simulator engine benchmarks: events per second when
+//! running the paper's circuits at the gate level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhtrng_core::architecture::{dh_trng_netlist, entropy_unit_netlist};
+use dhtrng_fpga::Device;
+use dhtrng_noise::NoiseRng;
+use dhtrng_sim::{Engine, Femtos, Level};
+use std::hint::black_box;
+
+fn run_unit(ns: f64) -> u64 {
+    let (nl, ports) = entropy_unit_netlist(&Device::artix7());
+    let mut e = Engine::new(nl, NoiseRng::seed_from_u64(1)).expect("valid");
+    e.drive(ports.en, Femtos::ZERO, Level::Low);
+    e.drive(ports.en, Femtos::from_ns(2.0), Level::High);
+    e.add_clock_50(ports.clk, Femtos::from_ns(3.0), Femtos::from_seconds(1.0 / 100.0e6));
+    e.run_until(Femtos::from_ns(ns));
+    e.stats().events
+}
+
+fn run_full(ns: f64) -> u64 {
+    let (nl, ports) = dh_trng_netlist(&Device::artix7());
+    let mut e = Engine::new(nl, NoiseRng::seed_from_u64(1)).expect("valid");
+    e.drive(ports.en, Femtos::ZERO, Level::Low);
+    e.drive(ports.en, Femtos::from_ns(2.0), Level::High);
+    e.add_clock_50(ports.clk, Femtos::from_ns(3.0), Femtos::from_seconds(1.0 / 620.0e6));
+    e.run_until(Femtos::from_ns(ns));
+    e.stats().events
+}
+
+fn simulator_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event-driven-sim");
+    for ns in [200.0f64, 1000.0] {
+        group.bench_function(BenchmarkId::new("entropy-unit", format!("{ns}ns")), |b| {
+            b.iter(|| black_box(run_unit(ns)))
+        });
+        group.bench_function(BenchmarkId::new("full-dh-trng", format!("{ns}ns")), |b| {
+            b.iter(|| black_box(run_full(ns)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulator_benches);
+criterion_main!(benches);

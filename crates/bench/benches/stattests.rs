@@ -1,0 +1,53 @@
+//! Cost of the statistical test batteries on fixed-size inputs: these
+//! dominate the runtime of the Table 3/4/5 experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dhtrng_core::{DhTrng, Trng};
+use dhtrng_stattests::sp800_22::{
+    dft_test, frequency_test, linear_complexity_test, non_overlapping_template_test, serial_test,
+};
+use dhtrng_stattests::sp800_90b::{collision_estimate, lag_estimate, mcv_estimate};
+use dhtrng_stattests::BitBuffer;
+use std::hint::black_box;
+
+const BITS: usize = 1 << 17; // 128 kbit keeps full-suite iterations snappy
+
+fn fixture() -> BitBuffer {
+    let mut trng = DhTrng::builder().seed(0xbec4).build();
+    (0..BITS).map(|_| trng.next_bit()).collect()
+}
+
+fn battery_benches(c: &mut Criterion) {
+    let bits = fixture();
+    let mut group = c.benchmark_group("stattests");
+    group.throughput(Throughput::Elements(BITS as u64));
+
+    group.bench_function("sp22-frequency", |b| {
+        b.iter(|| black_box(frequency_test(&bits).p_value()))
+    });
+    group.bench_function("sp22-dft", |b| {
+        b.iter(|| black_box(dft_test(&bits).p_value()))
+    });
+    group.bench_function("sp22-nonoverlapping-148-templates", |b| {
+        b.iter(|| black_box(non_overlapping_template_test(&bits).p_value()))
+    });
+    group.bench_function("sp22-serial-m16", |b| {
+        b.iter(|| black_box(serial_test(&bits, 16).p_value()))
+    });
+    group.bench_function("sp22-linear-complexity", |b| {
+        b.iter(|| black_box(linear_complexity_test(&bits, 500).p_value()))
+    });
+    group.bench_function("sp90b-mcv", |b| {
+        b.iter(|| black_box(mcv_estimate(&bits).h_min))
+    });
+    group.bench_function("sp90b-collision", |b| {
+        b.iter(|| black_box(collision_estimate(&bits).h_min))
+    });
+    group.bench_function("sp90b-lag-predictor", |b| {
+        b.iter(|| black_box(lag_estimate(&bits).h_min))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, battery_benches);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Tiny command-line flag helpers shared by the experiment binaries.
+
+/// Reads `--name value` from `std::env::args`, falling back to `default`.
+///
+/// # Panics
+///
+/// Panics (with a clear message) if the flag is present but its value is
+/// missing or unparsable.
+pub fn flag<T: std::str::FromStr>(name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name {
+            let value = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("flag {name} needs a value"));
+            return value
+                .parse()
+                .unwrap_or_else(|e| panic!("flag {name}: bad value {value:?}: {e:?}"));
+        }
+    }
+    default
+}
+
+/// Whether a boolean switch (e.g. `--paper`) is present.
+pub fn switch(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_apply_without_flags() {
+        assert_eq!(flag("--definitely-not-passed", 42usize), 42);
+        assert!(!switch("--definitely-not-passed"));
+    }
+}

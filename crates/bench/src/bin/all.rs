@@ -1,0 +1,62 @@
+//! Runs every experiment binary in sequence (the full paper regeneration)
+//! and mirrors each one's output into `docs/experiments/`.
+//!
+//! Usage: `all [--quick]` — `--quick` scales the heavy experiments down
+//! (table3 at 8 sets, fig9/tables at 256 kbit) for a fast smoke pass.
+
+use dhtrng_bench::args;
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 13] = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "fig1b", "fig3b", "fig7",
+    "fig8", "fig9", "restart", "deviation",
+];
+
+fn main() {
+    let quick = args::switch("--quick");
+    let self_path = std::env::current_exe().expect("current executable path");
+    let bin_dir = self_path.parent().expect("executable directory");
+    let out_dir = std::path::Path::new("docs/experiments");
+    std::fs::create_dir_all(out_dir).expect("create docs/experiments");
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let mut cmd = Command::new(bin_dir.join(name));
+        if quick {
+            match name {
+                "table3" => {
+                    cmd.args(["--sets", "8", "--bits", "262144"]);
+                }
+                "table4" | "fig8" | "fig9" | "table1" | "table2" => {
+                    cmd.args(["--bits", "262144"]);
+                }
+                "deviation" => {
+                    cmd.args(["--sets", "4", "--bits", "262144"]);
+                }
+                _ => {}
+            }
+        }
+        print!("running {name:<10} ... ");
+        match cmd.output() {
+            Ok(out) if out.status.success() => {
+                let path = out_dir.join(format!("{name}.txt"));
+                std::fs::write(&path, &out.stdout).expect("write experiment output");
+                println!("ok -> {}", path.display());
+            }
+            Ok(out) => {
+                println!("FAILED (status {})", out.status);
+                failures.push(name);
+            }
+            Err(e) => {
+                println!("FAILED to launch: {e}");
+                failures.push(name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments regenerated", EXPERIMENTS.len());
+    } else {
+        println!("\nFAILURES: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Figure 8: the autocorrelation function (lags 1–100) of
+//! 1 Mbit sequences from both devices.
+//!
+//! Usage: `fig8 [--bits N]`.
+
+use dhtrng_bench::{args, fmt::Table, gen};
+use dhtrng_core::DhTrng;
+use dhtrng_fpga::Device;
+use dhtrng_stattests::basic::{autocorrelation_series, passes_pearson_criterion};
+
+fn main() {
+    let nbits: usize = args::flag("--bits", 1usize << 20);
+    println!("Figure 8 — autocorrelation function, lags 1..=100 ({nbits} bits)\n");
+
+    let mut table = Table::new(&["device", "max |ACF|", "mean |ACF|", "Pearson |r|<0.3"]);
+    for device in [Device::virtex6(), Device::artix7()] {
+        let label = device.display_name();
+        let mut trng = DhTrng::builder().device(device).seed(0xf18).build();
+        let bits = gen::bits_from(&mut trng, nbits);
+        let series = autocorrelation_series(&bits, 100);
+        let max = series.iter().fold(0.0f64, |m, r| m.max(r.abs()));
+        let mean = series.iter().map(|r| r.abs()).sum::<f64>() / series.len() as f64;
+        table.row(&[
+            label,
+            format!("{max:.2e}"),
+            format!("{mean:.2e}"),
+            if passes_pearson_criterion(&bits, 100) { "pass" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "paper's Figure 8 shows |ACF| < 4e-3 at every lag on both devices; \
+         at 1 Mbit the sampling floor alone is ~1e-3, so values of that \
+         order indicate uncorrelated output."
+    );
+}

@@ -1,0 +1,61 @@
+//! Regenerates Table 3: the NIST SP 800-22 suite over sets of 1 Mbit
+//! sequences from the DH-TRNG on both devices.
+//!
+//! Usage: `table3 [--sets N] [--bits N]` (paper: 30 sets of 1 Mbit;
+//! default 30 sets — expect a few minutes of runtime).
+
+use dhtrng_bench::{args, fmt::Table, gen, paper};
+use dhtrng_core::DhTrng;
+use dhtrng_fpga::Device;
+use dhtrng_stattests::sp800_22::run_suite;
+
+fn main() {
+    let sets: usize = args::flag("--sets", 30usize);
+    let nbits: usize = args::flag("--bits", 1usize << 20);
+    println!("Table 3 — NIST SP 800-22 ({sets} sets of {nbits} bits per device)\n");
+
+    for device in [Device::virtex6(), Device::artix7()] {
+        let label = device.display_name();
+        let dev = device.clone();
+        let seqs = gen::sequences(
+            move |i| DhTrng::builder().device(dev.clone()).seed(0x5eed + i).build(),
+            sets,
+            nbits,
+        );
+        let report = run_suite(&seqs);
+
+        println!("== {label} ==");
+        let mut table = Table::new(&[
+            "NIST SP 800-22",
+            "paper P-value",
+            "paper Prop.",
+            "measured P-value",
+            "measured Prop.",
+            "ok",
+        ]);
+        for (row, paper_row) in report.rows.iter().zip(paper::TABLE3) {
+            let (p_paper, prop_paper) = if device.process.nm == 45 {
+                (paper_row.1, paper_row.2)
+            } else {
+                (paper_row.3, paper_row.4)
+            };
+            table.row(&[
+                row.test.name().to_string(),
+                format!("{p_paper:.6}"),
+                prop_paper.to_string(),
+                format!("{:.6}", row.uniformity_p),
+                row.proportion(),
+                if row.acceptable() { "pass" } else { "FAIL" }.to_string(),
+            ]);
+        }
+        println!("{table}");
+        println!(
+            "suite verdict: {}\n",
+            if report.all_acceptable() {
+                "all tests acceptable (paper: passes all items)"
+            } else {
+                "SOME TESTS FAILED"
+            }
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Regenerates Table 4: the NIST SP 800-90B non-IID estimator battery
+//! (plus the IID-track result quoted in §4.1.2) on both devices.
+//!
+//! Usage: `table4 [--bits N] [--perms N]` (default 1 Mbit, 1000 IID
+//! permutations; the spec's full IID run uses 10000).
+
+use dhtrng_bench::{args, fmt::Table, gen, paper};
+use dhtrng_core::DhTrng;
+use dhtrng_fpga::Device;
+use dhtrng_stattests::sp800_90b::{iid_permutation_test, min_entropy_mcv, non_iid_battery};
+
+fn main() {
+    let nbits: usize = args::flag("--bits", 1usize << 20);
+    let perms: usize = args::flag("--perms", 1000usize);
+    println!("Table 4 — NIST SP 800-90B ({nbits} bits per device)\n");
+
+    for device in [Device::virtex6(), Device::artix7()] {
+        let label = device.display_name();
+        let mut trng = DhTrng::builder().device(device.clone()).seed(0x90b).build();
+        let bits = gen::bits_from(&mut trng, nbits);
+        let battery = non_iid_battery(&bits);
+
+        println!("== {label} ==");
+        let mut table = Table::new(&[
+            "NIST SP 800-90B",
+            "paper p-max",
+            "paper h-min",
+            "measured p-max",
+            "measured h-min",
+        ]);
+        for (est, paper_row) in battery.iter().zip(paper::TABLE4) {
+            let (p_paper, h_paper) = if device.process.nm == 45 {
+                (paper_row.1, paper_row.2)
+            } else {
+                (paper_row.3, paper_row.4)
+            };
+            table.row(&[
+                est.name.to_string(),
+                format!("{p_paper:.6e}"),
+                format!("{h_paper:.6}"),
+                format!("{:.6e}", est.p_max),
+                format!("{:.6}", est.h_min),
+            ]);
+        }
+        println!("{table}");
+
+        // §4.1.2 also quotes the IID-track min-entropy.
+        let iid = iid_permutation_test(&bits.slice(0, nbits.min(65_536)), perms, 0x11d);
+        let h_iid = min_entropy_mcv(&bits);
+        let paper_iid = if device.process.nm == 45 { 0.994698 } else { 0.995966 };
+        println!(
+            "IID track: permutation test ({perms} perms on 64 kbit) {}; \
+             min-entropy {h_iid:.6} (paper: {paper_iid})\n",
+            if iid.is_iid() { "consistent with IID" } else { "REJECTED" }
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Regenerates Table 5: the AIS-31 evaluation (T0–T8) on both devices.
+//!
+//! Usage: `table5 [--bits N]` (default 7 200 000 bits per device, as the
+//! paper collects).
+
+use dhtrng_bench::{args, fmt::Table, gen};
+use dhtrng_core::DhTrng;
+use dhtrng_fpga::Device;
+use dhtrng_stattests::ais31;
+
+fn main() {
+    let nbits: usize = args::flag("--bits", 7_200_000usize);
+    println!("Table 5 — AIS-31 ({nbits} bits per device; paper: all items pass)\n");
+
+    let mut table = Table::new(&["AIS-31", "paper V6", "paper A7", "Virtex-6", "Artix-7"]);
+    let mut reports = Vec::new();
+    for device in [Device::virtex6(), Device::artix7()] {
+        let mut trng = DhTrng::builder().device(device).seed(0xa1531).build();
+        let bits = gen::bits_from(&mut trng, nbits);
+        reports.push(ais31::evaluate(&bits));
+    }
+    let (v6, a7) = (&reports[0], &reports[1]);
+    let pass = |b: bool| if b { "Pass" } else { "FAIL" }.to_string();
+    table.row(&["Disjointness Test (T0)".into(), "Pass".into(), "Pass".into(), pass(v6.t0), pass(a7.t0)]);
+    table.row(&["Monobit Tests (T1)*".into(), "100%".into(), "100%".into(), v6.t1.to_string(), a7.t1.to_string()]);
+    table.row(&["Poker Tests (T2)*".into(), "100%".into(), "100%".into(), v6.t2.to_string(), a7.t2.to_string()]);
+    table.row(&["Run Tests (T3)*".into(), "100%".into(), "100%".into(), v6.t3.to_string(), a7.t3.to_string()]);
+    table.row(&["Long Run Test (T4)*".into(), "100%".into(), "100%".into(), v6.t4.to_string(), a7.t4.to_string()]);
+    table.row(&["Autocorrelation Test (T5)*".into(), "100%".into(), "100%".into(), v6.t5.to_string(), a7.t5.to_string()]);
+    table.row(&["Uniform Distribution (T6)".into(), "Pass".into(), "Pass".into(), pass(v6.t6), pass(a7.t6)]);
+    table.row(&["Multinomial Dist. (T7)".into(), "Pass".into(), "Pass".into(), pass(v6.t7), pass(a7.t7)]);
+    table.row(&["Entropy Test (T8)".into(), "Pass".into(), "Pass".into(), pass(v6.t8), pass(a7.t8)]);
+    println!("{table}");
+    println!(
+        "T8 statistics: V6 f = {:.4}, A7 f = {:.4} (threshold {}); \
+         samples per starred row: {}",
+        v6.t8_statistic,
+        a7.t8_statistic,
+        ais31::T8_THRESHOLD,
+        v6.t1.total
+    );
+    println!(
+        "overall: V6 {}, A7 {}",
+        if v6.all_pass() { "all pass" } else { "FAILURES" },
+        if a7.all_pass() { "all pass" } else { "FAILURES" },
+    );
+}

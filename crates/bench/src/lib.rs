@@ -1,0 +1,32 @@
+//! Experiment harness for the DH-TRNG reproduction.
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` §3 for the
+//! index):
+//!
+//! | binary      | regenerates                                   |
+//! |-------------|-----------------------------------------------|
+//! | `table1`    | Table 1 — min-entropy vs ring order           |
+//! | `table2`    | Table 2 — hybrid units vs 9-stage ROs         |
+//! | `table3`    | Table 3 — NIST SP 800-22 suite                |
+//! | `table4`    | Table 4 — NIST SP 800-90B estimators          |
+//! | `table5`    | Table 5 — AIS-31                              |
+//! | `table6`    | Table 6 — SOTA comparison                     |
+//! | `fig1b`     | Figure 1(b) — efficiency scatter              |
+//! | `fig3b`     | Figure 3(b) — entropy-unit waveforms          |
+//! | `fig7`      | Figure 7 — bitstream images (PBM)             |
+//! | `fig8`      | Figure 8 — autocorrelation function           |
+//! | `fig9`      | Figure 9 — PVT min-entropy sweep              |
+//! | `restart`   | §4.2 — restart test                           |
+//! | `deviation` | §4.3 — deviation (bias) test                  |
+//!
+//! Every binary prints paper-reported values next to the measured ones.
+//! Dataset sizes default to the paper's where runtime allows and accept
+//! `--sets N` / `--bits N` style flags to scale.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod fmt;
+pub mod gen;
+pub mod paper;

@@ -1,0 +1,123 @@
+//! The paper's reported numbers, embedded so every experiment binary can
+//! print "paper vs measured" side by side.
+
+/// Table 1: (ring order, min-entropy) at 100 MHz sampling.
+pub const TABLE1: [(u32, f64); 12] = [
+    (2, 0.9737),
+    (3, 0.9733),
+    (4, 0.9756),
+    (5, 0.9776),
+    (6, 0.9783),
+    (7, 0.9831),
+    (8, 0.9860),
+    (9, 0.9871),
+    (10, 0.9842),
+    (11, 0.9837),
+    (12, 0.9788),
+    (13, 0.9735),
+];
+
+/// Table 2: (XOR order, hybrid-unit h, 9-stage-RO h).
+pub const TABLE2: [(u32, f64, f64); 10] = [
+    (9, 0.9765, 0.9705),
+    (10, 0.9803, 0.9751),
+    (11, 0.9830, 0.9779),
+    (12, 0.9836, 0.9801),
+    (13, 0.9853, 0.9813),
+    (14, 0.9868, 0.9849),
+    (15, 0.9885, 0.9871),
+    (16, 0.9896, 0.9873),
+    (17, 0.9903, 0.9886),
+    (18, 0.9912, 0.9891),
+];
+
+/// Table 3: (test name, V6 P-value, V6 prop, A7 P-value, A7 prop).
+pub const TABLE3: [(&str, f64, &str, f64, &str); 15] = [
+    ("Frequency", 0.739918, "30/30", 0.739918, "30/30"),
+    ("BlockFrequency", 0.100508, "29/30", 0.407091, "29/30"),
+    ("CumulativeSums*", 0.180952, "30/30", 0.462665, "30/30"),
+    ("Runs", 0.468595, "30/30", 0.178278, "29/30"),
+    ("LongestRun", 0.122325, "30/30", 0.213309, "29/30"),
+    ("Rank", 0.350485, "30/30", 0.350485, "30/30"),
+    ("FFT", 0.739918, "30/30", 0.468595, "30/30"),
+    ("NonOverlappingTemplate*", 0.472949, "30/30", 0.477819, "30/30"),
+    ("OverlappingTemplate", 0.671779, "30/30", 0.534146, "30/30"),
+    ("Universal", 0.350485, "30/30", 0.299251, "29/30"),
+    ("ApproximateEntropy", 0.602458, "30/30", 0.804337, "30/30"),
+    ("RandomExcursions*", 0.090867, "17/17", 0.029136, "17/17"),
+    ("RandomExcursionsVariant*", 0.084577, "17/17", 0.043234, "17/17"),
+    ("Serial*", 0.390368, "30/30", 0.844760, "30/30"),
+    ("LinearComplexity", 0.178278, "29/30", 0.407091, "30/30"),
+];
+
+/// Table 4: (estimator, V6 p-max, V6 h-min, A7 p-max, A7 h-min).
+pub const TABLE4: [(&str, f64, f64, f64, f64); 10] = [
+    ("MCV", 0.501841, 0.994698, 0.501400, 0.995966),
+    ("Collision", 0.527344, 0.923184, 0.521484, 0.939304),
+    ("Markov", 4.28e-39, 0.995748, 3.64e-39, 0.997594),
+    ("Compression", 0.5, 1.0, 0.5, 1.0),
+    ("t-Tuple", 0.519390, 0.945111, 0.529343, 0.917726),
+    ("LRS", 0.519355, 0.945206, 0.502963, 0.991475),
+    ("Multi-MCW", 0.501042, 0.998657, 0.501141, 0.996713),
+    ("Lag", 0.500465, 0.998567, 0.501683, 0.995153),
+    ("Multi-MMC", 0.500630, 0.998183, 0.500566, 0.998368),
+    ("LZ78Y", 0.501705, 0.99509, 0.501028, 0.997038),
+];
+
+/// §4.2: the six restart words the paper reports.
+pub const RESTART_WORDS: [u32; 6] = [
+    0x8E8F_7BE6,
+    0xD448_223A,
+    0x2ED8_2918,
+    0x79DA_4E4B,
+    0x51A6_02A9,
+    0xDB9E_49EC,
+];
+
+/// §4.3 deviation test: (device, bias %).
+pub const DEVIATION: [(&str, f64); 2] = [("Virtex-6", 0.0075), ("Artix-7", 0.0069)];
+
+/// §4 operating points: (device, throughput Mbps, power W).
+pub const OPERATING_POINTS: [(&str, f64, f64); 2] =
+    [("Virtex-6", 670.0, 0.126), ("Artix-7", 620.0, 0.068)];
+
+/// Figure 9: the lowest min-entropy across the PVT sweep stays above
+/// this level in the paper's plot.
+pub const FIG9_MIN_ENTROPY_FLOOR: f64 = 0.970;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shapes() {
+        assert_eq!(TABLE1.len(), 12);
+        assert_eq!(TABLE2.len(), 10);
+        assert_eq!(TABLE3.len(), 15);
+        assert_eq!(TABLE4.len(), 10);
+    }
+
+    #[test]
+    fn table1_peaks_at_nine() {
+        let max = TABLE1
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(max.0, 9);
+    }
+
+    #[test]
+    fn table2_units_beat_ros_everywhere() {
+        for (n, dh, ro) in TABLE2 {
+            assert!(dh > ro, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn restart_words_distinct() {
+        let mut w = RESTART_WORDS.to_vec();
+        w.sort_unstable();
+        w.dedup();
+        assert_eq!(w.len(), 6);
+    }
+}

@@ -1,0 +1,213 @@
+//! Online health tests (SP 800-90B §4.4).
+//!
+//! A deployed TRNG must detect catastrophic entropy-source failure at
+//! runtime. This module implements the two mandatory continuous tests —
+//! the Repetition Count Test (RCT) and the Adaptive Proportion Test
+//! (APT) — sized for a binary source with the paper's entropy level
+//! (H ≈ 0.99/bit), plus a monitor that folds them over a bit stream.
+
+/// Outcome of feeding a bit to the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// All tests nominal.
+    Ok,
+    /// The Repetition Count Test tripped (a value repeated too long).
+    RepetitionFailure,
+    /// The Adaptive Proportion Test tripped (a value dominated a window).
+    ProportionFailure,
+}
+
+/// Continuous health monitor: RCT + APT over a binary stream.
+///
+/// Cutoffs follow SP 800-90B §4.4 with `alpha = 2^-30` and
+/// `H = 0.99` bits/sample:
+///
+/// * RCT cutoff `C = 1 + ceil(30 / H) = 32`;
+/// * APT window `W = 1024`, cutoff from the binomial tail at
+///   `p = 2^-H`: 624.
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_core::{HealthMonitor, HealthStatus};
+///
+/// let mut hm = HealthMonitor::new();
+/// // A healthy alternating-ish stream never trips the monitor.
+/// for i in 0..10_000 {
+///     assert_eq!(hm.feed(i % 2 == 0), HealthStatus::Ok);
+/// }
+/// // A stuck-at source trips the repetition count test.
+/// let status = (0..100).map(|_| hm.feed(true)).find(|s| *s != HealthStatus::Ok);
+/// assert_eq!(status, Some(HealthStatus::RepetitionFailure));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    rct_cutoff: u32,
+    apt_window: u32,
+    apt_cutoff: u32,
+    // RCT state.
+    last: Option<bool>,
+    run: u32,
+    // APT state.
+    window_pos: u32,
+    reference: bool,
+    matches: u32,
+    // Statistics.
+    bits_seen: u64,
+    failures: u64,
+}
+
+impl HealthMonitor {
+    /// Monitor with the default cutoffs (H = 0.99, alpha = 2^-30).
+    pub fn new() -> Self {
+        Self::with_cutoffs(32, 1024, 624)
+    }
+
+    /// Monitor with explicit cutoffs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cutoff is zero or `apt_cutoff > apt_window`.
+    pub fn with_cutoffs(rct_cutoff: u32, apt_window: u32, apt_cutoff: u32) -> Self {
+        assert!(rct_cutoff > 1, "RCT cutoff must exceed 1");
+        assert!(apt_window > 0 && apt_cutoff > 0, "APT parameters must be positive");
+        assert!(apt_cutoff <= apt_window, "APT cutoff cannot exceed the window");
+        Self {
+            rct_cutoff,
+            apt_window,
+            apt_cutoff,
+            last: None,
+            run: 0,
+            window_pos: 0,
+            reference: false,
+            matches: 0,
+            bits_seen: 0,
+            failures: 0,
+        }
+    }
+
+    /// Feeds one bit; returns the health status after this bit.
+    pub fn feed(&mut self, bit: bool) -> HealthStatus {
+        self.bits_seen += 1;
+
+        // Repetition Count Test.
+        if self.last == Some(bit) {
+            self.run += 1;
+        } else {
+            self.last = Some(bit);
+            self.run = 1;
+        }
+        if self.run >= self.rct_cutoff {
+            self.failures += 1;
+            self.run = 1; // re-arm after reporting
+            return HealthStatus::RepetitionFailure;
+        }
+
+        // Adaptive Proportion Test.
+        if self.window_pos == 0 {
+            self.reference = bit;
+            self.matches = 1;
+            self.window_pos = 1;
+        } else {
+            if bit == self.reference {
+                self.matches += 1;
+            }
+            self.window_pos += 1;
+            if self.matches >= self.apt_cutoff {
+                self.failures += 1;
+                self.window_pos = 0;
+                return HealthStatus::ProportionFailure;
+            }
+            if self.window_pos == self.apt_window {
+                self.window_pos = 0;
+            }
+        }
+        HealthStatus::Ok
+    }
+
+    /// Total bits observed.
+    pub fn bits_seen(&self) -> u64 {
+        self.bits_seen
+    }
+
+    /// Total failures reported.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+}
+
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhtrng_noise::NoiseRng;
+
+    #[test]
+    fn healthy_stream_never_trips() {
+        let mut hm = HealthMonitor::new();
+        let mut rng = NoiseRng::seed_from_u64(1);
+        for _ in 0..1_000_000 {
+            assert_eq!(hm.feed(rng.bernoulli(0.5)), HealthStatus::Ok);
+        }
+        assert_eq!(hm.failures(), 0);
+        assert_eq!(hm.bits_seen(), 1_000_000);
+    }
+
+    #[test]
+    fn stuck_source_trips_rct_quickly() {
+        let mut hm = HealthMonitor::new();
+        let mut tripped_at = None;
+        for i in 0..100 {
+            if hm.feed(true) == HealthStatus::RepetitionFailure {
+                tripped_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(tripped_at, Some(31), "RCT cutoff 32 trips on the 32nd bit");
+    }
+
+    #[test]
+    fn heavily_biased_source_trips_apt() {
+        let mut hm = HealthMonitor::new();
+        let mut rng = NoiseRng::seed_from_u64(2);
+        let mut tripped = false;
+        for _ in 0..100_000 {
+            // 75% ones: the APT window of 1024 expects ~768 matches when
+            // the reference is 1 — far over the 624 cutoff.
+            match hm.feed(rng.bernoulli(0.75)) {
+                HealthStatus::ProportionFailure => {
+                    tripped = true;
+                    break;
+                }
+                HealthStatus::RepetitionFailure => {}
+                HealthStatus::Ok => {}
+            }
+        }
+        assert!(tripped, "APT must catch a 75%-biased source");
+    }
+
+    #[test]
+    fn mild_bias_passes() {
+        // 51% ones stays under both cutoffs essentially always.
+        let mut hm = HealthMonitor::new();
+        let mut rng = NoiseRng::seed_from_u64(3);
+        let mut failures = 0;
+        for _ in 0..500_000 {
+            if hm.feed(rng.bernoulli(0.51)) != HealthStatus::Ok {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "APT cutoff cannot exceed")]
+    fn invalid_cutoffs_panic() {
+        let _ = HealthMonitor::with_cutoffs(32, 100, 200);
+    }
+}

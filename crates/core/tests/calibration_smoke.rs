@@ -1,0 +1,18 @@
+use dhtrng_core::{DhTrng, Trng};
+
+#[test]
+fn mcv_band_smoke() {
+    // Inline MCV (no stattests dep in core): mode frequency + CI.
+    for (name, mut trng, lo, hi) in [
+        ("A7", DhTrng::builder().seed(11).build(), 0.9935, 0.9985),
+        ("V6", DhTrng::builder().device(dhtrng_fpga::Device::virtex6()).seed(12).build(), 0.9935, 0.9985),
+    ] {
+        let n = 1_000_000;
+        let ones = (0..n).filter(|_| trng.next_bit()).count();
+        let p_hat = (ones.max(n - ones)) as f64 / n as f64;
+        let p_u = p_hat + 2.5758 * (p_hat * (1.0 - p_hat) / (n as f64 - 1.0)).sqrt();
+        let h = -(p_u.log2());
+        println!("{name}: ones frac {}, h_mcv {h:.6}", ones as f64 / n as f64);
+        assert!(h > lo && h < hi, "{name}: h = {h}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Device descriptions for the paper's two evaluation FPGAs.
+//!
+//! All timing/power constants are *model calibrations*, chosen so that the
+//! DH-TRNG reference design reproduces the paper's operating points
+//! (§4/Table 6): 670 Mbps @ 0.126 W on Virtex-6 and 620 Mbps @ 0.068 W on
+//! Artix-7. They sit inside the plausible envelope for the respective
+//! speed grades; see `DESIGN.md` §4 for the calibration notes.
+
+use dhtrng_noise::pvt::ProcessParams;
+
+/// FPGA family of a [`Device`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Xilinx Virtex-6 (45 nm).
+    Virtex6,
+    /// Xilinx Artix-7 (28 nm).
+    Artix7,
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Family::Virtex6 => write!(f, "Virtex-6"),
+            Family::Artix7 => write!(f, "Artix-7"),
+        }
+    }
+}
+
+/// Capacity of one slice (the packing unit of Xilinx 6/7-series parts).
+///
+/// The paper (§3.3): "one slice in Xilinx 6 serials or 7 serials FPGA
+/// contains four six-input LUTs, three MUXs, eight DFFs".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceSpec {
+    /// Six-input LUTs per slice.
+    pub luts: u32,
+    /// Wide-function MUXes per slice (F7A/F7B/F8).
+    pub muxes: u32,
+    /// Flip-flops per slice.
+    pub dffs: u32,
+    /// MUXes usable per slice under the paired-LUT (F7) constraint the
+    /// paper's typed placement imposes.
+    pub paired_muxes: u32,
+}
+
+impl SliceSpec {
+    /// Xilinx 6/7-series slice: 4 LUT6, 3 MUX (2 pairable F7), 8 DFF.
+    pub fn xilinx_6_7_series() -> Self {
+        Self {
+            luts: 4,
+            muxes: 3,
+            dffs: 8,
+            paired_muxes: 2,
+        }
+    }
+}
+
+impl Default for SliceSpec {
+    fn default() -> Self {
+        Self::xilinx_6_7_series()
+    }
+}
+
+/// One of the paper's evaluation devices, with the calibrated timing and
+/// power constants the platform models need.
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_fpga::Device;
+///
+/// let v6 = Device::virtex6();
+/// let a7 = Device::artix7();
+/// assert!(v6.process.nm > a7.process.nm);
+/// // Per-stage (LUT + local route) delay is under a nanosecond on both.
+/// assert!(v6.stage_delay_s() < 1.0e-9 && a7.stage_delay_s() < 1.0e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Family (Virtex-6 / Artix-7).
+    pub family: Family,
+    /// Part number, e.g. `xc6vlx240t`.
+    pub part: &'static str,
+    /// Process parameters (feeds the PVT model).
+    pub process: ProcessParams,
+    /// LUT propagation delay in seconds (nominal corner).
+    pub lut_delay_s: f64,
+    /// Local net (routing) delay in seconds (nominal corner).
+    pub net_delay_s: f64,
+    /// Flip-flop clock-to-Q delay in seconds.
+    pub clk_to_q_s: f64,
+    /// Flip-flop setup time in seconds.
+    pub setup_s: f64,
+    /// Maximum PLL output frequency in Hz.
+    pub pll_max_hz: f64,
+    /// Design-attributable static power at the nominal corner, in watts.
+    pub static_power_w: f64,
+    /// Effective switched capacitance per node, in farads.
+    pub c_eff_f: f64,
+    slice: SliceSpec,
+}
+
+impl Device {
+    /// Xilinx Virtex-6 `xc6vlx240t` (45 nm), the paper's first board.
+    pub fn virtex6() -> Self {
+        Self {
+            family: Family::Virtex6,
+            part: "xc6vlx240t",
+            process: ProcessParams::nm45(),
+            lut_delay_s: 0.240e-9,
+            net_delay_s: 0.336e-9,
+            clk_to_q_s: 0.300e-9,
+            setup_s: 0.040e-9,
+            pll_max_hz: 1.40e9,
+            static_power_w: 0.080,
+            c_eff_f: 3.1e-12,
+            slice: SliceSpec::xilinx_6_7_series(),
+        }
+    }
+
+    /// Xilinx Artix-7 `xc7a100t` (28 nm), the paper's second board.
+    pub fn artix7() -> Self {
+        Self {
+            family: Family::Artix7,
+            part: "xc7a100t",
+            process: ProcessParams::nm28(),
+            lut_delay_s: 0.260e-9,
+            net_delay_s: 0.347e-9,
+            clk_to_q_s: 0.350e-9,
+            setup_s: 0.050e-9,
+            pll_max_hz: 1.25e9,
+            static_power_w: 0.030,
+            c_eff_f: 2.7e-12,
+            slice: SliceSpec::xilinx_6_7_series(),
+        }
+    }
+
+    /// Both evaluation devices, Virtex-6 first (paper order).
+    pub fn paper_devices() -> [Device; 2] {
+        [Device::virtex6(), Device::artix7()]
+    }
+
+    /// Per-stage delay of a LUT-based ring: LUT + local route.
+    pub fn stage_delay_s(&self) -> f64 {
+        self.lut_delay_s + self.net_delay_s
+    }
+
+    /// The slice capacity used for packing.
+    pub fn slice_spec(&self) -> SliceSpec {
+        self.slice
+    }
+
+    /// Short display name, e.g. `Virtex-6 (xc6vlx240t)`.
+    pub fn display_name(&self) -> String {
+        format!("{} ({})", self.family, self.part)
+    }
+}
+
+impl std::fmt::Display for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.display_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_identify_correctly() {
+        let v6 = Device::virtex6();
+        assert_eq!(v6.family, Family::Virtex6);
+        assert_eq!(v6.part, "xc6vlx240t");
+        assert_eq!(v6.process.nm, 45);
+        let a7 = Device::artix7();
+        assert_eq!(a7.family, Family::Artix7);
+        assert_eq!(a7.part, "xc7a100t");
+        assert_eq!(a7.process.nm, 28);
+    }
+
+    #[test]
+    fn stage_delays_in_plausible_band() {
+        for d in Device::paper_devices() {
+            let s = d.stage_delay_s();
+            assert!(s > 0.3e-9 && s < 0.9e-9, "{}: {s}", d);
+        }
+    }
+
+    #[test]
+    fn slice_spec_matches_paper_description() {
+        let s = SliceSpec::xilinx_6_7_series();
+        assert_eq!((s.luts, s.muxes, s.dffs), (4, 3, 8));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Device::virtex6().to_string(), "Virtex-6 (xc6vlx240t)");
+        assert_eq!(Device::artix7().to_string(), "Artix-7 (xc7a100t)");
+    }
+
+    #[test]
+    fn artix_burns_less_static_power() {
+        // 28 nm low-cost part vs 45 nm high-end part, as in the paper's
+        // 0.126 W vs 0.068 W split.
+        assert!(Device::artix7().static_power_w < Device::virtex6().static_power_w);
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's headline comparison metric.
+//!
+//! Table 6 and Figure 1(b) rank TRNGs by `Throughput / (Slices x Power)`
+//! (Mbps per slice-watt). The paper's design reaches 1139.7 on Artix-7,
+//! a 2.63x improvement over the prior best (432.97, DAC'23).
+
+/// Computes `throughput_mbps / (slices x power_w)`.
+///
+/// # Panics
+///
+/// Panics if `slices` is zero or `power_w` is not strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_fpga::efficiency_metric;
+///
+/// // The paper's Table 6 row for this work: 620 Mbps, 8 slices, 0.068 W.
+/// let e = efficiency_metric(620.0, 8, 0.068);
+/// assert!((e - 1139.7).abs() < 0.1);
+/// ```
+pub fn efficiency_metric(throughput_mbps: f64, slices: u32, power_w: f64) -> f64 {
+    assert!(slices > 0, "slices must be non-zero");
+    assert!(
+        power_w.is_finite() && power_w > 0.0,
+        "power must be positive, got {power_w}"
+    );
+    throughput_mbps / (f64::from(slices) * power_w)
+}
+
+/// The x-coordinate of Figure 1(b): `1 / (slices x power_w)`.
+pub fn inverse_slice_power(slices: u32, power_w: f64) -> f64 {
+    assert!(slices > 0, "slices must be non-zero");
+    assert!(power_w > 0.0, "power must be positive");
+    1.0 / (f64::from(slices) * power_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_reproduce() {
+        // Table 6: (design, slices, Mbps, W, metric).
+        let rows = [
+            (10u32, 1.91, 0.043, 4.44),
+            (1, 0.76, 0.025, 30.40),
+            (18, 100.0, 0.068, 81.70),
+            (33, 12.5, 0.063, 6.01),
+            (38, 300.0, 0.119, 66.34),
+            (40, 1.25, 0.023, 1.36),
+            (13, 275.8, 0.049, 432.97),
+            (8, 620.0, 0.068, 1139.7),
+        ];
+        for (slices, mbps, w, expected) in rows {
+            let e = efficiency_metric(mbps, slices, w);
+            assert!(
+                (e - expected).abs() / expected < 0.01,
+                "{slices} slices {mbps} Mbps {w} W: {e} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn this_work_improves_2_63x_over_prior_best() {
+        let prior = efficiency_metric(275.8, 13, 0.049);
+        let ours = efficiency_metric(620.0, 8, 0.068);
+        let gain = ours / prior;
+        assert!((gain - 2.63).abs() < 0.01, "gain = {gain}");
+    }
+
+    #[test]
+    fn figure_1b_x_axis() {
+        let x = inverse_slice_power(8, 0.068);
+        assert!((x - 1.838).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "slices must be non-zero")]
+    fn zero_slices_panics() {
+        let _ = efficiency_metric(1.0, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be positive")]
+    fn zero_power_panics() {
+        let _ = efficiency_metric(1.0, 1, 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! FPGA platform models for the DH-TRNG reproduction.
+//!
+//! The paper evaluates its TRNG on two Xilinx devices — Virtex-6
+//! `xc6vlx240t` (45 nm) and Artix-7 `xc7a100t` (28 nm) — and reports four
+//! platform-level quantities per design (Table 6): LUT/DFF/slice resource
+//! usage, throughput, power, and the headline efficiency metric
+//! `Throughput / (Slices × Power)`.
+//!
+//! Since no silicon is available to a software reproduction, this crate
+//! provides calibrated analytic models of exactly those quantities:
+//!
+//! * [`Device`] — per-device delay, resource and power constants;
+//! * [`ResourceReport`] + [`pack_design`](packer::pack_design) — slice
+//!   packing with the paper's typed-placement constraints (Fig. 5(b)),
+//!   reproducing the 8-slice result for 23 LUTs + 4 MUXes + 14 DFFs;
+//! * [`Placement`] — the compact square slice array of Fig. 5(b);
+//! * [`timing`] — critical-path model giving the maximum sampling clock
+//!   (670 Mbps on Virtex-6 / 620 Mbps on Artix-7 for the DH-TRNG path);
+//! * [`power`] — leakage + CV²f dynamic power;
+//! * [`efficiency`] — the comparison metric of Table 6 / Figure 1(b).
+//!
+//! # Example
+//!
+//! ```
+//! use dhtrng_fpga::{Device, ResourceReport};
+//! use dhtrng_fpga::packer::{pack_design, Region};
+//!
+//! let device = Device::artix7();
+//! // The paper's resource count: 23 LUTs, 4 MUXes, 14 DFFs -> 8 slices.
+//! let regions = Region::dh_trng_reference();
+//! let packed = pack_design(&regions, device.slice_spec());
+//! assert_eq!(packed.total_slices, 8);
+//! let totals: ResourceReport = regions.iter().map(Region::resources).sum();
+//! assert_eq!((totals.luts, totals.muxes, totals.dffs), (23, 4, 14));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod device;
+pub mod efficiency;
+pub mod packer;
+pub mod placement;
+pub mod power;
+pub mod resources;
+pub mod timing;
+
+pub use device::{Device, Family, SliceSpec};
+pub use efficiency::efficiency_metric;
+pub use placement::{Placement, SliceCoord};
+pub use power::{ActivityProfile, PowerBreakdown, PowerModel};
+pub use resources::ResourceReport;
+pub use timing::TimingModel;

@@ -1,0 +1,241 @@
+//! Compact square slice placement (paper Figure 5(b)).
+//!
+//! The paper constrains the implementation to a compact square slice array
+//! anchored at an origin slice, with cells grouped by type. This module
+//! models that placement: region-labelled slices on an integer grid, a
+//! square-ish arrangement generator, and the contiguity/bounding-box
+//! checks the tests use to validate "compactness".
+
+/// Grid coordinate of one slice.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SliceCoord {
+    /// Column.
+    pub x: u32,
+    /// Row.
+    pub y: u32,
+}
+
+impl SliceCoord {
+    /// Creates a coordinate.
+    pub fn new(x: u32, y: u32) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan distance to another slice.
+    pub fn manhattan(&self, other: &SliceCoord) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+impl std::fmt::Display for SliceCoord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SLICE_X{}Y{}", self.x, self.y)
+    }
+}
+
+/// A placed slice with its region label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacedSlice {
+    /// Location on the grid.
+    pub coord: SliceCoord,
+    /// The region occupying the slice.
+    pub region: String,
+}
+
+/// A compact placement of a packed design.
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_fpga::Placement;
+///
+/// // The paper's 8 slices: 5 entropy + 2 sampling + 1 feedback.
+/// let p = Placement::compact_square(&[("entropy", 5), ("sampling", 2), ("feedback", 1)],
+///                                   (10, 20));
+/// assert_eq!(p.slice_count(), 8);
+/// // 8 slices pack into a 3x3 bounding box.
+/// let (w, h) = p.bounding_box();
+/// assert!(w <= 3 && h <= 3);
+/// assert!(p.is_contiguous());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    origin: SliceCoord,
+    slices: Vec<PlacedSlice>,
+}
+
+impl Placement {
+    /// Places regions row-major into the smallest square-ish grid that
+    /// holds them, anchored at `origin` (the paper's "coordinates of the
+    /// origin slice").
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slices are requested.
+    pub fn compact_square(regions: &[(&str, u32)], origin: (u32, u32)) -> Self {
+        let total: u32 = regions.iter().map(|&(_, n)| n).sum();
+        assert!(total > 0, "placement needs at least one slice");
+        let side = (f64::from(total)).sqrt().ceil() as u32;
+        let origin = SliceCoord::new(origin.0, origin.1);
+        let mut slices = Vec::with_capacity(total as usize);
+        let mut idx = 0u32;
+        for &(name, count) in regions {
+            for _ in 0..count {
+                let coord = SliceCoord::new(origin.x + idx % side, origin.y + idx / side);
+                slices.push(PlacedSlice {
+                    coord,
+                    region: name.to_string(),
+                });
+                idx += 1;
+            }
+        }
+        Self { origin, slices }
+    }
+
+    /// The anchor slice.
+    pub fn origin(&self) -> SliceCoord {
+        self.origin
+    }
+
+    /// Number of placed slices.
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// All placed slices.
+    pub fn slices(&self) -> &[PlacedSlice] {
+        &self.slices
+    }
+
+    /// Width and height of the bounding box.
+    pub fn bounding_box(&self) -> (u32, u32) {
+        let min_x = self.slices.iter().map(|s| s.coord.x).min().unwrap_or(0);
+        let max_x = self.slices.iter().map(|s| s.coord.x).max().unwrap_or(0);
+        let min_y = self.slices.iter().map(|s| s.coord.y).min().unwrap_or(0);
+        let max_y = self.slices.iter().map(|s| s.coord.y).max().unwrap_or(0);
+        (max_x - min_x + 1, max_y - min_y + 1)
+    }
+
+    /// Fraction of the bounding box actually occupied.
+    pub fn utilization(&self) -> f64 {
+        let (w, h) = self.bounding_box();
+        self.slice_count() as f64 / f64::from(w * h)
+    }
+
+    /// Whether every slice has a 4-neighbour within the placement (all
+    /// slices form one connected block).
+    pub fn is_contiguous(&self) -> bool {
+        if self.slices.is_empty() {
+            return true;
+        }
+        let coords: std::collections::HashSet<SliceCoord> =
+            self.slices.iter().map(|s| s.coord).collect();
+        // Flood fill from the first slice.
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![self.slices[0].coord];
+        while let Some(c) = stack.pop() {
+            if !seen.insert(c) {
+                continue;
+            }
+            let neighbours = [
+                (c.x.wrapping_sub(1), c.y),
+                (c.x + 1, c.y),
+                (c.x, c.y.wrapping_sub(1)),
+                (c.x, c.y + 1),
+            ];
+            for (nx, ny) in neighbours {
+                let n = SliceCoord::new(nx, ny);
+                if coords.contains(&n) && !seen.contains(&n) {
+                    stack.push(n);
+                }
+            }
+        }
+        seen.len() == coords.len()
+    }
+
+    /// ASCII rendering of the placement grid, one letter per region (first
+    /// letter of the region name), `.` for empty cells — a terminal
+    /// stand-in for the paper's Figure 5(b).
+    pub fn render(&self) -> String {
+        if self.slices.is_empty() {
+            return String::new();
+        }
+        let min_x = self.slices.iter().map(|s| s.coord.x).min().unwrap();
+        let min_y = self.slices.iter().map(|s| s.coord.y).min().unwrap();
+        let (w, h) = self.bounding_box();
+        let mut grid = vec![vec!['.'; w as usize]; h as usize];
+        for s in &self.slices {
+            let ch = s.region.chars().next().unwrap_or('?').to_ascii_uppercase();
+            grid[(s.coord.y - min_y) as usize][(s.coord.x - min_x) as usize] = ch;
+        }
+        grid.into_iter()
+            .rev() // y grows upward on FPGA floorplans
+            .map(|row| row.into_iter().collect::<String>())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dh() -> Placement {
+        Placement::compact_square(&[("entropy", 5), ("sampling", 2), ("feedback", 1)], (4, 8))
+    }
+
+    #[test]
+    fn eight_slices_fit_a_3x3_block() {
+        let p = dh();
+        assert_eq!(p.slice_count(), 8);
+        let (w, h) = p.bounding_box();
+        assert!(w <= 3 && h <= 3, "bbox {w}x{h}");
+        assert!(p.utilization() > 0.85);
+        assert!(p.is_contiguous());
+    }
+
+    #[test]
+    fn origin_is_respected() {
+        let p = dh();
+        assert_eq!(p.origin(), SliceCoord::new(4, 8));
+        assert!(p.slices().iter().all(|s| s.coord.x >= 4 && s.coord.y >= 8));
+    }
+
+    #[test]
+    fn coordinates_are_xilinx_style() {
+        assert_eq!(SliceCoord::new(4, 8).to_string(), "SLICE_X4Y8");
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = SliceCoord::new(1, 1);
+        let b = SliceCoord::new(4, 3);
+        assert_eq!(a.manhattan(&b), 5);
+        assert_eq!(b.manhattan(&a), 5);
+    }
+
+    #[test]
+    fn render_shows_regions() {
+        let art = dh().render();
+        // 5 E's, 2 S's, 1 F over a 3x3 grid (one '.' filler).
+        assert_eq!(art.matches('E').count(), 5);
+        assert_eq!(art.matches('S').count(), 2);
+        assert_eq!(art.matches('F').count(), 1);
+        assert_eq!(art.lines().count(), 3);
+    }
+
+    #[test]
+    fn single_slice_is_contiguous() {
+        let p = Placement::compact_square(&[("x", 1)], (0, 0));
+        assert!(p.is_contiguous());
+        assert_eq!(p.bounding_box(), (1, 1));
+        assert!((p.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slice")]
+    fn empty_placement_panics() {
+        let _ = Placement::compact_square(&[], (0, 0));
+    }
+}

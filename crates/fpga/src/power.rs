@@ -1,0 +1,185 @@
+//! Power model: leakage plus CV²f switching power.
+//!
+//! Table 6 of the paper compares designs by measured on-device power.
+//! Without silicon we model design-attributable power as
+//!
+//! ```text
+//! P = P_static x leakage(T, V)  +  1/2 x C_eff x V^2 x sum(nodes x rate)
+//! ```
+//!
+//! where the activity profile lists how many circuit nodes toggle at which
+//! rate (ring nodes at ring frequency, sampler nodes at the sampling
+//! clock). `C_eff` and `P_static` are per-device calibrations (see
+//! [`crate::device`]).
+
+use dhtrng_noise::pvt::PvtCorner;
+
+use crate::device::Device;
+
+/// Switching-activity description: groups of nodes and their toggle rates.
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_fpga::ActivityProfile;
+///
+/// let mut a = ActivityProfile::new();
+/// a.add(12, 2.0 * 290.0e6);  // 12 ring nodes toggling at 2x290 MHz
+/// a.add(17, 620.0e6);        // 17 sampler nodes at the sampling clock
+/// assert!(a.total_toggle_rate_hz() > 1.0e9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ActivityProfile {
+    groups: Vec<(u32, f64)>,
+}
+
+impl ActivityProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a group of `nodes` nodes toggling `rate_hz` times per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is negative or not finite.
+    pub fn add(&mut self, nodes: u32, rate_hz: f64) -> &mut Self {
+        assert!(
+            rate_hz.is_finite() && rate_hz >= 0.0,
+            "toggle rate must be finite and >= 0, got {rate_hz}"
+        );
+        self.groups.push((nodes, rate_hz));
+        self
+    }
+
+    /// Sum over groups of `nodes x rate`, in transitions per second.
+    pub fn total_toggle_rate_hz(&self) -> f64 {
+        self.groups
+            .iter()
+            .map(|&(n, r)| f64::from(n) * r)
+            .sum()
+    }
+
+    /// Number of node groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// Computed power split.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Leakage component in watts.
+    pub static_w: f64,
+    /// Switching component in watts.
+    pub dynamic_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.static_w + self.dynamic_w
+    }
+}
+
+impl std::fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3} W ({:.3} static + {:.3} dynamic)",
+            self.total_w(),
+            self.static_w,
+            self.dynamic_w
+        )
+    }
+}
+
+/// The power model over a device's calibration constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PowerModel;
+
+impl PowerModel {
+    /// Computes the power of a design with the given switching activity on
+    /// `device` at `corner`.
+    pub fn power(device: &Device, activity: &ActivityProfile, corner: PvtCorner) -> PowerBreakdown {
+        let f = device.process.factors(corner);
+        let static_w = device.static_power_w * f.leakage;
+        let dynamic_w =
+            0.5 * device.c_eff_f * corner.vdd_v * corner.vdd_v * activity.total_toggle_rate_hz();
+        PowerBreakdown {
+            static_w,
+            dynamic_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ActivityProfile {
+        let mut a = ActivityProfile::new();
+        a.add(12, 580.0e6).add(8, 860.0e6).add(17, 670.0e6);
+        a
+    }
+
+    #[test]
+    fn toggle_rate_sums_groups() {
+        let a = profile();
+        let expected = 12.0 * 580.0e6 + 8.0 * 860.0e6 + 17.0 * 670.0e6;
+        assert!((a.total_toggle_rate_hz() - expected).abs() < 1.0);
+        assert_eq!(a.group_count(), 3);
+    }
+
+    #[test]
+    fn nominal_power_is_static_plus_dynamic() {
+        let d = Device::virtex6();
+        let p = PowerModel::power(&d, &profile(), PvtCorner::nominal());
+        assert!((p.static_w - d.static_power_w).abs() < 1e-12);
+        assert!(p.dynamic_w > 0.0);
+        assert!((p.total_w() - (p.static_w + p.dynamic_w)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn voltage_scaling_is_quadratic_for_dynamic() {
+        let d = Device::artix7();
+        let low = PowerModel::power(&d, &profile(), PvtCorner::new(20.0, 0.8));
+        let nom = PowerModel::power(&d, &profile(), PvtCorner::nominal());
+        let ratio = low.dynamic_w / nom.dynamic_w;
+        assert!((ratio - 0.64).abs() < 1e-9, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn hot_corner_leaks_more() {
+        let d = Device::virtex6();
+        let hot = PowerModel::power(&d, &profile(), PvtCorner::new(80.0, 1.0));
+        let nom = PowerModel::power(&d, &profile(), PvtCorner::nominal());
+        assert!(hot.static_w > 2.0 * nom.static_w);
+    }
+
+    #[test]
+    fn idle_design_burns_only_leakage() {
+        let d = Device::artix7();
+        let p = PowerModel::power(&d, &ActivityProfile::new(), PvtCorner::nominal());
+        assert_eq!(p.dynamic_w, 0.0);
+        assert!(p.static_w > 0.0);
+    }
+
+    #[test]
+    fn display_formats_watts() {
+        let p = PowerBreakdown {
+            static_w: 0.03,
+            dynamic_w: 0.038,
+        };
+        assert_eq!(p.to_string(), "0.068 W (0.030 static + 0.038 dynamic)");
+    }
+
+    #[test]
+    #[should_panic(expected = "toggle rate")]
+    fn negative_rate_panics() {
+        let mut a = ActivityProfile::new();
+        a.add(1, -1.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! FPGA resource accounting.
+//!
+//! [`ResourceReport`] is the common currency of the Table 6 comparison:
+//! LUTs, slice MUXes and DFFs, with slice counts derived by the packer.
+
+use std::iter::Sum;
+use std::ops::Add;
+
+/// Cell-level resource usage of a design or a region of one.
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_fpga::ResourceReport;
+///
+/// let entropy = ResourceReport::new(20, 4, 0);
+/// let sampling = ResourceReport::new(3, 0, 14);
+/// let total = entropy + sampling;
+/// assert_eq!(total, ResourceReport::new(23, 4, 14)); // the paper's count
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ResourceReport {
+    /// Six-input LUTs.
+    pub luts: u32,
+    /// Dedicated slice MUXes (F7/F8).
+    pub muxes: u32,
+    /// Flip-flops.
+    pub dffs: u32,
+}
+
+impl ResourceReport {
+    /// Creates a report.
+    pub fn new(luts: u32, muxes: u32, dffs: u32) -> Self {
+        Self { luts, muxes, dffs }
+    }
+
+    /// A zero report.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Whether the report is all-zero.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Total cell count (LUTs + MUXes + DFFs).
+    pub fn total_cells(&self) -> u32 {
+        self.luts + self.muxes + self.dffs
+    }
+}
+
+impl Add for ResourceReport {
+    type Output = ResourceReport;
+    fn add(self, rhs: ResourceReport) -> ResourceReport {
+        ResourceReport {
+            luts: self.luts + rhs.luts,
+            muxes: self.muxes + rhs.muxes,
+            dffs: self.dffs + rhs.dffs,
+        }
+    }
+}
+
+impl Sum for ResourceReport {
+    fn sum<I: Iterator<Item = ResourceReport>>(iter: I) -> ResourceReport {
+        iter.fold(ResourceReport::default(), Add::add)
+    }
+}
+
+impl std::fmt::Display for ResourceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} LUTs, {} MUXes, {} DFFs",
+            self.luts, self.muxes, self.dffs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sum() {
+        let a = ResourceReport::new(1, 2, 3);
+        let b = ResourceReport::new(10, 20, 30);
+        assert_eq!(a + b, ResourceReport::new(11, 22, 33));
+        let s: ResourceReport = [a, b, a].into_iter().sum();
+        assert_eq!(s, ResourceReport::new(12, 24, 36));
+    }
+
+    #[test]
+    fn totals_and_emptiness() {
+        assert!(ResourceReport::zero().is_empty());
+        let r = ResourceReport::new(23, 4, 14);
+        assert!(!r.is_empty());
+        assert_eq!(r.total_cells(), 41);
+    }
+
+    #[test]
+    fn display() {
+        let r = ResourceReport::new(23, 4, 14);
+        assert_eq!(r.to_string(), "23 LUTs, 4 MUXes, 14 DFFs");
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_traits_are_implemented() {
+        fn assert_ser<T: serde::Serialize>() {}
+        fn assert_de<T: serde::de::DeserializeOwned>() {}
+        assert_ser::<ResourceReport>();
+        assert_de::<ResourceReport>();
+        assert_ser::<crate::PowerBreakdown>();
+        assert_de::<crate::SliceCoord>();
+    }
+}

@@ -1,0 +1,118 @@
+//! Critical-path timing model.
+//!
+//! The DH-TRNG produces one bit per sampling-clock cycle (paper §3.3), so
+//! throughput equals the maximum sampling frequency. The limiting path in
+//! the sampling array runs from a sampling flip-flop through the XOR tree
+//! to the output flip-flop:
+//!
+//! ```text
+//! T_min = clk_to_q + levels x (LUT + net) + setup
+//! ```
+//!
+//! With the calibrated device constants this reproduces the paper's
+//! operating points: 670 MHz on Virtex-6 and 620 MHz on Artix-7 (§4,
+//! Table 6).
+
+use dhtrng_noise::pvt::PvtCorner;
+
+use crate::device::Device;
+
+/// XOR-tree depth of the DH-TRNG sampling array: 12 sampled bits reduce
+/// through two levels of 6-input LUTs plus the final 2-input stage folded
+/// into the second level — 2 logic levels on the register-to-register
+/// path.
+pub const DH_TRNG_LOGIC_LEVELS: u32 = 2;
+
+/// Critical-path timing model for register-to-register paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimingModel;
+
+impl TimingModel {
+    /// Minimum clock period for a path with `levels` LUT+net hops on the
+    /// given device at the given corner, in seconds.
+    pub fn min_period_s(device: &Device, levels: u32, corner: PvtCorner) -> f64 {
+        let f = device.process.factors(corner);
+        (device.clk_to_q_s
+            + f64::from(levels) * (device.lut_delay_s + device.net_delay_s)
+            + device.setup_s)
+            * f.delay
+    }
+
+    /// Maximum sampling frequency in Hz (clamped by the device PLL).
+    pub fn max_frequency_hz(device: &Device, levels: u32, corner: PvtCorner) -> f64 {
+        (1.0 / Self::min_period_s(device, levels, corner)).min(device.pll_max_hz)
+    }
+
+    /// Throughput in Mbps for a design emitting `bits_per_cycle` bits per
+    /// sampling clock.
+    pub fn throughput_mbps(
+        device: &Device,
+        levels: u32,
+        bits_per_cycle: f64,
+        corner: PvtCorner,
+    ) -> f64 {
+        Self::max_frequency_hz(device, levels, corner) * bits_per_cycle / 1e6
+    }
+
+    /// The DH-TRNG operating point: 1 bit/cycle through the 2-level
+    /// sampling path, at the nominal corner.
+    pub fn dh_trng_throughput_mbps(device: &Device) -> f64 {
+        Self::throughput_mbps(device, DH_TRNG_LOGIC_LEVELS, 1.0, PvtCorner::nominal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtex6_hits_670_mbps() {
+        let t = TimingModel::dh_trng_throughput_mbps(&Device::virtex6());
+        assert!(
+            (t - 670.0).abs() / 670.0 < 0.02,
+            "Virtex-6 throughput {t:.1} Mbps vs paper 670"
+        );
+    }
+
+    #[test]
+    fn artix7_hits_620_mbps() {
+        let t = TimingModel::dh_trng_throughput_mbps(&Device::artix7());
+        assert!(
+            (t - 620.0).abs() / 620.0 < 0.02,
+            "Artix-7 throughput {t:.1} Mbps vs paper 620"
+        );
+    }
+
+    #[test]
+    fn more_levels_lower_frequency() {
+        let d = Device::artix7();
+        let c = PvtCorner::nominal();
+        let f2 = TimingModel::max_frequency_hz(&d, 2, c);
+        let f4 = TimingModel::max_frequency_hz(&d, 4, c);
+        assert!(f4 < f2);
+    }
+
+    #[test]
+    fn slow_corner_lowers_frequency() {
+        let d = Device::virtex6();
+        let nominal = TimingModel::max_frequency_hz(&d, 2, PvtCorner::nominal());
+        let slow = TimingModel::max_frequency_hz(&d, 2, PvtCorner::new(80.0, 0.8));
+        assert!(slow < nominal, "slow corner must reduce fmax");
+    }
+
+    #[test]
+    fn pll_clamps_zero_level_paths() {
+        let d = Device::artix7();
+        let f = TimingModel::max_frequency_hz(&d, 0, PvtCorner::nominal());
+        assert!(f <= d.pll_max_hz);
+    }
+
+    #[test]
+    fn throughput_scales_with_bits_per_cycle() {
+        let d = Device::artix7();
+        let c = PvtCorner::nominal();
+        let one = TimingModel::throughput_mbps(&d, 2, 1.0, c);
+        let two = TimingModel::throughput_mbps(&d, 2, 2.0, c);
+        assert!((two / one - 2.0).abs() < 1e-9);
+    }
+}

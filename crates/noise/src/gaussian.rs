@@ -1,0 +1,173 @@
+//! Gaussian sampling without external distribution crates.
+//!
+//! Thermal-noise jitter is Gaussian to an excellent approximation (central
+//! limit theorem over many independent scattering events; Hajimiri JSSC'99),
+//! so a fast normal sampler is the workhorse of the whole noise substrate.
+//! We use the Marsaglia polar method with a cached spare, which needs only
+//! a uniform source and `ln`/`sqrt`.
+
+use crate::rng::NoiseRng;
+
+/// A normal distribution `N(mean, sigma^2)` sampler.
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_noise::{Gaussian, NoiseRng};
+///
+/// let mut rng = NoiseRng::seed_from_u64(1);
+/// let mut g = Gaussian::new(0.0, 2.0);
+/// let x = g.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gaussian {
+    mean: f64,
+    sigma: f64,
+    spare: Option<f64>,
+}
+
+impl Gaussian {
+    /// Creates a sampler with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(mean: f64, sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be finite and non-negative, got {sigma}"
+        );
+        assert!(mean.is_finite(), "mean must be finite, got {mean}");
+        Self {
+            mean,
+            sigma,
+            spare: None,
+        }
+    }
+
+    /// Creates a standard normal `N(0, 1)` sampler.
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The configured standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one sample.
+    pub fn sample(&mut self, rng: &mut NoiseRng) -> f64 {
+        self.mean + self.sigma * self.sample_standard(rng)
+    }
+
+    /// Draws one standard-normal sample (Marsaglia polar method).
+    fn sample_standard(&mut self, rng: &mut NoiseRng) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u = 2.0 * rng.uniform() - 1.0;
+            let v = 2.0 * rng.uniform() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+}
+
+/// Draws a single `N(0, sigma^2)` sample without constructing a sampler.
+///
+/// Convenient for call sites that draw with a different sigma every time
+/// (e.g. per-edge jitter whose sigma depends on the elapsed interval).
+pub fn sample_normal(rng: &mut NoiseRng, sigma: f64) -> f64 {
+    debug_assert!(sigma >= 0.0);
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    // Polar method, no spare caching (sigma changes between calls).
+    loop {
+        let u = 2.0 * rng.uniform() - 1.0;
+        let v = 2.0 * rng.uniform() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return sigma * u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = NoiseRng::seed_from_u64(11);
+        let mut g = Gaussian::standard();
+        let samples: Vec<f64> = (0..200_000).map(|_| g.sample(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var = {var}");
+    }
+
+    #[test]
+    fn scaled_normal_moments() {
+        let mut rng = NoiseRng::seed_from_u64(12);
+        let mut g = Gaussian::new(5.0, 3.0);
+        let samples: Vec<f64> = (0..200_000).map(|_| g.sample(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 5.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var = {var}");
+    }
+
+    #[test]
+    fn zero_sigma_is_constant() {
+        let mut rng = NoiseRng::seed_from_u64(13);
+        let mut g = Gaussian::new(2.5, 0.0);
+        for _ in 0..10 {
+            assert_eq!(g.sample(&mut rng), 2.5);
+        }
+        assert_eq!(sample_normal(&mut rng, 0.0), 0.0);
+    }
+
+    #[test]
+    fn tail_mass_is_gaussian() {
+        // P(|Z| > 2) ~ 0.0455 for a true normal.
+        let mut rng = NoiseRng::seed_from_u64(14);
+        let mut g = Gaussian::standard();
+        let n = 200_000;
+        let tail = (0..n).filter(|_| g.sample(&mut rng).abs() > 2.0).count();
+        let frac = tail as f64 / n as f64;
+        assert!((frac - 0.0455).abs() < 0.005, "tail fraction = {frac}");
+    }
+
+    #[test]
+    fn one_shot_matches_sampler_statistics() {
+        let mut rng = NoiseRng::seed_from_u64(15);
+        let samples: Vec<f64> = (0..100_000).map(|_| sample_normal(&mut rng, 2.0)).collect();
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.05);
+        assert!((var - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be finite")]
+    fn negative_sigma_panics() {
+        let _ = Gaussian::new(0.0, -1.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Ring-oscillator jitter model (paper §2.1).
+//!
+//! A free-running ring oscillator accumulates timing uncertainty ("jitter")
+//! on every transition. Following the standard decomposition used by the
+//! phase-noise literature the paper builds on (Hajimiri JSSC'99, paper
+//! Eq. 1), the variance of the accumulated jitter over an observation
+//! interval `tau` is
+//!
+//! ```text
+//! sigma^2(tau) = white * tau + flicker * tau^2
+//! ```
+//!
+//! * the **white** (thermal) term grows linearly in `tau` — a random walk of
+//!   independent per-edge perturbations;
+//! * the **flicker** (1/f) term grows quadratically — slow correlated drift
+//!   of the stage delays.
+//!
+//! The TRNG's entropy-per-sample is governed by how much of the oscillator
+//! period is covered by the jitter uncertainty window when the sampler
+//! fires: [`JitterModel::edge_hit_probability`] exposes exactly that
+//! quantity (the `2*a*w_i / T_ro_i` term of the paper's Eq. 5).
+
+use crate::gaussian::sample_normal;
+use crate::rng::NoiseRng;
+
+/// Stochastic jitter model of one free-running ring oscillator.
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_noise::JitterModel;
+///
+/// // A 500 MHz ring (2 ns period) with FPGA-typical jitter.
+/// let j = JitterModel::fpga_ring_oscillator(2.0e-9);
+/// // White-noise jitter accumulates as sqrt(tau): quadrupling the interval
+/// // doubles the RMS jitter (while flicker is still negligible).
+/// let s1 = j.accumulated_sigma(2.0e-9);
+/// let s4 = j.accumulated_sigma(8.0e-9);
+/// assert!((s4 / s1 - 2.0).abs() < 0.3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JitterModel {
+    /// Oscillation period `T0` in seconds.
+    period: f64,
+    /// White-noise coefficient: variance seconds^2 per second of interval.
+    white: f64,
+    /// Flicker-noise coefficient: variance seconds^2 per second^2.
+    flicker: f64,
+}
+
+/// Fraction of the period taken by the per-period RMS jitter of a typical
+/// FPGA ring oscillator at the nominal corner (0.7 %; within the 0.1–1 %
+/// band reported for LUT-based rings in the TRNG literature).
+pub const FPGA_PER_PERIOD_JITTER_FRACTION: f64 = 0.007;
+
+/// Observation interval, in units of the period, at which flicker noise
+/// starts to dominate white noise for an FPGA ring oscillator.
+pub const FPGA_FLICKER_CORNER_PERIODS: f64 = 30.0;
+
+impl JitterModel {
+    /// Creates a model from explicit coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive or any coefficient is
+    /// negative.
+    pub fn new(period: f64, white: f64, flicker: f64) -> Self {
+        assert!(period > 0.0, "period must be positive, got {period}");
+        assert!(white >= 0.0, "white coefficient must be >= 0");
+        assert!(flicker >= 0.0, "flicker coefficient must be >= 0");
+        Self {
+            period,
+            white,
+            flicker,
+        }
+    }
+
+    /// Preset for a LUT-based FPGA ring oscillator of the given period.
+    ///
+    /// Per-period RMS jitter is [`FPGA_PER_PERIOD_JITTER_FRACTION`] of the
+    /// period; the flicker corner sits at [`FPGA_FLICKER_CORNER_PERIODS`]
+    /// periods, the regime relevant to the paper's 100 MHz–620 MHz sampling
+    /// clocks.
+    pub fn fpga_ring_oscillator(period: f64) -> Self {
+        let sigma0 = FPGA_PER_PERIOD_JITTER_FRACTION * period;
+        // sigma^2(T0) = white * T0  =>  white = sigma0^2 / T0.
+        let white = sigma0 * sigma0 / period;
+        // Flicker equals white at tau_c = corner * T0: flicker = white / tau_c.
+        let flicker = white / (FPGA_FLICKER_CORNER_PERIODS * period);
+        Self::new(period, white, flicker)
+    }
+
+    /// Returns a copy with all noise scaled by `factor` in RMS terms
+    /// (variance scales by `factor^2`). Used by the PVT model.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "scale factor must be >= 0");
+        Self {
+            period: self.period,
+            white: self.white * factor * factor,
+            flicker: self.flicker * factor * factor,
+        }
+    }
+
+    /// Returns a copy with the period replaced (noise coefficients kept).
+    #[must_use]
+    pub fn with_period(&self, period: f64) -> Self {
+        Self::new(period, self.white, self.flicker)
+    }
+
+    /// The oscillation period `T0` in seconds.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// The white-noise coefficient (variance per second).
+    pub fn white_coefficient(&self) -> f64 {
+        self.white
+    }
+
+    /// The flicker-noise coefficient (variance per second squared).
+    pub fn flicker_coefficient(&self) -> f64 {
+        self.flicker
+    }
+
+    /// RMS of the jitter accumulated over an interval of `tau` seconds.
+    pub fn accumulated_sigma(&self, tau: f64) -> f64 {
+        assert!(tau >= 0.0, "interval must be >= 0, got {tau}");
+        (self.white * tau + self.flicker * tau * tau).sqrt()
+    }
+
+    /// RMS period jitter (accumulated over exactly one period).
+    pub fn per_period_sigma(&self) -> f64 {
+        self.accumulated_sigma(self.period)
+    }
+
+    /// Draws the jitter (seconds, signed) accumulated over `tau` seconds.
+    pub fn sample_accumulated(&self, tau: f64, rng: &mut NoiseRng) -> f64 {
+        sample_normal(rng, self.accumulated_sigma(tau))
+    }
+
+    /// Probability that a sample taken at a uniformly random phase, after
+    /// the oscillator free-ran for `tau` seconds, lands inside the jitter
+    /// uncertainty window of one of the two edges per period.
+    ///
+    /// This is the "randomness quantified from jitter" term of the paper's
+    /// Eq. 5 (`2 a w_i / T_ro_i`): each edge carries an uncertainty window
+    /// of width `2 * sigma(tau)` (± one RMS), there are two edges per
+    /// period, and the result is clamped to 1 once the windows cover the
+    /// whole period.
+    pub fn edge_hit_probability(&self, tau: f64) -> f64 {
+        let window = 2.0 * self.accumulated_sigma(tau);
+        (2.0 * window / self.period).min(1.0)
+    }
+
+    /// The interval at which flicker and white contributions are equal.
+    pub fn flicker_corner(&self) -> f64 {
+        if self.flicker == 0.0 {
+            f64::INFINITY
+        } else {
+            self.white / self.flicker
+        }
+    }
+}
+
+/// Slowly-wandering per-ring delay offset implementing the flicker (1/f)
+/// component for the event-driven simulator.
+///
+/// Per-edge Gaussian draws can only realise the white component; flicker
+/// requires correlation across edges. We model it as an Ornstein–Uhlenbeck
+/// random walk of the ring's mean stage delay: `step()` advances the state
+/// by one edge and returns the current offset in seconds.
+#[derive(Debug, Clone)]
+pub struct FlickerWalk {
+    /// Current delay offset in seconds.
+    offset: f64,
+    /// Per-step kick RMS in seconds.
+    kick_sigma: f64,
+    /// Mean-reversion factor per step, in `(0, 1]`.
+    reversion: f64,
+}
+
+impl FlickerWalk {
+    /// Creates a walk whose stationary RMS is `stationary_sigma` seconds and
+    /// whose correlation time is `correlation_steps` edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stationary_sigma < 0` or `correlation_steps < 1.0`.
+    pub fn new(stationary_sigma: f64, correlation_steps: f64) -> Self {
+        assert!(stationary_sigma >= 0.0);
+        assert!(correlation_steps >= 1.0);
+        let reversion = 1.0 / correlation_steps;
+        // OU stationary variance = kick^2 / (2*reversion - reversion^2)
+        //   => kick = stationary_sigma * sqrt(reversion * (2 - reversion)).
+        let kick_sigma = stationary_sigma * (reversion * (2.0 - reversion)).sqrt();
+        Self {
+            offset: 0.0,
+            kick_sigma,
+            reversion,
+        }
+    }
+
+    /// Advances the walk one edge and returns the current offset (seconds).
+    pub fn step(&mut self, rng: &mut NoiseRng) -> f64 {
+        self.offset = (1.0 - self.reversion) * self.offset
+            + sample_normal(rng, self.kick_sigma);
+        self.offset
+    }
+
+    /// The current offset without advancing.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn white_only_scales_as_sqrt_tau() {
+        let j = JitterModel::new(2.0e-9, 1.0e-22, 0.0);
+        let s1 = j.accumulated_sigma(1.0e-9);
+        let s4 = j.accumulated_sigma(4.0e-9);
+        assert!((s4 / s1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flicker_only_scales_as_tau() {
+        let j = JitterModel::new(2.0e-9, 0.0, 1.0e-6);
+        let s1 = j.accumulated_sigma(1.0e-9);
+        let s2 = j.accumulated_sigma(2.0e-9);
+        assert!((s2 / s1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preset_per_period_fraction() {
+        let period = 2.0e-9;
+        let j = JitterModel::fpga_ring_oscillator(period);
+        let frac = j.per_period_sigma() / period;
+        // Slightly above the white-only 0.7% because flicker adds a little.
+        assert!(frac >= FPGA_PER_PERIOD_JITTER_FRACTION);
+        assert!(frac < 1.2 * FPGA_PER_PERIOD_JITTER_FRACTION);
+    }
+
+    #[test]
+    fn flicker_corner_matches_preset() {
+        let period = 1.0e-9;
+        let j = JitterModel::fpga_ring_oscillator(period);
+        let corner = j.flicker_corner();
+        assert!((corner / (FPGA_FLICKER_CORNER_PERIODS * period) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_hit_probability_monotone_and_clamped() {
+        let j = JitterModel::fpga_ring_oscillator(2.0e-9);
+        let mut prev = 0.0;
+        for k in 1..2000 {
+            let tau = k as f64 * 1.0e-9;
+            let p = j.edge_hit_probability(tau);
+            assert!(p >= prev);
+            assert!(p <= 1.0);
+            prev = p;
+        }
+        // Long enough accumulation saturates coverage at 1.
+        assert_eq!(j.edge_hit_probability(1.0), 1.0);
+    }
+
+    #[test]
+    fn scaled_noise_scales_sigma_linearly() {
+        let j = JitterModel::fpga_ring_oscillator(2.0e-9);
+        let k = j.scaled(1.5);
+        let tau = 10.0e-9;
+        assert!((k.accumulated_sigma(tau) / j.accumulated_sigma(tau) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_accumulated_matches_sigma() {
+        let j = JitterModel::fpga_ring_oscillator(2.0e-9);
+        let mut rng = NoiseRng::seed_from_u64(21);
+        let tau = 10.0e-9;
+        let sigma = j.accumulated_sigma(tau);
+        let n = 100_000;
+        let var: f64 = (0..n)
+            .map(|_| {
+                let x = j.sample_accumulated(tau, &mut rng);
+                x * x
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((var.sqrt() / sigma - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn flicker_walk_stationary_rms() {
+        let sigma = 5.0e-12;
+        let mut walk = FlickerWalk::new(sigma, 50.0);
+        let mut rng = NoiseRng::seed_from_u64(22);
+        // Burn-in, then measure.
+        for _ in 0..10_000 {
+            walk.step(&mut rng);
+        }
+        let n = 200_000;
+        let var: f64 = (0..n)
+            .map(|_| {
+                let x = walk.step(&mut rng);
+                x * x
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (var.sqrt() / sigma - 1.0).abs() < 0.1,
+            "rms = {}, expected {}",
+            var.sqrt(),
+            sigma
+        );
+    }
+
+    #[test]
+    fn flicker_walk_is_correlated() {
+        let mut walk = FlickerWalk::new(1.0e-12, 100.0);
+        let mut rng = NoiseRng::seed_from_u64(23);
+        for _ in 0..1000 {
+            walk.step(&mut rng);
+        }
+        // Adjacent steps should be highly correlated for a 100-step
+        // correlation time.
+        let mut xs = Vec::new();
+        for _ in 0..50_000 {
+            xs.push(walk.step(&mut rng));
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>();
+        let cov: f64 = xs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>();
+        let rho = cov / var;
+        assert!(rho > 0.9, "lag-1 autocorrelation = {rho}");
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = JitterModel::new(0.0, 1.0, 1.0);
+    }
+}

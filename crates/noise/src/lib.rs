@@ -1,0 +1,56 @@
+//! Stochastic substrate for the DH-TRNG reproduction.
+//!
+//! The DH-TRNG paper (DAC 2024) extracts randomness from two analog
+//! phenomena that do not exist in software:
+//!
+//! * **oscillation jitter** — phase noise of free-running ring oscillators
+//!   caused by thermal/flicker noise (paper §2.1, Eq. 1, Hajimiri JSSC'99);
+//! * **sampling metastability** — unpredictable resolution of a flip-flop
+//!   whose data input violates setup/hold timing (paper §2.2, Eq. 2,
+//!   Majzoobi CHES'11).
+//!
+//! This crate provides faithful *stochastic models* of both, plus the
+//! process/voltage/temperature (PVT) environment the paper sweeps in its
+//! Figure 9 experiment. Every model is driven by a seedable RNG so that all
+//! experiments in the workspace are reproducible bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use dhtrng_noise::{JitterModel, MetastabilityModel, NoiseRng, PvtCorner};
+//!
+//! let mut rng = NoiseRng::seed_from_u64(7);
+//! // Accumulated RMS jitter of a 500 MHz oscillator observed over 10 ns.
+//! let jitter = JitterModel::fpga_ring_oscillator(2.0e-9);
+//! let sigma = jitter.accumulated_sigma(10.0e-9);
+//! assert!(sigma > 0.0);
+//!
+//! // Probability that a flip-flop sampling 5 ps after the data edge
+//! // resolves to the new value.
+//! let meta = MetastabilityModel::new(25.0e-12);
+//! let p = meta.prob_new_value(5.0e-12);
+//! assert!(p > 0.5 && p < 1.0);
+//!
+//! // The nominal corner of the paper's PVT sweep (20 °C, 1.0 V).
+//! let corner = PvtCorner::nominal();
+//! assert_eq!(corner.temp_c, 20.0);
+//! let _bit = meta.resolve(0.0, &mut rng);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gaussian;
+pub mod jitter;
+pub mod math;
+pub mod metastability;
+pub mod phase_noise;
+pub mod pvt;
+pub mod rng;
+
+pub use gaussian::Gaussian;
+pub use jitter::JitterModel;
+pub use metastability::MetastabilityModel;
+pub use phase_noise::{HajimiriConstants, PhaseNoiseModel};
+pub use pvt::{ProcessParams, PvtCorner, PvtFactors};
+pub use rng::NoiseRng;

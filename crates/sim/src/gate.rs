@@ -1,0 +1,178 @@
+//! Combinational gate primitives.
+//!
+//! These are the cell types the DH-TRNG maps to FPGA LUTs and slice MUXes
+//! (paper §3.3): inverters/buffers for ring stages, NANDs for ring enables,
+//! XORs for the coupling rings and sampling tree, and the 2:1 MUX that
+//! implements RO2's dynamic loop switching.
+
+use crate::level::Level;
+
+/// The combinational cell types supported by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Inverter (1 input).
+    Inv,
+    /// Non-inverting buffer (1 input; models routing delay).
+    Buf,
+    /// 2-input AND.
+    And2,
+    /// 2-input NAND (ring-enable gate).
+    Nand2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR (coupling rings, output tree).
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer; inputs are `[sel, in0, in1]` (RO2 loop switch).
+    Mux2,
+    /// N-input XOR tree (sampling array reduction); at least 2 inputs.
+    XorN,
+}
+
+impl GateKind {
+    /// Number of inputs this gate expects, or `None` for variadic gates.
+    pub fn arity(self) -> Option<usize> {
+        match self {
+            GateKind::Inv | GateKind::Buf => Some(1),
+            GateKind::And2
+            | GateKind::Nand2
+            | GateKind::Or2
+            | GateKind::Nor2
+            | GateKind::Xor2
+            | GateKind::Xnor2 => Some(2),
+            GateKind::Mux2 => Some(3),
+            GateKind::XorN => None,
+        }
+    }
+
+    /// Evaluates the gate over the given input levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match [`GateKind::arity`] (or is
+    /// less than 2 for [`GateKind::XorN`]).
+    pub fn eval(self, inputs: &[Level]) -> Level {
+        if let Some(n) = self.arity() {
+            assert_eq!(
+                inputs.len(),
+                n,
+                "{self:?} expects {n} inputs, got {}",
+                inputs.len()
+            );
+        } else {
+            assert!(
+                inputs.len() >= 2,
+                "{self:?} expects at least 2 inputs, got {}",
+                inputs.len()
+            );
+        }
+        match self {
+            GateKind::Inv => inputs[0].not(),
+            GateKind::Buf => inputs[0],
+            GateKind::And2 => inputs[0].and(inputs[1]),
+            GateKind::Nand2 => inputs[0].and(inputs[1]).not(),
+            GateKind::Or2 => inputs[0].or(inputs[1]),
+            GateKind::Nor2 => inputs[0].or(inputs[1]).not(),
+            GateKind::Xor2 => inputs[0].xor(inputs[1]),
+            GateKind::Xnor2 => inputs[0].xor(inputs[1]).not(),
+            GateKind::Mux2 => Level::mux(inputs[0], inputs[1], inputs[2]),
+            GateKind::XorN => inputs.iter().copied().fold(Level::Low, Level::xor),
+        }
+    }
+
+    /// Whether this cell maps to an FPGA LUT (vs a dedicated slice MUX).
+    ///
+    /// Used by the resource-counting bridge to `dhtrng-fpga`: the paper
+    /// counts LUTs and slice MUXes separately (23 LUTs + 4 MUXes).
+    pub fn is_lut(self) -> bool {
+        !matches!(self, GateKind::Mux2)
+    }
+}
+
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            GateKind::Inv => "INV",
+            GateKind::Buf => "BUF",
+            GateKind::And2 => "AND2",
+            GateKind::Nand2 => "NAND2",
+            GateKind::Or2 => "OR2",
+            GateKind::Nor2 => "NOR2",
+            GateKind::Xor2 => "XOR2",
+            GateKind::Xnor2 => "XNOR2",
+            GateKind::Mux2 => "MUX2",
+            GateKind::XorN => "XORN",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Level::{High, Low, Unknown};
+
+    #[test]
+    fn truth_tables_defined_inputs() {
+        let cases: &[(GateKind, &[Level], Level)] = &[
+            (GateKind::Inv, &[Low], High),
+            (GateKind::Inv, &[High], Low),
+            (GateKind::Buf, &[High], High),
+            (GateKind::And2, &[High, High], High),
+            (GateKind::And2, &[High, Low], Low),
+            (GateKind::Nand2, &[High, High], Low),
+            (GateKind::Nand2, &[Low, High], High),
+            (GateKind::Or2, &[Low, Low], Low),
+            (GateKind::Or2, &[Low, High], High),
+            (GateKind::Nor2, &[Low, Low], High),
+            (GateKind::Xor2, &[High, Low], High),
+            (GateKind::Xor2, &[High, High], Low),
+            (GateKind::Xnor2, &[High, High], High),
+            (GateKind::Mux2, &[Low, High, Low], High),
+            (GateKind::Mux2, &[High, High, Low], Low),
+        ];
+        for (kind, inputs, expected) in cases {
+            assert_eq!(kind.eval(inputs), *expected, "{kind:?} {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn nand_enable_forces_defined_output() {
+        // The ring-enable property: NAND with a low enable defines the
+        // output even when the loop input is X.
+        assert_eq!(GateKind::Nand2.eval(&[Low, Unknown]), High);
+    }
+
+    #[test]
+    fn xorn_parity() {
+        let inputs = [High, Low, High, High];
+        assert_eq!(GateKind::XorN.eval(&inputs), High); // parity of 3 ones
+        let inputs = [High, High, Low, Low];
+        assert_eq!(GateKind::XorN.eval(&inputs), Low);
+        let with_x = [High, Unknown, Low];
+        assert_eq!(GateKind::XorN.eval(&with_x), Unknown);
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert_eq!(GateKind::Inv.arity(), Some(1));
+        assert_eq!(GateKind::Mux2.arity(), Some(3));
+        assert_eq!(GateKind::XorN.arity(), None);
+    }
+
+    #[test]
+    fn lut_classification() {
+        assert!(GateKind::Inv.is_lut());
+        assert!(GateKind::Xor2.is_lut());
+        assert!(!GateKind::Mux2.is_lut());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn wrong_arity_panics() {
+        let _ = GateKind::And2.eval(&[High]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Three-valued logic levels with X-propagation.
+//!
+//! Before a circuit is enabled its feedback nets have no defined value;
+//! `Unknown` propagates through gates exactly as in an HDL simulator until
+//! a controlling input (e.g. the enable of a NAND) forces a defined level.
+//! The DH-TRNG's enable signal does precisely this: with `En = 0` every
+//! ring settles to a defined state, and entropy extraction starts when
+//! `En` rises.
+
+/// A digital logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Level {
+    /// Logic 0.
+    Low,
+    /// Logic 1.
+    High,
+    /// Undefined / uninitialised (HDL `X`).
+    #[default]
+    Unknown,
+}
+
+impl Level {
+    /// Converts to a `bool`, if defined.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Level::Low => Some(false),
+            Level::High => Some(true),
+            Level::Unknown => None,
+        }
+    }
+
+    /// Whether the level is defined (not `Unknown`).
+    pub fn is_defined(self) -> bool {
+        self != Level::Unknown
+    }
+
+    /// Logical NOT with X-propagation.
+    pub fn not(self) -> Level {
+        match self {
+            Level::Low => Level::High,
+            Level::High => Level::Low,
+            Level::Unknown => Level::Unknown,
+        }
+    }
+
+    /// Logical AND with X-propagation (`0 AND x = 0`).
+    pub fn and(self, rhs: Level) -> Level {
+        match (self, rhs) {
+            (Level::Low, _) | (_, Level::Low) => Level::Low,
+            (Level::High, Level::High) => Level::High,
+            _ => Level::Unknown,
+        }
+    }
+
+    /// Logical OR with X-propagation (`1 OR x = 1`).
+    pub fn or(self, rhs: Level) -> Level {
+        match (self, rhs) {
+            (Level::High, _) | (_, Level::High) => Level::High,
+            (Level::Low, Level::Low) => Level::Low,
+            _ => Level::Unknown,
+        }
+    }
+
+    /// Logical XOR with X-propagation (any X in, X out).
+    pub fn xor(self, rhs: Level) -> Level {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Level::from(a ^ b),
+            _ => Level::Unknown,
+        }
+    }
+
+    /// 2:1 multiplexer: returns `a` when `sel` is low, `b` when high.
+    ///
+    /// With an undefined select the output is defined only when both data
+    /// inputs agree.
+    pub fn mux(sel: Level, a: Level, b: Level) -> Level {
+        match sel {
+            Level::Low => a,
+            Level::High => b,
+            Level::Unknown => {
+                if a == b {
+                    a
+                } else {
+                    Level::Unknown
+                }
+            }
+        }
+    }
+}
+
+impl From<bool> for Level {
+    fn from(b: bool) -> Self {
+        if b {
+            Level::High
+        } else {
+            Level::Low
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Level::Low => write!(f, "0"),
+            Level::High => write!(f, "1"),
+            Level::Unknown => write!(f, "X"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Level::{High, Low, Unknown};
+
+    #[test]
+    fn not_table() {
+        assert_eq!(Low.not(), High);
+        assert_eq!(High.not(), Low);
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    #[test]
+    fn and_controlling_zero() {
+        assert_eq!(Low.and(Unknown), Low);
+        assert_eq!(Unknown.and(Low), Low);
+        assert_eq!(High.and(High), High);
+        assert_eq!(High.and(Unknown), Unknown);
+    }
+
+    #[test]
+    fn or_controlling_one() {
+        assert_eq!(High.or(Unknown), High);
+        assert_eq!(Unknown.or(High), High);
+        assert_eq!(Low.or(Low), Low);
+        assert_eq!(Low.or(Unknown), Unknown);
+    }
+
+    #[test]
+    fn xor_propagates_x() {
+        assert_eq!(Low.xor(High), High);
+        assert_eq!(High.xor(High), Low);
+        assert_eq!(High.xor(Unknown), Unknown);
+        assert_eq!(Unknown.xor(Unknown), Unknown);
+    }
+
+    #[test]
+    fn mux_select() {
+        assert_eq!(Level::mux(Low, High, Low), High);
+        assert_eq!(Level::mux(High, High, Low), Low);
+        assert_eq!(Level::mux(Unknown, High, High), High);
+        assert_eq!(Level::mux(Unknown, High, Low), Unknown);
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Level::from(true).to_bool(), Some(true));
+        assert_eq!(Level::from(false).to_bool(), Some(false));
+        assert_eq!(Unknown.to_bool(), None);
+        assert!(!Unknown.is_defined());
+        assert!(High.is_defined());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{Low}{High}{Unknown}"), "01X");
+    }
+}

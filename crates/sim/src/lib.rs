@@ -1,0 +1,64 @@
+//! Event-driven gate-level digital circuit simulator.
+//!
+//! This crate is the "FPGA fabric" of the DH-TRNG reproduction: it
+//! simulates the paper's circuits — ring oscillators, MUX-switched loops,
+//! XOR rings, and sampling flip-flops — at the granularity of individual
+//! gate transitions in continuous (femtosecond-resolution) time, with two
+//! analog effects injected from [`dhtrng_noise`]:
+//!
+//! * every gate delay carries a per-event Gaussian **jitter** draw, so free
+//!   running rings accumulate phase noise exactly as the paper's Eq. 1
+//!   models;
+//! * flip-flops whose data input toggles inside the setup/hold window
+//!   resolve **metastably** via the Gaussian-CDF law of the paper's Eq. 2.
+//!
+//! Gates use *inertial* delay semantics: pulses shorter than a gate's
+//! delay are swallowed, which is what makes the DH-TRNG's "holding loop"
+//! lock mid-transition pulses into ambiguous states.
+//!
+//! The simulator is deliberately small (a handful of primitive gates, one
+//! clocked element) but exact about ordering and reproducibility: two runs
+//! with the same netlist and seed produce identical event sequences.
+//!
+//! # Example: an enabled 3-stage ring oscillator
+//!
+//! ```
+//! use dhtrng_noise::NoiseRng;
+//! use dhtrng_sim::{Engine, Femtos, GateKind, Level, Netlist};
+//!
+//! let mut nl = Netlist::new();
+//! let en = nl.add_net("en");
+//! let a = nl.add_net("a");
+//! let b = nl.add_net("b");
+//! let c = nl.add_net("c");
+//! // NAND(en, c) -> a closes the loop; two inverters complete 3 stages.
+//! nl.add_gate(GateKind::Nand2, &[en, c], a, Femtos::from_ps(350.0));
+//! nl.add_gate(GateKind::Inv, &[a], b, Femtos::from_ps(350.0));
+//! nl.add_gate(GateKind::Inv, &[b], c, Femtos::from_ps(350.0));
+//!
+//! let mut engine = Engine::new(nl, NoiseRng::seed_from_u64(1)).unwrap();
+//! engine.drive(en, Femtos::ZERO, Level::Low);     // settle first
+//! engine.drive(en, Femtos::from_ns(5.0), Level::High); // then oscillate
+//! let probe = engine.attach_probe(c);
+//! engine.run_until(Femtos::from_ns(100.0));
+//! let wave = engine.waveform(probe).unwrap();
+//! assert!(wave.rising_edges().count() > 10, "ring must oscillate");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod gate;
+pub mod level;
+pub mod netlist;
+pub mod time;
+pub mod vcd;
+pub mod waveform;
+
+pub use engine::{Engine, EngineStats, ProbeId};
+pub use gate::GateKind;
+pub use level::Level;
+pub use netlist::{DffId, DffSpec, GateId, NetId, Netlist, NetlistError};
+pub use time::Femtos;
+pub use waveform::Waveform;

@@ -1,0 +1,384 @@
+//! Netlist construction and validation.
+//!
+//! A [`Netlist`] is the structural description the engine executes: named
+//! nets, combinational gates with per-gate delay and jitter, and clocked
+//! D flip-flops with setup/hold windows. The DH-TRNG core crate builds its
+//! circuits (Figures 3–5 of the paper) through this API.
+
+use crate::gate::GateKind;
+use crate::level::Level;
+use crate::time::Femtos;
+
+/// Identifier of a net within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+/// Identifier of a combinational gate within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GateId(pub(crate) u32);
+
+/// Identifier of a D flip-flop within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DffId(pub(crate) u32);
+
+impl NetId {
+    /// The raw index (useful for dense per-net tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A named net.
+#[derive(Debug, Clone)]
+pub(crate) struct Net {
+    pub name: String,
+    pub initial: Level,
+}
+
+/// A combinational gate instance.
+#[derive(Debug, Clone)]
+pub(crate) struct Gate {
+    pub kind: GateKind,
+    pub inputs: Vec<NetId>,
+    pub output: NetId,
+    pub delay: Femtos,
+    pub jitter_sigma: Femtos,
+}
+
+/// Default clock-to-Q delay of an FPGA slice flip-flop.
+pub const DFF_CLK_TO_Q: Femtos = Femtos::from_fs(200_000); // 200 ps
+/// Default setup window of an FPGA slice flip-flop.
+pub const DFF_SETUP: Femtos = Femtos::from_fs(50_000); // 50 ps
+/// Default hold window of an FPGA slice flip-flop.
+pub const DFF_HOLD: Femtos = Femtos::from_fs(10_000); // 10 ps
+/// Default metastability resolution sigma (matches
+/// [`dhtrng_noise::metastability::FPGA_DFF_SIGMA`]).
+pub const DFF_META_SIGMA: Femtos = Femtos::from_fs(25_000); // 25 ps
+
+/// A D flip-flop instance: rising-edge triggered, with a setup/hold window
+/// and a metastability resolution parameter.
+#[derive(Debug, Clone)]
+pub struct DffSpec {
+    /// Data input net.
+    pub d: NetId,
+    /// Clock net (rising-edge triggered).
+    pub clk: NetId,
+    /// Output net (must have no other driver).
+    pub q: NetId,
+    /// Clock-to-Q propagation delay.
+    pub clk_to_q: Femtos,
+    /// Setup window: data must be stable this long before the clock edge.
+    pub setup: Femtos,
+    /// Hold window: data must stay stable this long after the clock edge.
+    pub hold: Femtos,
+    /// Metastability resolution sigma (paper Eq. 2).
+    pub meta_sigma: Femtos,
+    /// Power-up value of Q.
+    pub initial_q: Level,
+}
+
+impl DffSpec {
+    /// A flip-flop with FPGA-typical timing (200 ps clk-to-Q, 50 ps setup,
+    /// 10 ps hold, 25 ps metastability sigma, powers up low).
+    pub fn fpga(d: NetId, clk: NetId, q: NetId) -> Self {
+        Self {
+            d,
+            clk,
+            q,
+            clk_to_q: DFF_CLK_TO_Q,
+            setup: DFF_SETUP,
+            hold: DFF_HOLD,
+            meta_sigma: DFF_META_SIGMA,
+            initial_q: Level::Low,
+        }
+    }
+}
+
+/// Structural errors detected by [`Netlist::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net is driven by more than one gate/flip-flop output.
+    MultipleDrivers {
+        /// The over-driven net's name.
+        net: String,
+    },
+    /// A gate or flip-flop references a net that does not exist.
+    UnknownNet {
+        /// The raw id that was out of range.
+        id: u32,
+    },
+    /// A combinational gate was declared with a non-positive delay, which
+    /// would allow zero-time event loops.
+    ZeroDelay {
+        /// The gate's output net name.
+        net: String,
+    },
+}
+
+impl std::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has more than one driver")
+            }
+            NetlistError::UnknownNet { id } => write!(f, "reference to unknown net id {id}"),
+            NetlistError::ZeroDelay { net } => {
+                write!(f, "gate driving `{net}` has zero delay")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// Resource usage of a netlist in FPGA-cell terms.
+///
+/// The bridge to `dhtrng-fpga`: the paper reports its design as 23 LUTs,
+/// 4 MUXes and 14 DFFs (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetlistResources {
+    /// Gates that map to LUTs.
+    pub luts: u32,
+    /// Gates that map to dedicated slice MUXes.
+    pub muxes: u32,
+    /// Flip-flops.
+    pub dffs: u32,
+}
+
+/// A gate-level circuit description.
+///
+/// See the [crate-level example](crate) for typical construction.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    pub(crate) nets: Vec<Net>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) dffs: Vec<DffSpec>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a net. The initial level is `Unknown` (HDL `X`).
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        self.add_net_with_initial(name, Level::Unknown)
+    }
+
+    /// Adds a net with an explicit power-up level.
+    pub fn add_net_with_initial(&mut self, name: impl Into<String>, initial: Level) -> NetId {
+        let id = NetId(u32::try_from(self.nets.len()).expect("too many nets"));
+        self.nets.push(Net {
+            name: name.into(),
+            initial,
+        });
+        id
+    }
+
+    /// Adds a combinational gate with zero jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count does not match the gate's arity.
+    pub fn add_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        output: NetId,
+        delay: Femtos,
+    ) -> GateId {
+        self.add_gate_jittered(kind, inputs, output, delay, Femtos::ZERO)
+    }
+
+    /// Adds a combinational gate whose delay carries Gaussian jitter with
+    /// the given RMS on every evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count does not match the gate's arity.
+    pub fn add_gate_jittered(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        output: NetId,
+        delay: Femtos,
+        jitter_sigma: Femtos,
+    ) -> GateId {
+        if let Some(n) = kind.arity() {
+            assert_eq!(inputs.len(), n, "{kind} expects {n} inputs");
+        } else {
+            assert!(inputs.len() >= 2, "{kind} expects at least 2 inputs");
+        }
+        let id = GateId(u32::try_from(self.gates.len()).expect("too many gates"));
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            delay,
+            jitter_sigma,
+        });
+        id
+    }
+
+    /// Adds a D flip-flop.
+    pub fn add_dff(&mut self, spec: DffSpec) -> DffId {
+        let id = DffId(u32::try_from(self.dffs.len()).expect("too many dffs"));
+        self.dffs.push(spec);
+        id
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of combinational gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of flip-flops.
+    pub fn dff_count(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// The name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to this netlist.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.nets[net.index()].name
+    }
+
+    /// FPGA-cell resource usage (LUT/MUX/DFF counts).
+    pub fn resources(&self) -> NetlistResources {
+        let mut r = NetlistResources::default();
+        for g in &self.gates {
+            if g.kind.is_lut() {
+                r.luts += 1;
+            } else {
+                r.muxes += 1;
+            }
+        }
+        r.dffs = u32::try_from(self.dffs.len()).expect("too many dffs");
+        r
+    }
+
+    /// Checks structural invariants: single driver per net, all net
+    /// references in range, and strictly positive gate delays.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistError`] found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let n = self.nets.len();
+        let check = |id: NetId| -> Result<(), NetlistError> {
+            if id.index() < n {
+                Ok(())
+            } else {
+                Err(NetlistError::UnknownNet { id: id.0 })
+            }
+        };
+        let mut driver_count = vec![0u32; n];
+        for g in &self.gates {
+            for &i in &g.inputs {
+                check(i)?;
+            }
+            check(g.output)?;
+            if g.delay == Femtos::ZERO {
+                return Err(NetlistError::ZeroDelay {
+                    net: self.nets[g.output.index()].name.clone(),
+                });
+            }
+            driver_count[g.output.index()] += 1;
+        }
+        for d in &self.dffs {
+            check(d.d)?;
+            check(d.clk)?;
+            check(d.q)?;
+            driver_count[d.q.index()] += 1;
+        }
+        for (i, &c) in driver_count.iter().enumerate() {
+            if c > 1 {
+                return Err(NetlistError::MultipleDrivers {
+                    net: self.nets[i].name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_count() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let c = nl.add_net("c");
+        let q = nl.add_net("q");
+        let clk = nl.add_net("clk");
+        nl.add_gate(GateKind::Inv, &[a], b, Femtos::from_ps(100.0));
+        nl.add_gate(GateKind::Mux2, &[a, b, c], c, Femtos::from_ps(100.0));
+        nl.add_dff(DffSpec::fpga(b, clk, q));
+        assert_eq!(nl.net_count(), 5);
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.dff_count(), 1);
+        let r = nl.resources();
+        assert_eq!((r.luts, r.muxes, r.dffs), (1, 1, 1));
+        assert_eq!(nl.net_name(a), "a");
+    }
+
+    #[test]
+    fn validate_ok_for_legal_netlist() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_gate(GateKind::Inv, &[a], b, Femtos::from_ps(100.0));
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_multiple_drivers() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_gate(GateKind::Inv, &[a], b, Femtos::from_ps(100.0));
+        nl.add_gate(GateKind::Buf, &[a], b, Femtos::from_ps(100.0));
+        assert_eq!(
+            nl.validate(),
+            Err(NetlistError::MultipleDrivers { net: "b".into() })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_delay() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_gate(GateKind::Inv, &[a], b, Femtos::ZERO);
+        assert_eq!(nl.validate(), Err(NetlistError::ZeroDelay { net: "b".into() }));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = NetlistError::MultipleDrivers { net: "x".into() };
+        assert_eq!(e.to_string(), "net `x` has more than one driver");
+        let e = NetlistError::UnknownNet { id: 7 };
+        assert_eq!(e.to_string(), "reference to unknown net id 7");
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 1 inputs")]
+    fn wrong_arity_panics_at_build() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_gate(GateKind::Inv, &[a, b], a, Femtos::from_ps(1.0));
+    }
+}

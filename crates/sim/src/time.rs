@@ -1,0 +1,221 @@
+//! Simulation time as an integer femtosecond count.
+//!
+//! Integer time makes event ordering exact (no floating-point ties) and a
+//! `u64` femtosecond counter spans ~5.1 hours of simulated time — eight
+//! orders of magnitude beyond what any experiment here needs.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An instant or duration in femtoseconds (`1e-15 s`).
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_sim::Femtos;
+///
+/// let t = Femtos::from_ns(2.0) + Femtos::from_ps(500.0);
+/// assert_eq!(t.as_fs(), 2_500_000);
+/// assert!((t.as_seconds() - 2.5e-9).abs() < 1e-18);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Femtos(u64);
+
+impl Femtos {
+    /// Time zero.
+    pub const ZERO: Femtos = Femtos(0);
+    /// Largest representable time.
+    pub const MAX: Femtos = Femtos(u64::MAX);
+
+    /// Creates a time from a raw femtosecond count.
+    pub const fn from_fs(fs: u64) -> Self {
+        Femtos(fs)
+    }
+
+    /// Creates a time from picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ps` is negative, NaN, or too large to represent.
+    pub fn from_ps(ps: f64) -> Self {
+        Self::from_seconds(ps * 1e-12)
+    }
+
+    /// Creates a time from nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative, NaN, or too large to represent.
+    pub fn from_ns(ns: f64) -> Self {
+        Self::from_seconds(ns * 1e-9)
+    }
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative, NaN, or too large to represent.
+    pub fn from_seconds(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "time must be finite and >= 0, got {s}");
+        let fs = s * 1e15;
+        assert!(fs <= u64::MAX as f64, "time too large: {s} s");
+        Femtos(fs.round() as u64)
+    }
+
+    /// The raw femtosecond count.
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// The time in picoseconds.
+    pub fn as_ps(self) -> f64 {
+        self.0 as f64 * 1e-3
+    }
+
+    /// The time in nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// The time in seconds.
+    pub fn as_seconds(self) -> f64 {
+        self.0 as f64 * 1e-15
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub fn saturating_sub(self, rhs: Femtos) -> Femtos {
+        Femtos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Femtos) -> Option<Femtos> {
+        self.0.checked_add(rhs.0).map(Femtos)
+    }
+
+    /// Multiplies a duration by an integer count.
+    pub fn mul_u64(self, k: u64) -> Femtos {
+        Femtos(self.0.checked_mul(k).expect("time overflow"))
+    }
+
+    /// Scales a duration by a non-negative float (rounds to nearest fs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN.
+    pub fn scale(self, factor: f64) -> Femtos {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and >= 0"
+        );
+        Femtos((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Signed difference in seconds (`self - other`).
+    pub fn signed_delta_seconds(self, other: Femtos) -> f64 {
+        if self.0 >= other.0 {
+            (self.0 - other.0) as f64 * 1e-15
+        } else {
+            -((other.0 - self.0) as f64 * 1e-15)
+        }
+    }
+}
+
+impl Add for Femtos {
+    type Output = Femtos;
+    fn add(self, rhs: Femtos) -> Femtos {
+        Femtos(self.0.checked_add(rhs.0).expect("time overflow"))
+    }
+}
+
+impl AddAssign for Femtos {
+    fn add_assign(&mut self, rhs: Femtos) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Femtos {
+    type Output = Femtos;
+    fn sub(self, rhs: Femtos) -> Femtos {
+        Femtos(self.0.checked_sub(rhs.0).expect("time underflow"))
+    }
+}
+
+impl SubAssign for Femtos {
+    fn sub_assign(&mut self, rhs: Femtos) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Display for Femtos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fs = self.0;
+        if fs >= 1_000_000_000 {
+            write!(f, "{:.3} us", fs as f64 * 1e-9)
+        } else if fs >= 1_000_000 {
+            write!(f, "{:.3} ns", fs as f64 * 1e-6)
+        } else if fs >= 1_000 {
+            write!(f, "{:.3} ps", fs as f64 * 1e-3)
+        } else {
+            write!(f, "{fs} fs")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = Femtos::from_ps(1234.0);
+        assert_eq!(t.as_fs(), 1_234_000);
+        assert!((t.as_ps() - 1234.0).abs() < 1e-9);
+        assert!((t.as_ns() - 1.234).abs() < 1e-12);
+        assert!((Femtos::from_ns(2.5).as_seconds() - 2.5e-9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Femtos::from_fs(100);
+        let b = Femtos::from_fs(30);
+        assert_eq!((a + b).as_fs(), 130);
+        assert_eq!((a - b).as_fs(), 70);
+        assert_eq!(b.saturating_sub(a), Femtos::ZERO);
+        assert_eq!(a.mul_u64(3).as_fs(), 300);
+        assert_eq!(a.scale(0.5).as_fs(), 50);
+    }
+
+    #[test]
+    fn signed_delta() {
+        let a = Femtos::from_fs(100);
+        let b = Femtos::from_fs(130);
+        assert!((a.signed_delta_seconds(b) + 30e-15).abs() < 1e-20);
+        assert!((b.signed_delta_seconds(a) - 30e-15).abs() < 1e-20);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![Femtos::from_fs(5), Femtos::from_fs(1), Femtos::from_fs(3)];
+        v.sort();
+        assert_eq!(v, vec![Femtos::from_fs(1), Femtos::from_fs(3), Femtos::from_fs(5)]);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Femtos::from_fs(12)), "12 fs");
+        assert_eq!(format!("{}", Femtos::from_ps(1.5)), "1.500 ps");
+        assert_eq!(format!("{}", Femtos::from_ns(2.0)), "2.000 ns");
+    }
+
+    #[test]
+    #[should_panic(expected = "time must be finite")]
+    fn negative_time_panics() {
+        let _ = Femtos::from_ns(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time underflow")]
+    fn sub_underflow_panics() {
+        let _ = Femtos::from_fs(1) - Femtos::from_fs(2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Recorded signal traces.
+//!
+//! A [`Waveform`] is the list of `(time, level)` transitions observed on a
+//! probed net, plus the analysis helpers the experiments need: edge
+//! extraction, period/duty statistics, and point sampling. This replaces
+//! the oscilloscope + UART capture path of the paper's Figure 6 platform.
+
+use crate::level::Level;
+use crate::time::Femtos;
+
+/// A recorded trace of one net.
+///
+/// The first entry is the net's value at the moment the probe was
+/// attached; every subsequent entry is a transition.
+#[derive(Debug, Clone, Default)]
+pub struct Waveform {
+    samples: Vec<(Femtos, Level)>,
+}
+
+impl Waveform {
+    /// Creates an empty waveform starting with `initial` at `t0`.
+    pub fn new(t0: Femtos, initial: Level) -> Self {
+        Self {
+            samples: vec![(t0, initial)],
+        }
+    }
+
+    /// Appends a transition (test/tooling constructor; the engine uses
+    /// the crate-internal path).
+    #[doc(hidden)]
+    pub fn record_for_test(&mut self, t: Femtos, level: Level) {
+        self.record(t, level);
+    }
+
+    /// Appends a transition. Called by the engine.
+    pub(crate) fn record(&mut self, t: Femtos, level: Level) {
+        debug_assert!(
+            self.samples.last().map_or(true, |&(pt, _)| pt <= t),
+            "waveform records must be time-ordered"
+        );
+        self.samples.push((t, level));
+    }
+
+    /// All recorded `(time, level)` points, time-ordered.
+    pub fn samples(&self) -> &[(Femtos, Level)] {
+        &self.samples
+    }
+
+    /// Number of recorded transitions (excluding the initial value).
+    pub fn transition_count(&self) -> usize {
+        self.samples.len().saturating_sub(1)
+    }
+
+    /// Times of rising (`-> High` from `Low`) edges.
+    pub fn rising_edges(&self) -> impl Iterator<Item = Femtos> + '_ {
+        self.samples.windows(2).filter_map(|w| {
+            (w[0].1 == Level::Low && w[1].1 == Level::High).then_some(w[1].0)
+        })
+    }
+
+    /// Times of falling (`-> Low` from `High`) edges.
+    pub fn falling_edges(&self) -> impl Iterator<Item = Femtos> + '_ {
+        self.samples.windows(2).filter_map(|w| {
+            (w[0].1 == Level::High && w[1].1 == Level::Low).then_some(w[1].0)
+        })
+    }
+
+    /// The signal level at time `t` (the most recent recorded value at or
+    /// before `t`), or `Level::Unknown` before the first record.
+    pub fn value_at(&self, t: Femtos) -> Level {
+        match self.samples.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(i) => {
+                // Several probes can share a timestamp only via distinct
+                // nets, so an exact hit is unique; take it.
+                self.samples[i].1
+            }
+            Err(0) => Level::Unknown,
+            Err(i) => self.samples[i - 1].1,
+        }
+    }
+
+    /// Mean period estimated from consecutive rising edges, if at least
+    /// two rising edges were recorded.
+    pub fn mean_period(&self) -> Option<Femtos> {
+        let edges: Vec<Femtos> = self.rising_edges().collect();
+        if edges.len() < 2 {
+            return None;
+        }
+        let span = *edges.last().unwrap() - edges[0];
+        Some(Femtos::from_fs(span.as_fs() / (edges.len() as u64 - 1)))
+    }
+
+    /// Sample standard deviation of the rising-edge periods, in seconds.
+    ///
+    /// This is the measured period jitter of an oscillating net.
+    pub fn period_jitter_sigma(&self) -> Option<f64> {
+        let edges: Vec<Femtos> = self.rising_edges().collect();
+        if edges.len() < 3 {
+            return None;
+        }
+        let periods: Vec<f64> = edges
+            .windows(2)
+            .map(|w| w[1].signed_delta_seconds(w[0]))
+            .collect();
+        let n = periods.len() as f64;
+        let mean = periods.iter().sum::<f64>() / n;
+        let var = periods.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / (n - 1.0);
+        Some(var.sqrt())
+    }
+
+    /// Fraction of time spent high between the first record and `until`.
+    pub fn duty_cycle(&self, until: Femtos) -> f64 {
+        let mut high = 0u64;
+        let mut total = 0u64;
+        for w in self.samples.windows(2) {
+            let (t0, v) = w[0];
+            let t1 = w[1].0.min(until);
+            if t1 <= t0 {
+                continue;
+            }
+            let dt = (t1 - t0).as_fs();
+            total += dt;
+            if v == Level::High {
+                high += dt;
+            }
+        }
+        if let Some(&(t_last, v)) = self.samples.last() {
+            if until > t_last {
+                let dt = (until - t_last).as_fs();
+                total += dt;
+                if v == Level::High {
+                    high += dt;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            high as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave() -> Waveform {
+        let mut w = Waveform::new(Femtos::ZERO, Level::Low);
+        w.record(Femtos::from_fs(100), Level::High);
+        w.record(Femtos::from_fs(150), Level::Low);
+        w.record(Femtos::from_fs(200), Level::High);
+        w.record(Femtos::from_fs(250), Level::Low);
+        w.record(Femtos::from_fs(300), Level::High);
+        w
+    }
+
+    #[test]
+    fn edge_extraction() {
+        let w = wave();
+        let rising: Vec<u64> = w.rising_edges().map(Femtos::as_fs).collect();
+        assert_eq!(rising, vec![100, 200, 300]);
+        let falling: Vec<u64> = w.falling_edges().map(Femtos::as_fs).collect();
+        assert_eq!(falling, vec![150, 250]);
+        assert_eq!(w.transition_count(), 5);
+    }
+
+    #[test]
+    fn value_at_times() {
+        let w = wave();
+        assert_eq!(w.value_at(Femtos::from_fs(0)), Level::Low);
+        assert_eq!(w.value_at(Femtos::from_fs(99)), Level::Low);
+        assert_eq!(w.value_at(Femtos::from_fs(100)), Level::High);
+        assert_eq!(w.value_at(Femtos::from_fs(149)), Level::High);
+        assert_eq!(w.value_at(Femtos::from_fs(175)), Level::Low);
+        assert_eq!(w.value_at(Femtos::from_fs(1000)), Level::High);
+    }
+
+    #[test]
+    fn mean_period_of_regular_wave() {
+        let w = wave();
+        assert_eq!(w.mean_period(), Some(Femtos::from_fs(100)));
+    }
+
+    #[test]
+    fn period_jitter_of_regular_wave_is_zero() {
+        let w = wave();
+        assert!(w.period_jitter_sigma().unwrap() < 1e-18);
+    }
+
+    #[test]
+    fn duty_cycle_half() {
+        let w = wave();
+        let d = w.duty_cycle(Femtos::from_fs(300));
+        // High during [100,150), [200,250): 100 fs of 300 fs.
+        assert!((d - 100.0 / 300.0).abs() < 1e-12, "duty = {d}");
+    }
+
+    #[test]
+    fn duty_cycle_extends_last_value() {
+        let w = wave();
+        let d = w.duty_cycle(Femtos::from_fs(400));
+        // Additional 100 fs high after the last record.
+        assert!((d - 200.0 / 400.0).abs() < 1e-12, "duty = {d}");
+    }
+
+    #[test]
+    fn empty_window_duty_is_zero() {
+        let w = Waveform::new(Femtos::ZERO, Level::High);
+        assert_eq!(w.duty_cycle(Femtos::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,578 @@
+//! BSI AIS-31 statistical tests T0–T8 (paper Table 5).
+//!
+//! Implements the nine tests of the AIS 20/31 methodology in their
+//! functional form:
+//!
+//! * **Procedure A** — T0 (disjointness) once, then T1–T5 (the FIPS-style
+//!   battery plus autocorrelation) over consecutive 20 000-bit samples;
+//! * **Procedure B** — T6 (uniform distribution, two parameterisations),
+//!   T7 (comparative multinomial/homogeneity), T8 (Coron's entropy test).
+//!
+//! T7 is implemented as a two-sample chi-square homogeneity test over
+//! disjoint 2-bit words (the BSI reference evaluates transition
+//! distributions; the homogeneity form detects the same defects and is
+//! documented as a simplification in `DESIGN.md`).
+
+use crate::bits::BitBuffer;
+
+/// Bits per T1–T5 sample.
+pub const SAMPLE_BITS: usize = 20_000;
+/// Words checked by T0.
+pub const T0_WORDS: usize = 1 << 16;
+/// Bits per T0 word.
+pub const T0_WORD_BITS: usize = 48;
+
+/// T0 — disjointness test: 2^16 consecutive 48-bit words must all be
+/// distinct.
+///
+/// # Panics
+///
+/// Panics if fewer than `2^16 * 48` bits are supplied.
+pub fn t0_disjointness(bits: &BitBuffer) -> bool {
+    assert!(
+        bits.len() >= T0_WORDS * T0_WORD_BITS,
+        "T0 needs {} bits",
+        T0_WORDS * T0_WORD_BITS
+    );
+    let mut words: Vec<u64> = (0..T0_WORDS)
+        .map(|i| bits.window(i * T0_WORD_BITS, T0_WORD_BITS))
+        .collect();
+    words.sort_unstable();
+    words.windows(2).all(|w| w[0] != w[1])
+}
+
+/// T1 — monobit test on one 20 000-bit sample: `9654 < ones < 10346`.
+pub fn t1_monobit(sample: &BitBuffer) -> bool {
+    assert_eq!(sample.len(), SAMPLE_BITS, "T1 sample must be 20000 bits");
+    let ones = sample.ones();
+    ones > 9654 && ones < 10346
+}
+
+/// T2 — poker test (4-bit words): `1.03 < X < 57.4`.
+pub fn t2_poker(sample: &BitBuffer) -> bool {
+    assert_eq!(sample.len(), SAMPLE_BITS, "T2 sample must be 20000 bits");
+    let mut f = [0u64; 16];
+    for i in 0..SAMPLE_BITS / 4 {
+        f[sample.window(i * 4, 4) as usize] += 1;
+    }
+    let sum_sq: u64 = f.iter().map(|&c| c * c).sum();
+    let x = 16.0 / 5000.0 * sum_sq as f64 - 5000.0;
+    x > 1.03 && x < 57.4
+}
+
+/// Permitted run-count intervals for T3, runs of length 1..=5 and >= 6.
+const T3_INTERVALS: [(u64, u64); 6] = [
+    (2267, 2733),
+    (1079, 1421),
+    (502, 748),
+    (223, 402),
+    (90, 223),
+    (90, 223),
+];
+
+/// T3 — runs test: counts of 0-runs and 1-runs of each length must fall
+/// in the prescribed intervals.
+pub fn t3_runs(sample: &BitBuffer) -> bool {
+    assert_eq!(sample.len(), SAMPLE_BITS, "T3 sample must be 20000 bits");
+    let mut counts = [[0u64; 6]; 2]; // [bit][length bin]
+    let mut run_val = sample.bit(0);
+    let mut run_len = 1usize;
+    for i in 1..SAMPLE_BITS {
+        if sample.bit(i) == run_val {
+            run_len += 1;
+        } else {
+            counts[usize::from(run_val)][run_len.min(6) - 1] += 1;
+            run_val = sample.bit(i);
+            run_len = 1;
+        }
+    }
+    counts[usize::from(run_val)][run_len.min(6) - 1] += 1;
+    for bit in 0..2 {
+        for (len, &(lo, hi)) in T3_INTERVALS.iter().enumerate() {
+            let c = counts[bit][len];
+            if c < lo || c > hi {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// T4 — long run test: no run of length >= 34.
+pub fn t4_long_run(sample: &BitBuffer) -> bool {
+    assert_eq!(sample.len(), SAMPLE_BITS, "T4 sample must be 20000 bits");
+    let mut run = 1usize;
+    for i in 1..SAMPLE_BITS {
+        if sample.bit(i) == sample.bit(i - 1) {
+            run += 1;
+            if run >= 34 {
+                return false;
+            }
+        } else {
+            run = 1;
+        }
+    }
+    true
+}
+
+/// T5 — autocorrelation test: pick the worst shift on the first half,
+/// verify it on the second half (`2326 < Z < 2674`).
+pub fn t5_autocorrelation(sample: &BitBuffer) -> bool {
+    assert_eq!(sample.len(), SAMPLE_BITS, "T5 sample must be 20000 bits");
+    // Phase 1: worst tau over the first 10000 bits (word-parallel
+    // XOR/popcount keeps the 5000-tau search fast).
+    let z = |offset: usize, tau: usize| -> u64 {
+        sample.xor_distance(offset, offset + tau, 5000) as u64
+    };
+    let mut worst_tau = 1;
+    let mut worst_dev = 0i64;
+    for tau in 1..=5000 {
+        let dev = (z(0, tau) as i64 - 2500).abs();
+        if dev > worst_dev {
+            worst_dev = dev;
+            worst_tau = tau;
+        }
+    }
+    // Phase 2: fresh data.
+    let zt = z(10_000, worst_tau);
+    zt > 2326 && zt < 2674
+}
+
+/// T6 — uniform distribution test with parameters `(k, n, a)`: all
+/// empirical k-bit word probabilities within `2^-k ± a`.
+///
+/// # Panics
+///
+/// Panics if fewer than `n * k` bits are supplied.
+pub fn t6_uniform(bits: &BitBuffer, k: usize, n: usize, a: f64) -> bool {
+    assert!(bits.len() >= n * k, "T6 needs {} bits", n * k);
+    let mut counts = vec![0u64; 1 << k];
+    for i in 0..n {
+        counts[bits.window(i * k, k) as usize] += 1;
+    }
+    let ideal = 1.0 / (1 << k) as f64;
+    counts
+        .iter()
+        .all(|&c| (c as f64 / n as f64 - ideal).abs() < a)
+}
+
+/// T7 — comparative multinomial (homogeneity) test: chi-square between
+/// the disjoint 2-bit word distributions of the two halves; threshold is
+/// the 99.99th percentile of chi-square with 3 degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if fewer than 8 bits are supplied.
+pub fn t7_homogeneity(bits: &BitBuffer) -> bool {
+    let n_words = bits.len() / 2;
+    assert!(n_words >= 4, "T7 needs at least 8 bits");
+    let half = n_words / 2;
+    let mut a = [0f64; 4];
+    let mut b = [0f64; 4];
+    for i in 0..half {
+        a[bits.window(i * 2, 2) as usize] += 1.0;
+    }
+    for i in half..2 * half {
+        b[bits.window(i * 2, 2) as usize] += 1.0;
+    }
+    let na: f64 = a.iter().sum();
+    let nb: f64 = b.iter().sum();
+    let mut chi2 = 0.0;
+    for v in 0..4 {
+        let pooled = (a[v] + b[v]) / (na + nb);
+        if pooled == 0.0 {
+            continue;
+        }
+        chi2 += (a[v] - na * pooled).powi(2) / (na * pooled)
+            + (b[v] - nb * pooled).powi(2) / (nb * pooled);
+    }
+    // chi2(0.9999, 3) = 21.11.
+    chi2 < 21.11
+}
+
+/// Coron entropy test parameters: word size L, warm-up Q, evaluation K.
+pub const T8_L: usize = 8;
+/// T8 warm-up words.
+pub const T8_Q: usize = 2560;
+/// T8 evaluation words.
+pub const T8_K: usize = 256_000;
+/// T8 pass threshold for L = 8.
+pub const T8_THRESHOLD: f64 = 7.976;
+
+/// T8 — Coron's entropy test. Returns the statistic `f`; the test passes
+/// when `f > 7.976` (for L = 8).
+///
+/// # Panics
+///
+/// Panics if fewer than `(Q + K) * L` bits are supplied.
+pub fn t8_entropy_statistic(bits: &BitBuffer) -> f64 {
+    let need = (T8_Q + T8_K) * T8_L;
+    assert!(bits.len() >= need, "T8 needs {need} bits");
+    // Coron's g(i) = (1/ln 2) * sum_{k=1}^{i-1} 1/k, computed lazily with
+    // a memo table (distances are bounded by Q + K).
+    let mut g_table = vec![0.0f64; 1];
+    let mut harmonic = 0.0f64;
+    let g = |i: usize, table: &mut Vec<f64>, harmonic: &mut f64| -> f64 {
+        while table.len() <= i {
+            let k = table.len();
+            // g(k) needs H_{k-1}: extend the harmonic sum then store.
+            if k >= 2 {
+                *harmonic += 1.0 / (k as f64 - 1.0);
+            }
+            table.push(*harmonic / std::f64::consts::LN_2);
+        }
+        table[i]
+    };
+    let mut last = vec![0usize; 1 << T8_L];
+    for n in 1..=T8_Q {
+        let w = bits.window((n - 1) * T8_L, T8_L) as usize;
+        last[w] = n;
+    }
+    let mut sum = 0.0;
+    for n in (T8_Q + 1)..=(T8_Q + T8_K) {
+        let w = bits.window((n - 1) * T8_L, T8_L) as usize;
+        let dist = if last[w] == 0 { n } else { n - last[w] };
+        last[w] = n;
+        sum += g(dist, &mut g_table, &mut harmonic);
+    }
+    sum / T8_K as f64
+}
+
+/// T8 pass/fail.
+pub fn t8_entropy(bits: &BitBuffer) -> bool {
+    t8_entropy_statistic(bits) > T8_THRESHOLD
+}
+
+/// Pass-rate over the T1–T5 battery applied to consecutive 20 000-bit
+/// samples (the starred rows of the paper's Table 5).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassRate {
+    /// Samples that passed.
+    pub passed: usize,
+    /// Samples tested.
+    pub total: usize,
+}
+
+impl PassRate {
+    /// Pass rate in percent.
+    pub fn percent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.passed as f64 / self.total as f64
+        }
+    }
+
+    /// Whether every sample passed.
+    pub fn all(&self) -> bool {
+        self.passed == self.total && self.total > 0
+    }
+}
+
+impl std::fmt::Display for PassRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.0}%", self.percent())
+    }
+}
+
+/// Full AIS-31 report in the layout of the paper's Table 5.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ais31Report {
+    /// T0 disjointness.
+    pub t0: bool,
+    /// T1 monobit pass rate.
+    pub t1: PassRate,
+    /// T2 poker pass rate.
+    pub t2: PassRate,
+    /// T3 runs pass rate.
+    pub t3: PassRate,
+    /// T4 long-run pass rate.
+    pub t4: PassRate,
+    /// T5 autocorrelation pass rate.
+    pub t5: PassRate,
+    /// T6 uniform distribution (both parameterisations).
+    pub t6: bool,
+    /// T7 multinomial homogeneity.
+    pub t7: bool,
+    /// T8 entropy statistic and outcome.
+    pub t8_statistic: f64,
+    /// T8 pass.
+    pub t8: bool,
+}
+
+impl Ais31Report {
+    /// Whether every row of Table 5 shows a pass.
+    pub fn all_pass(&self) -> bool {
+        self.t0
+            && self.t1.all()
+            && self.t2.all()
+            && self.t3.all()
+            && self.t4.all()
+            && self.t5.all()
+            && self.t6
+            && self.t7
+            && self.t8
+    }
+}
+
+/// Runs the full AIS-31 evaluation the way the paper's Table 5 reports
+/// it: T0 on the head of the stream, T1–T5 on as many 20 000-bit samples
+/// as fit in what follows, and procedure B (T6/T7/T8) on the stream.
+///
+/// The paper collects 7 200 000 bits per device; that supports T0
+/// (3 145 728 bits) plus ~200 T1–T5 samples and the procedure-B tests.
+///
+/// # Panics
+///
+/// Panics if the stream is too short for T0 + one sample + T8.
+pub fn evaluate(bits: &BitBuffer) -> Ais31Report {
+    let t0_bits = T0_WORDS * T0_WORD_BITS;
+    let t8_bits = (T8_Q + T8_K) * T8_L;
+    assert!(
+        bits.len() >= t0_bits + SAMPLE_BITS + t8_bits.max(0),
+        "AIS-31 evaluation needs at least {} bits",
+        t0_bits + SAMPLE_BITS + t8_bits
+    );
+    let t0 = t0_disjointness(bits);
+
+    let mut t1 = PassRate { passed: 0, total: 0 };
+    let mut t2 = t1;
+    let mut t3 = t1;
+    let mut t4 = t1;
+    let mut t5 = t1;
+    let mut offset = t0_bits;
+    while offset + SAMPLE_BITS <= bits.len() {
+        let sample = bits.slice(offset, SAMPLE_BITS);
+        for (rate, pass) in [
+            (&mut t1, t1_monobit(&sample)),
+            (&mut t2, t2_poker(&sample)),
+            (&mut t3, t3_runs(&sample)),
+            (&mut t4, t4_long_run(&sample)),
+            (&mut t5, t5_autocorrelation(&sample)),
+        ] {
+            rate.total += 1;
+            if pass {
+                rate.passed += 1;
+            }
+        }
+        offset += SAMPLE_BITS;
+    }
+
+    let t6 = t6_uniform(bits, 1, 100_000, 0.025) && t6_uniform(bits, 2, 100_000, 0.02);
+    let t7 = t7_homogeneity(bits);
+    let t8_statistic = t8_entropy_statistic(bits);
+    Ais31Report {
+        t0,
+        t1,
+        t2,
+        t3,
+        t4,
+        t5,
+        t6,
+        t7,
+        t8_statistic,
+        t8: t8_statistic > T8_THRESHOLD,
+    }
+}
+
+/// Procedure A in isolation: T0 on the head of the stream, then T1–T5
+/// over consecutive 20 000-bit samples from the remainder.
+///
+/// # Panics
+///
+/// Panics if the stream is shorter than T0's demand plus one sample.
+pub fn procedure_a(bits: &BitBuffer) -> (bool, [PassRate; 5]) {
+    let t0_bits = T0_WORDS * T0_WORD_BITS;
+    assert!(
+        bits.len() >= t0_bits + SAMPLE_BITS,
+        "procedure A needs at least {} bits",
+        t0_bits + SAMPLE_BITS
+    );
+    let t0 = t0_disjointness(bits);
+    let mut rates = [PassRate { passed: 0, total: 0 }; 5];
+    let mut offset = t0_bits;
+    while offset + SAMPLE_BITS <= bits.len() {
+        let sample = bits.slice(offset, SAMPLE_BITS);
+        let outcomes = [
+            t1_monobit(&sample),
+            t2_poker(&sample),
+            t3_runs(&sample),
+            t4_long_run(&sample),
+            t5_autocorrelation(&sample),
+        ];
+        for (rate, pass) in rates.iter_mut().zip(outcomes) {
+            rate.total += 1;
+            if pass {
+                rate.passed += 1;
+            }
+        }
+        offset += SAMPLE_BITS;
+    }
+    (t0, rates)
+}
+
+/// Procedure B in isolation: T6 (both parameterisations), T7, and T8.
+///
+/// Returns `(t6, t7, t8_statistic)`.
+///
+/// # Panics
+///
+/// Panics if the stream is too short for T8.
+pub fn procedure_b(bits: &BitBuffer) -> (bool, bool, f64) {
+    let t6 = t6_uniform(bits, 1, 100_000, 0.025) && t6_uniform(bits, 2, 100_000, 0.02);
+    let t7 = t7_homogeneity(bits);
+    let t8 = t8_entropy_statistic(bits);
+    (t6, t7, t8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix_bits(n: usize, seed: u64) -> BitBuffer {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) & 1 == 1
+            })
+            .collect()
+    }
+
+    fn sample(seed: u64) -> BitBuffer {
+        splitmix_bits(SAMPLE_BITS, seed)
+    }
+
+    #[test]
+    fn t1_to_t5_pass_on_random_samples() {
+        for seed in 0..5 {
+            let s = sample(seed);
+            assert!(t1_monobit(&s), "seed {seed}");
+            assert!(t2_poker(&s), "seed {seed}");
+            assert!(t3_runs(&s), "seed {seed}");
+            assert!(t4_long_run(&s), "seed {seed}");
+            assert!(t5_autocorrelation(&s), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn t1_fails_on_bias() {
+        let s: BitBuffer = (0..SAMPLE_BITS).map(|i| i % 20 != 0).collect();
+        assert!(!t1_monobit(&s));
+    }
+
+    #[test]
+    fn t2_fails_on_pattern() {
+        let s: BitBuffer = (0..SAMPLE_BITS).map(|i| (i / 4) % 2 == 0).collect();
+        assert!(!t2_poker(&s));
+    }
+
+    #[test]
+    fn t3_fails_on_alternating() {
+        // All runs have length 1: run-count intervals are violated.
+        let s: BitBuffer = (0..SAMPLE_BITS).map(|i| i % 2 == 0).collect();
+        assert!(!t3_runs(&s));
+    }
+
+    #[test]
+    fn t4_fails_on_long_run() {
+        let mut s = sample(9);
+        // Splice a 40-bit run of ones at position 100 by rebuilding.
+        let mut rebuilt = BitBuffer::new();
+        for i in 0..SAMPLE_BITS {
+            rebuilt.push(if (100..140).contains(&i) { true } else { s.bit(i) });
+        }
+        s = rebuilt;
+        assert!(!t4_long_run(&s));
+    }
+
+    #[test]
+    fn t5_fails_on_periodic_signal() {
+        // Period-2 square wave: perfect anti-correlation at odd taus.
+        let s: BitBuffer = (0..SAMPLE_BITS).map(|i| i % 2 == 0).collect();
+        assert!(!t5_autocorrelation(&s));
+    }
+
+    #[test]
+    fn t0_detects_repeats() {
+        // Random data passes.
+        let bits = splitmix_bits(T0_WORDS * T0_WORD_BITS, 10);
+        assert!(t0_disjointness(&bits));
+        // Periodic data has massive repeats.
+        let bad: BitBuffer = (0..T0_WORDS * T0_WORD_BITS).map(|i| (i / 3) % 2 == 0).collect();
+        assert!(!t0_disjointness(&bad));
+    }
+
+    #[test]
+    fn t6_uniform_behaviour() {
+        let bits = splitmix_bits(250_000, 11);
+        assert!(t6_uniform(&bits, 1, 100_000, 0.025));
+        assert!(t6_uniform(&bits, 2, 100_000, 0.02));
+        let biased: BitBuffer = (0..250_000).map(|i| i % 3 != 0).collect();
+        assert!(!t6_uniform(&biased, 1, 100_000, 0.025));
+    }
+
+    #[test]
+    fn t7_homogeneity_behaviour() {
+        let bits = splitmix_bits(400_000, 12);
+        assert!(t7_homogeneity(&bits));
+        // Distribution shifts between halves.
+        let drift: BitBuffer = (0..400_000)
+            .map(|i| if i < 200_000 { i % 2 == 0 } else { i % 4 == 0 })
+            .collect();
+        assert!(!t7_homogeneity(&drift));
+    }
+
+    #[test]
+    fn t8_entropy_near_eight_for_random_data() {
+        let bits = splitmix_bits((T8_Q + T8_K) * T8_L, 13);
+        let f = t8_entropy_statistic(&bits);
+        assert!(f > T8_THRESHOLD, "f = {f}");
+        assert!(f < 8.05, "f = {f}");
+        assert!(t8_entropy(&bits));
+    }
+
+    #[test]
+    fn t8_low_for_structured_data() {
+        let bits: BitBuffer = (0..(T8_Q + T8_K) * T8_L).map(|i| (i / 16) % 2 == 0).collect();
+        assert!(t8_entropy_statistic(&bits) < 4.0);
+    }
+
+    #[test]
+    fn full_evaluation_on_random_stream() {
+        // 7.2 Mbit, as the paper collects per device.
+        let bits = splitmix_bits(7_200_000, 14);
+        let report = evaluate(&bits);
+        assert!(report.all_pass(), "{report:?}");
+        assert!(report.t1.total > 100, "should cover many samples");
+        assert_eq!(report.t1.percent(), 100.0);
+    }
+
+    #[test]
+    fn procedures_in_isolation() {
+        let bits = splitmix_bits(4_000_000, 21);
+        let (t0, rates) = procedure_a(&bits);
+        assert!(t0);
+        for r in rates {
+            assert!(r.all(), "{r:?}");
+            assert!(r.total >= 40);
+        }
+        let (t6, t7, t8) = procedure_b(&bits);
+        assert!(t6 && t7);
+        assert!(t8 > T8_THRESHOLD);
+    }
+
+    #[test]
+    fn pass_rate_formatting() {
+        let r = PassRate { passed: 202, total: 202 };
+        assert_eq!(r.to_string(), "100%");
+        assert!(r.all());
+        let r = PassRate { passed: 0, total: 0 };
+        assert!(!r.all());
+    }
+}

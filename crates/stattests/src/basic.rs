@@ -1,0 +1,236 @@
+//! Basic bitstream diagnostics: the paper's §4.2–§4.4 tests and the
+//! Figure 7 bitstream image.
+//!
+//! * [`bias_percent`] — the deviation test of Eq. 6;
+//! * [`autocorrelation`] — the ACF of Figure 8 (Pearson coefficient at
+//!   each lag, with the paper's `|rho| < 0.3` acceptance criterion);
+//! * [`RestartTest`] — §4.2: first words after repeated restarts must
+//!   all differ;
+//! * [`bitmap_pbm`] — Figure 7: renders a bitstream as a PBM image.
+
+use crate::bits::BitBuffer;
+
+/// The paper's Eq. 6 deviation/bias:
+/// `Bias = |N1 - N0| / (N1 + N0) * 100%`.
+///
+/// # Panics
+///
+/// Panics on an empty sequence.
+pub fn bias_percent(bits: &BitBuffer) -> f64 {
+    assert!(!bits.is_empty(), "bias needs a non-empty sequence");
+    let n1 = bits.ones() as f64;
+    let n0 = bits.zeros() as f64;
+    100.0 * (n1 - n0).abs() / (n1 + n0)
+}
+
+/// Pearson autocorrelation coefficient of the ±1 sequence at `lag`.
+///
+/// # Panics
+///
+/// Panics if `lag` is 0 or leaves fewer than 2 overlapping samples.
+pub fn autocorrelation(bits: &BitBuffer, lag: usize) -> f64 {
+    let n = bits.len();
+    assert!(lag > 0, "lag must be positive");
+    assert!(n > lag + 1, "sequence too short for lag {lag}");
+    let m = n - lag;
+    let val = |i: usize| -> f64 { if bits.bit(i) { 1.0 } else { -1.0 } };
+    let mean: f64 = (0..n).map(val).sum::<f64>() / n as f64;
+    let var: f64 = (0..n).map(|i| (val(i) - mean).powi(2)).sum::<f64>() / n as f64;
+    if var == 0.0 {
+        return 1.0; // constant sequence is perfectly self-correlated
+    }
+    let cov: f64 = (0..m)
+        .map(|i| (val(i) - mean) * (val(i + lag) - mean))
+        .sum::<f64>()
+        / m as f64;
+    cov / var
+}
+
+/// The ACF over lags `1..=max_lag` (Figure 8 uses 1..=100).
+pub fn autocorrelation_series(bits: &BitBuffer, max_lag: usize) -> Vec<f64> {
+    (1..=max_lag).map(|k| autocorrelation(bits, k)).collect()
+}
+
+/// Karl Pearson's independence criterion the paper cites: all
+/// autocorrelation coefficients below 0.3 in magnitude.
+pub fn passes_pearson_criterion(bits: &BitBuffer, max_lag: usize) -> bool {
+    autocorrelation_series(bits, max_lag)
+        .iter()
+        .all(|&rho| rho.abs() < 0.3)
+}
+
+/// §4.2 restart test: collect the first `word_bits` bits from several
+/// independent restarts; the TRNG is "unrepeatable" when all words
+/// differ.
+#[derive(Debug, Clone, Default)]
+pub struct RestartTest {
+    words: Vec<u64>,
+    word_bits: usize,
+}
+
+impl RestartTest {
+    /// Creates a test collecting `word_bits`-bit restart words (the paper
+    /// samples 32 bits six times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_bits` is 0 or > 64.
+    pub fn new(word_bits: usize) -> Self {
+        assert!(word_bits > 0 && word_bits <= 64, "word size must be 1..=64");
+        Self {
+            words: Vec::new(),
+            word_bits,
+        }
+    }
+
+    /// Records the first bits of one restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capture is shorter than the configured word size.
+    pub fn record(&mut self, first_bits: &BitBuffer) {
+        assert!(
+            first_bits.len() >= self.word_bits,
+            "restart capture shorter than {} bits",
+            self.word_bits
+        );
+        self.words.push(first_bits.window(0, self.word_bits));
+    }
+
+    /// The recorded words, in restart order.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Formats a recorded word like the paper (`0X8E8F7BE6`).
+    pub fn format_word(&self, index: usize) -> String {
+        format!("0X{:0width$X}", self.words[index], width = self.word_bits.div_ceil(4))
+    }
+
+    /// Whether all recorded restart words are pairwise distinct.
+    pub fn all_distinct(&self) -> bool {
+        let mut sorted = self.words.clone();
+        sorted.sort_unstable();
+        sorted.windows(2).all(|w| w[0] != w[1])
+    }
+}
+
+/// Renders the first `width x height` bits as a PBM (portable bitmap)
+/// image — the paper's Figure 7. A `1` bit maps to a black pixel.
+///
+/// # Panics
+///
+/// Panics if the buffer holds fewer than `width * height` bits.
+pub fn bitmap_pbm(bits: &BitBuffer, width: usize, height: usize) -> String {
+    assert!(
+        bits.len() >= width * height,
+        "need {} bits for a {width}x{height} bitmap",
+        width * height
+    );
+    let mut out = String::with_capacity(width * height * 2 + 32);
+    out.push_str(&format!("P1\n{width} {height}\n"));
+    for y in 0..height {
+        for x in 0..width {
+            out.push(if bits.bit(y * width + x) { '1' } else { '0' });
+            if x + 1 < width {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix_bits(n: usize, seed: u64) -> BitBuffer {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) & 1 == 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bias_of_balanced_and_skewed() {
+        let balanced: BitBuffer = (0..10_000).map(|i| i % 2 == 0).collect();
+        assert_eq!(bias_percent(&balanced), 0.0);
+        let skewed: BitBuffer = (0..10_000).map(|i| i % 4 != 0).collect();
+        // 75% ones: |7500-2500|/10000 = 50%.
+        assert!((bias_percent(&skewed) - 50.0).abs() < 1e-9);
+        // Random data: bias well below 1% (the paper reports ~0.007%).
+        let random = splitmix_bits(1_000_000, 5);
+        assert!(bias_percent(&random) < 0.5);
+    }
+
+    #[test]
+    fn acf_of_random_data_is_tiny() {
+        let bits = splitmix_bits(1_000_000, 6);
+        let series = autocorrelation_series(&bits, 100);
+        assert_eq!(series.len(), 100);
+        // Figure 8 shows |rho| < 4e-3 at 1 Mbit.
+        assert!(series.iter().all(|r| r.abs() < 5e-3), "{series:?}");
+        assert!(passes_pearson_criterion(&bits, 100));
+    }
+
+    #[test]
+    fn acf_detects_periodicity() {
+        let bits: BitBuffer = (0..100_000).map(|i| (i / 2) % 2 == 0).collect();
+        // Period 4: lag 4 correlation is ~1, lag 2 is ~-1.
+        assert!(autocorrelation(&bits, 4) > 0.9);
+        assert!(autocorrelation(&bits, 2) < -0.9);
+        assert!(!passes_pearson_criterion(&bits, 10));
+    }
+
+    #[test]
+    fn acf_of_constant_sequence() {
+        let bits: BitBuffer = (0..1000).map(|_| true).collect();
+        assert_eq!(autocorrelation(&bits, 3), 1.0);
+    }
+
+    #[test]
+    fn restart_test_distinct_words() {
+        let mut rt = RestartTest::new(32);
+        for seed in 0..6 {
+            rt.record(&splitmix_bits(32, 100 + seed));
+        }
+        assert_eq!(rt.words().len(), 6);
+        assert!(rt.all_distinct());
+        assert!(rt.format_word(0).starts_with("0X"));
+        assert_eq!(rt.format_word(0).len(), 2 + 8);
+    }
+
+    #[test]
+    fn restart_test_catches_repeats() {
+        let mut rt = RestartTest::new(32);
+        let same = splitmix_bits(32, 1);
+        rt.record(&same);
+        rt.record(&same);
+        assert!(!rt.all_distinct());
+    }
+
+    #[test]
+    fn pbm_structure() {
+        let bits = BitBuffer::from_binary_str("1010 0101 1111 0000");
+        let pbm = bitmap_pbm(&bits, 4, 4);
+        let mut lines = pbm.lines();
+        assert_eq!(lines.next(), Some("P1"));
+        assert_eq!(lines.next(), Some("4 4"));
+        assert_eq!(lines.next(), Some("1 0 1 0"));
+        assert_eq!(pbm.lines().count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 16 bits")]
+    fn pbm_too_small_panics() {
+        let bits = BitBuffer::from_binary_str("1010");
+        let _ = bitmap_pbm(&bits, 4, 4);
+    }
+}

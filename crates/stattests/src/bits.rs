@@ -1,0 +1,425 @@
+//! Packed bitstream buffer.
+//!
+//! All test batteries consume a [`BitBuffer`]: bits packed 64 to a word in
+//! push order, with the block/window extraction helpers the NIST tests
+//! need. Byte conversion uses MSB-first order within each byte, matching
+//! how hardware TRNG captures are conventionally serialised.
+
+/// A growable, packed sequence of bits.
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_stattests::BitBuffer;
+///
+/// let mut b = BitBuffer::new();
+/// b.push(true);
+/// b.push(false);
+/// b.push(true);
+/// assert_eq!(b.len(), 3);
+/// assert_eq!(b.ones(), 2);
+/// assert!(b.bit(0) && !b.bit(1) && b.bit(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitBuffer {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with capacity for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Creates a buffer from a byte slice, MSB-first within each byte.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut b = Self::with_capacity(bytes.len() * 8);
+        for &byte in bytes {
+            for k in (0..8).rev() {
+                b.push((byte >> k) & 1 == 1);
+            }
+        }
+        b
+    }
+
+    /// Parses a string of `'0'`/`'1'` characters (whitespace ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any character other than `0`, `1`, or ASCII whitespace.
+    pub fn from_binary_str(s: &str) -> Self {
+        let mut b = Self::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '0' => b.push(false),
+                '1' => b.push(true),
+                c if c.is_ascii_whitespace() => {}
+                c => panic!("invalid bit character {c:?}"),
+            }
+        }
+        b
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        let off = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << off;
+        }
+        self.len += 1;
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// The bit at `i` as 0/1.
+    #[inline]
+    pub fn bit_u8(&self, i: usize) -> u8 {
+        u8::from(self.bit(i))
+    }
+
+    /// Count of one-bits.
+    pub fn ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Count of zero-bits.
+    pub fn zeros(&self) -> usize {
+        self.len - self.ones()
+    }
+
+    /// Iterator over all bits.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { buf: self, pos: 0 }
+    }
+
+    /// Extracts bits `[start, start+m)` as a `u64`, first bit in the most
+    /// significant position of the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 64` or the range exceeds the buffer.
+    pub fn window(&self, start: usize, m: usize) -> u64 {
+        assert!(m <= 64, "window wider than 64 bits");
+        assert!(start + m <= self.len, "window out of range");
+        let mut v = 0u64;
+        for i in 0..m {
+            v = (v << 1) | u64::from(self.bit(start + i));
+        }
+        v
+    }
+
+    /// Extracts bits `[start, start+m)` treating the sequence as circular
+    /// (wraps to the front), as the Serial and Approximate-Entropy tests
+    /// require.
+    pub fn window_circular(&self, start: usize, m: usize) -> u64 {
+        assert!(m <= 64, "window wider than 64 bits");
+        assert!(!self.is_empty(), "empty buffer");
+        let mut v = 0u64;
+        for i in 0..m {
+            v = (v << 1) | u64::from(self.bit((start + i) % self.len));
+        }
+        v
+    }
+
+    /// A sub-range copied into a new buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the buffer.
+    pub fn slice(&self, start: usize, len: usize) -> BitBuffer {
+        assert!(start + len <= self.len, "slice out of range");
+        let mut out = BitBuffer::with_capacity(len);
+        for i in 0..len {
+            out.push(self.bit(start + i));
+        }
+        out
+    }
+
+    /// Serialises to bytes, MSB-first within each byte; the final partial
+    /// byte (if any) is zero-padded on the right.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len.div_ceil(8));
+        let mut acc = 0u8;
+        let mut k = 0;
+        for bit in self.iter() {
+            acc = (acc << 1) | u8::from(bit);
+            k += 1;
+            if k == 8 {
+                out.push(acc);
+                acc = 0;
+                k = 0;
+            }
+        }
+        if k > 0 {
+            out.push(acc << (8 - k));
+        }
+        out
+    }
+
+    /// The ±1 representation NIST tests use: `1 -> +1`, `0 -> -1`.
+    pub fn to_pm1(&self) -> Vec<f64> {
+        self.iter().map(|b| if b { 1.0 } else { -1.0 }).collect()
+    }
+
+    /// Extracts `len` bits starting at `start` into little-end-first
+    /// packed words (bit `k` of the result's word `k/64` is input bit
+    /// `start + k`). Used by word-parallel kernels such as the AIS-31
+    /// autocorrelation search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the buffer.
+    pub fn extract_words(&self, start: usize, len: usize) -> Vec<u64> {
+        assert!(start + len <= self.len, "extract_words out of range");
+        let mut out = vec![0u64; len.div_ceil(64)];
+        let word_off = start / 64;
+        let bit_off = start % 64;
+        for (k, slot) in out.iter_mut().enumerate() {
+            let lo = self.words[word_off + k] >> bit_off;
+            let hi = if bit_off > 0 && word_off + k + 1 < self.words.len() {
+                self.words[word_off + k + 1] << (64 - bit_off)
+            } else {
+                0
+            };
+            *slot = lo | hi;
+        }
+        // Mask the tail beyond `len`.
+        let tail = len % 64;
+        if tail > 0 {
+            let last = out.len() - 1;
+            out[last] &= (1u64 << tail) - 1;
+        }
+        out
+    }
+
+    /// Hamming distance between two equal-length ranges of the buffer
+    /// (word-parallel XOR + popcount).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range exceeds the buffer.
+    pub fn xor_distance(&self, start_a: usize, start_b: usize, len: usize) -> usize {
+        let a = self.extract_words(start_a, len);
+        let b = self.extract_words(start_b, len);
+        a.iter()
+            .zip(&b)
+            .map(|(&x, &y)| (x ^ y).count_ones() as usize)
+            .sum()
+    }
+
+    /// Converts to a vector of symbols of `bits_per_symbol` bits each
+    /// (truncating any incomplete final symbol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_symbol` is 0 or > 32.
+    pub fn to_symbols(&self, bits_per_symbol: usize) -> Vec<u32> {
+        assert!(
+            bits_per_symbol > 0 && bits_per_symbol <= 32,
+            "symbols must be 1..=32 bits"
+        );
+        let n = self.len / bits_per_symbol;
+        (0..n)
+            .map(|i| self.window(i * bits_per_symbol, bits_per_symbol) as u32)
+            .collect()
+    }
+}
+
+impl FromIterator<bool> for BitBuffer {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut b = BitBuffer::new();
+        for bit in iter {
+            b.push(bit);
+        }
+        b
+    }
+}
+
+impl Extend<bool> for BitBuffer {
+    fn extend<T: IntoIterator<Item = bool>>(&mut self, iter: T) {
+        for bit in iter {
+            self.push(bit);
+        }
+    }
+}
+
+/// Iterator over the bits of a [`BitBuffer`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    buf: &'a BitBuffer,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.pos < self.buf.len {
+            let b = self.buf.bit(self.pos);
+            self.pos += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.buf.len - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl<'a> IntoIterator for &'a BitBuffer {
+    type Item = bool;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl std::fmt::Display for BitBuffer {
+    /// Renders up to the first 64 bits as `0`/`1`, with an ellipsis.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, bit) in self.iter().enumerate() {
+            if i == 64 {
+                return write!(f, "… ({} bits)", self.len);
+            }
+            write!(f, "{}", u8::from(bit))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read() {
+        let mut b = BitBuffer::new();
+        for i in 0..200 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 200);
+        for i in 0..200 {
+            assert_eq!(b.bit(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(b.ones(), 67);
+        assert_eq!(b.zeros(), 133);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let bytes = [0xA5u8, 0x01, 0xFF, 0x00, 0x3C];
+        let b = BitBuffer::from_bytes(&bytes);
+        assert_eq!(b.len(), 40);
+        assert_eq!(b.to_bytes(), bytes);
+        // MSB first: 0xA5 = 10100101.
+        let first8: Vec<u8> = (0..8).map(|i| b.bit_u8(i)).collect();
+        assert_eq!(first8, vec![1, 0, 1, 0, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn partial_byte_pads_right() {
+        let b = BitBuffer::from_binary_str("101");
+        assert_eq!(b.to_bytes(), vec![0b1010_0000]);
+    }
+
+    #[test]
+    fn binary_str_parsing() {
+        let b = BitBuffer::from_binary_str("1100 1001\n0000");
+        assert_eq!(b.len(), 12);
+        assert_eq!(b.ones(), 4);
+    }
+
+    #[test]
+    fn windows() {
+        let b = BitBuffer::from_binary_str("10110010");
+        assert_eq!(b.window(0, 3), 0b101);
+        assert_eq!(b.window(2, 4), 0b1100);
+        assert_eq!(b.window(0, 8), 0b1011_0010);
+        // Circular: last 3 bits + wrap of first bit.
+        assert_eq!(b.window_circular(6, 3), 0b101);
+    }
+
+    #[test]
+    fn slicing() {
+        let b = BitBuffer::from_binary_str("111000111000");
+        let s = b.slice(3, 6);
+        assert_eq!(format!("{s}"), "000111");
+    }
+
+    #[test]
+    fn symbols() {
+        let b = BitBuffer::from_binary_str("0001 0010 0011 01");
+        let sym = b.to_symbols(4);
+        assert_eq!(sym, vec![1, 2, 3]); // trailing 2 bits truncated
+    }
+
+    #[test]
+    fn pm1_mapping() {
+        let b = BitBuffer::from_binary_str("10");
+        assert_eq!(b.to_pm1(), vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn collect_and_iter() {
+        let b: BitBuffer = (0..100).map(|i| i % 2 == 0).collect();
+        assert_eq!(b.iter().filter(|&x| x).count(), 50);
+        assert_eq!(b.iter().len(), 100);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let b: BitBuffer = (0..100).map(|_| true).collect();
+        let s = format!("{b}");
+        assert!(s.contains("(100 bits)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_bit_panics() {
+        let b = BitBuffer::from_binary_str("1");
+        let _ = b.bit(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bit character")]
+    fn bad_char_panics() {
+        let _ = BitBuffer::from_binary_str("10a");
+    }
+}

@@ -1,0 +1,43 @@
+//! Statistical test batteries for random bitstreams.
+//!
+//! Implements, in pure Rust, every statistical procedure the DH-TRNG paper
+//! (DAC 2024) uses in its evaluation section:
+//!
+//! * **NIST SP 800-22** (Table 3): all 15 tests of the revision 1a suite,
+//!   with the multi-sequence aggregation (uniformity P-value + pass
+//!   proportion) the paper reports — [`sp800_22`].
+//! * **NIST SP 800-90B** (Tables 1, 2, 4; Figure 9): the ten non-IID
+//!   min-entropy estimators of the paper's Table 4 (MCV, Collision,
+//!   Markov, Compression, t-Tuple, LRS, Multi-MCW, Lag, Multi-MMC, LZ78Y)
+//!   plus the IID-track permutation test — [`sp800_90b`].
+//! * **AIS-31** (Table 5): tests T0–T8 of the BSI procedure — [`ais31`].
+//! * **Basic tests** (§4.2–4.4; Figures 7, 8): bias/deviation (Eq. 6),
+//!   autocorrelation function, restart test, bitstream imaging — [`basic`].
+//!
+//! The numerical substrate (incomplete gamma, erfc, FFT, Berlekamp–Massey,
+//! GF(2) rank) lives in [`special`]; bitstreams are handled through the
+//! packed [`BitBuffer`].
+//!
+//! # Example
+//!
+//! ```
+//! use dhtrng_stattests::BitBuffer;
+//! use dhtrng_stattests::sp800_22::frequency_test;
+//!
+//! // A balanced sequence passes the monobit test.
+//! let bits: BitBuffer = (0..10_000).map(|i| i % 2 == 0).collect();
+//! let p = frequency_test(&bits).p_value();
+//! assert!(p > 0.99); // perfectly balanced
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ais31;
+pub mod basic;
+pub mod bits;
+pub mod sp800_22;
+pub mod sp800_90b;
+pub mod special;
+
+pub use bits::BitBuffer;

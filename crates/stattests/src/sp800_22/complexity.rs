@@ -1,0 +1,136 @@
+//! §2.10 Linear Complexity test.
+
+use crate::bits::BitBuffer;
+use crate::special::gf2::berlekamp_massey;
+use crate::special::igamc;
+
+use super::TestResult;
+
+/// Bin probabilities for the T statistic (§3.10).
+const PI: [f64; 7] = [
+    0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833,
+];
+
+/// §2.10 Linear Complexity test with block length `m` (NIST default 500).
+///
+/// Returns an inapplicable result when fewer than the recommended minimum
+/// of blocks fit (the spec wants `n >= 10^6` for M = 500; we require at
+/// least 20 blocks so the chi-square approximation stays sane for the
+/// smaller inputs unit tests use).
+///
+/// # Panics
+///
+/// Panics unless `500 <= m <= 5000` — the spec's allowed block range.
+pub fn linear_complexity_test(bits: &BitBuffer, m: usize) -> TestResult {
+    assert!((500..=5000).contains(&m), "block length must be in 500..=5000");
+    let n = bits.len();
+    let blocks = n / m;
+    if blocks < 20 {
+        return TestResult::not_applicable("LinearComplexity");
+    }
+    let mf = m as f64;
+    let sign = if m % 2 == 0 { 1.0 } else { -1.0 };
+    // mu = M/2 + (9 + (-1)^(M+1)) / 36 - (M/3 + 2/9) / 2^M.
+    let mu = mf / 2.0 + (9.0 + -sign) / 36.0 - (mf / 3.0 + 2.0 / 9.0) / 2f64.powi(m as i32);
+
+    let mut nu = [0u64; 7];
+    let mut block_bits = vec![false; m];
+    for b in 0..blocks {
+        for (i, slot) in block_bits.iter_mut().enumerate() {
+            *slot = bits.bit(b * m + i);
+        }
+        let l = berlekamp_massey(&block_bits) as f64;
+        let t = sign * (l - mu) + 2.0 / 9.0;
+        let bin = if t <= -2.5 {
+            0
+        } else if t <= -1.5 {
+            1
+        } else if t <= -0.5 {
+            2
+        } else if t <= 0.5 {
+            3
+        } else if t <= 1.5 {
+            4
+        } else if t <= 2.5 {
+            5
+        } else {
+            6
+        };
+        nu[bin] += 1;
+    }
+    let nf = blocks as f64;
+    let chi2: f64 = nu
+        .iter()
+        .zip(PI)
+        .map(|(&obs, pi)| {
+            let e = nf * pi;
+            (obs as f64 - e) * (obs as f64 - e) / e
+        })
+        .sum();
+    TestResult::single("LinearComplexity", igamc(3.0, chi2 / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_bits(n: usize, seed: u64) -> BitBuffer {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        (0..n)
+            .map(|_| {
+                // splitmix64: non-linear over GF(2), unlike xorshift.
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) & 1 == 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn short_input_inapplicable() {
+        let bits = random_bits(5000, 1);
+        assert!(!linear_complexity_test(&bits, 500).applicable);
+    }
+
+    #[test]
+    fn random_data_passes() {
+        let bits = random_bits(200_000, 2);
+        let r = linear_complexity_test(&bits, 500);
+        assert!(r.applicable);
+        assert!(r.passes(0.01), "p = {}", r.p_value());
+    }
+
+    #[test]
+    fn lfsr_stream_fails() {
+        // A short LFSR has tiny linear complexity in every block: all T
+        // statistics land far from mu.
+        let mut reg = [true, false, false, true, true, false, true];
+        let bits: BitBuffer = (0..100_000)
+            .map(|_| {
+                let out = reg[6];
+                let fb = reg[6] ^ reg[0];
+                reg.rotate_right(1);
+                reg[0] = fb;
+                out
+            })
+            .collect();
+        let r = linear_complexity_test(&bits, 500);
+        assert!(r.applicable);
+        assert!(r.p_value() < 1e-10, "p = {}", r.p_value());
+    }
+
+    #[test]
+    fn pi_bins_sum_to_one() {
+        let total: f64 = PI.iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "block length")]
+    fn tiny_block_panics() {
+        let bits = random_bits(10_000, 3);
+        let _ = linear_complexity_test(&bits, 100);
+    }
+}

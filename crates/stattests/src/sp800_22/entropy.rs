@@ -1,0 +1,158 @@
+//! §2.11 Serial and §2.12 Approximate Entropy tests.
+//!
+//! Both tests compare the empirical frequencies of overlapping m-bit
+//! patterns (with circular wrap-around) at adjacent orders.
+
+use crate::bits::BitBuffer;
+use crate::special::igamc;
+
+use super::TestResult;
+
+/// Overlapping circular m-bit pattern counts (2^m entries).
+fn pattern_counts(bits: &BitBuffer, m: usize) -> Vec<u64> {
+    debug_assert!(m <= 24, "pattern order too large");
+    let n = bits.len();
+    let mut counts = vec![0u64; 1 << m];
+    if m == 0 {
+        return counts;
+    }
+    // Rolling window with wrap-around.
+    let mask = (1u64 << m) - 1;
+    let mut w = bits.window_circular(0, m);
+    counts[w as usize] += 1;
+    for i in 1..n {
+        let incoming = u64::from(bits.bit((i + m - 1) % n));
+        w = ((w << 1) | incoming) & mask;
+        counts[w as usize] += 1;
+    }
+    counts
+}
+
+/// psi-squared statistic of §2.11: `(2^m / n) * sum(counts^2) - n`.
+fn psi_squared(bits: &BitBuffer, m: usize) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    let n = bits.len() as f64;
+    let counts = pattern_counts(bits, m);
+    let sum_sq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    (2f64.powi(m as i32) / n) * sum_sq - n
+}
+
+/// §2.11 Serial test of order `m` (NIST default m = 16 for 1 Mbit).
+/// Returns the two subtest p-values (∇ψ² and ∇²ψ²).
+///
+/// # Panics
+///
+/// Panics unless `3 <= m <= 24` and the sequence is non-empty.
+pub fn serial_test(bits: &BitBuffer, m: usize) -> TestResult {
+    assert!((3..=24).contains(&m), "serial test needs 3 <= m <= 24");
+    assert!(!bits.is_empty(), "serial test needs a non-empty sequence");
+    let psi_m = psi_squared(bits, m);
+    let psi_m1 = psi_squared(bits, m - 1);
+    let psi_m2 = psi_squared(bits, m - 2);
+    let del1 = psi_m - psi_m1;
+    let del2 = psi_m - 2.0 * psi_m1 + psi_m2;
+    let p1 = igamc(2f64.powi(m as i32 - 2), del1 / 2.0);
+    let p2 = igamc(2f64.powi(m as i32 - 3), del2 / 2.0);
+    TestResult::multi("Serial", vec![p1, p2])
+}
+
+/// §2.12 Approximate Entropy test of order `m` (NIST default m = 2).
+///
+/// # Panics
+///
+/// Panics unless `1 <= m <= 23` and the sequence is non-empty.
+pub fn approximate_entropy_test(bits: &BitBuffer, m: usize) -> TestResult {
+    assert!((1..=23).contains(&m), "approximate entropy needs 1 <= m <= 23");
+    let n = bits.len();
+    assert!(n > 0, "approximate entropy needs a non-empty sequence");
+
+    let phi = |order: usize| -> f64 {
+        let counts = pattern_counts(bits, order);
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let ci = c as f64 / n as f64;
+                ci * ci.ln()
+            })
+            .sum()
+    };
+    let ap_en = phi(m) - phi(m + 1);
+    let chi2 = 2.0 * n as f64 * (std::f64::consts::LN_2 - ap_en);
+    let p = igamc(2f64.powi(m as i32 - 1), chi2 / 2.0);
+    TestResult::single("ApproximateEntropy", p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_bits(n: usize, seed: u64) -> BitBuffer {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        (0..n)
+            .map(|_| {
+                // splitmix64: non-linear over GF(2), unlike xorshift.
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) & 1 == 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_nist_worked_example() {
+        // §2.11.4: ε = 0011011101, m = 3: ∇ψ² = 1.6, ∇²ψ² = 0.8,
+        // p1 = 0.808792, p2 = 0.670320.
+        let bits = BitBuffer::from_binary_str("0011011101");
+        let r = serial_test(&bits, 3);
+        assert!((r.p_values[0] - 0.808_792).abs() < 1e-5, "{:?}", r.p_values);
+        assert!((r.p_values[1] - 0.670_320).abs() < 1e-5, "{:?}", r.p_values);
+    }
+
+    #[test]
+    fn approx_entropy_nist_worked_example() {
+        // §2.12.4: ε = 0100110101, m = 3: ApEn = 0.502193, chi2 = 4.817771,
+        // p = 0.261961.
+        let bits = BitBuffer::from_binary_str("0100110101");
+        let r = approximate_entropy_test(&bits, 3);
+        assert!((r.p_value() - 0.261_961).abs() < 1e-5, "p = {}", r.p_value());
+    }
+
+    #[test]
+    fn approx_entropy_nist_pi_example() {
+        // §2.12.8: first 100 binary digits of pi, m = 2: p = 0.235301.
+        let eps = BitBuffer::from_binary_str(
+            "11001001000011111101101010100010001000010110100011\
+             00001000110100110001001100011001100010100010111000",
+        );
+        let r = approximate_entropy_test(&eps, 2);
+        assert!((r.p_value() - 0.235_301).abs() < 1e-4, "p = {}", r.p_value());
+    }
+
+    #[test]
+    fn pattern_counts_sum_to_n() {
+        let bits = random_bits(1000, 5);
+        for m in 1..6 {
+            let total: u64 = pattern_counts(&bits, m).iter().sum();
+            assert_eq!(total, 1000);
+        }
+    }
+
+    #[test]
+    fn random_data_passes_both() {
+        let bits = random_bits(1 << 20, 6);
+        assert!(serial_test(&bits, 16).passes(0.01));
+        assert!(approximate_entropy_test(&bits, 2).passes(0.01));
+    }
+
+    #[test]
+    fn periodic_data_fails_both() {
+        let bits: BitBuffer = (0..100_000).map(|i| i % 4 < 2).collect();
+        assert!(!serial_test(&bits, 5).passes(0.01));
+        assert!(!approximate_entropy_test(&bits, 2).passes(0.01));
+    }
+}

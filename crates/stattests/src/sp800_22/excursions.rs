@@ -1,0 +1,193 @@
+//! §2.14 Random Excursions and §2.15 Random Excursions Variant tests.
+//!
+//! Both examine the random walk of cumulative ±1 sums, split into
+//! zero-to-zero cycles. They are the two tests the paper reports with a
+//! reduced 17/17 proportion: sequences with fewer than 500 cycles are
+//! excluded by the spec, so only some of the 30 collected sequences
+//! qualify.
+
+use crate::bits::BitBuffer;
+use crate::special::{erfc, igamc};
+
+use super::TestResult;
+
+/// Builds the cycle structure of the cumulative-sum walk: returns the list
+/// of cycles, each a vector of walk states (excluding the delimiting
+/// zeros), plus the total walk for the variant test.
+fn walk_cycles(bits: &BitBuffer) -> (Vec<Vec<i32>>, Vec<i32>) {
+    let mut walk = Vec::with_capacity(bits.len());
+    let mut s = 0i32;
+    for b in bits.iter() {
+        s += if b { 1 } else { -1 };
+        walk.push(s);
+    }
+    let mut cycles = Vec::new();
+    let mut current = Vec::new();
+    for &x in &walk {
+        if x == 0 {
+            cycles.push(std::mem::take(&mut current));
+        } else {
+            current.push(x);
+        }
+    }
+    // The final partial cycle (if the walk doesn't end at zero) still
+    // counts as a cycle per the spec (the walk is conceptually closed
+    // with a final zero).
+    if !current.is_empty() {
+        cycles.push(current);
+    }
+    (cycles, walk)
+}
+
+/// Theoretical probabilities pi_k(x) of k visits to state x within one
+/// cycle (SP 800-22 §3.14).
+fn pi_k(x: i32, k: usize) -> f64 {
+    let ax = f64::from(x.abs());
+    match k {
+        0 => 1.0 - 1.0 / (2.0 * ax),
+        1..=4 => (1.0 / (4.0 * ax * ax)) * (1.0 - 1.0 / (2.0 * ax)).powi(k as i32 - 1),
+        _ => (1.0 / (2.0 * ax)) * (1.0 - 1.0 / (2.0 * ax)).powi(4),
+    }
+}
+
+/// Minimum cycle count for the test to apply (the spec's
+/// `max(0.005 sqrt(n), 500)` with the 500 floor dominating at 1 Mbit).
+fn min_cycles(n: usize) -> usize {
+    ((0.005 * (n as f64).sqrt()).ceil() as usize).max(500)
+}
+
+/// §2.14 Random Excursions test: 8 subtests for states ±1..±4.
+///
+/// Returns an inapplicable result when the walk has too few cycles.
+pub fn random_excursions_test(bits: &BitBuffer) -> TestResult {
+    let (cycles, _) = walk_cycles(bits);
+    let j = cycles.len();
+    if j < min_cycles(bits.len()) {
+        return TestResult::not_applicable("RandomExcursions");
+    }
+    let states = [-4, -3, -2, -1, 1, 2, 3, 4];
+    let mut p_values = Vec::with_capacity(8);
+    for &x in &states {
+        // nu[k] = number of cycles with exactly k visits to x (k = 0..5+).
+        let mut nu = [0u64; 6];
+        for cycle in &cycles {
+            let visits = cycle.iter().filter(|&&s| s == x).count();
+            nu[visits.min(5)] += 1;
+        }
+        let jf = j as f64;
+        let chi2: f64 = (0..6)
+            .map(|k| {
+                let e = jf * pi_k(x, k);
+                (nu[k] as f64 - e) * (nu[k] as f64 - e) / e
+            })
+            .sum();
+        p_values.push(igamc(5.0 / 2.0, chi2 / 2.0));
+    }
+    TestResult::multi("RandomExcursions", p_values)
+}
+
+/// §2.15 Random Excursions Variant test: 18 subtests for states ±1..±9.
+///
+/// Returns an inapplicable result when the walk has too few cycles.
+pub fn random_excursions_variant_test(bits: &BitBuffer) -> TestResult {
+    let (cycles, walk) = walk_cycles(bits);
+    let j = cycles.len();
+    if j < min_cycles(bits.len()) {
+        return TestResult::not_applicable("RandomExcursionsVariant");
+    }
+    let jf = j as f64;
+    let mut p_values = Vec::with_capacity(18);
+    for x in (-9..=9).filter(|&x| x != 0) {
+        let xi = walk.iter().filter(|&&s| s == x).count() as f64;
+        // p = erfc(|xi - J| / sqrt(2 J (4|x| - 2))) — §2.15.4.
+        let denom = (2.0 * jf * (4.0 * f64::from(x.abs()) - 2.0)).sqrt();
+        p_values.push(erfc((xi - jf).abs() / denom));
+    }
+    TestResult::multi("RandomExcursionsVariant", p_values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_bits(n: usize, seed: u64) -> BitBuffer {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        (0..n)
+            .map(|_| {
+                // splitmix64: non-linear over GF(2), unlike xorshift.
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) & 1 == 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nist_worked_example_cycles() {
+        // §2.14.4: ε = 0110110101, walk S = -1,0,1,0,1,2,1,2,1,2 →
+        // J = 3 cycles: {-1}, {1}, {1,2,1,2,1,2}.
+        let bits = BitBuffer::from_binary_str("0110110101");
+        let (cycles, _) = walk_cycles(&bits);
+        assert_eq!(cycles.len(), 3);
+        assert_eq!(cycles[0], vec![-1]);
+        assert_eq!(cycles[1], vec![1]);
+        assert_eq!(cycles[2], vec![1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn pi_table_matches_spec_for_x1() {
+        // §3.14 table: x = 1 -> pi_0 = 0.5, pi_1 = 0.25, pi_2 = 0.125.
+        assert!((pi_k(1, 0) - 0.5).abs() < 1e-12);
+        assert!((pi_k(1, 1) - 0.25).abs() < 1e-12);
+        assert!((pi_k(1, 2) - 0.125).abs() < 1e-12);
+        // pi_k sums to 1 for every state.
+        for x in 1..=4 {
+            let total: f64 = (0..6).map(|k| pi_k(x, k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "x = {x}: {total}");
+        }
+    }
+
+    #[test]
+    fn short_walks_are_inapplicable() {
+        let bits = random_bits(1000, 5);
+        assert!(!random_excursions_test(&bits).applicable);
+        assert!(!random_excursions_variant_test(&bits).applicable);
+    }
+
+    #[test]
+    fn random_data_qualifies_and_passes() {
+        let bits = random_bits(1 << 20, 77);
+        let re = random_excursions_test(&bits);
+        let rev = random_excursions_variant_test(&bits);
+        // A healthy 1 Mbit random walk has ~O(sqrt(n)) cycles, usually
+        // enough; if not applicable, try another seed (determinism keeps
+        // this stable).
+        assert!(re.applicable, "walk had too few cycles");
+        assert!(rev.applicable);
+        assert_eq!(re.p_values.len(), 8);
+        assert_eq!(rev.p_values.len(), 18);
+        assert!(re.passes(0.01), "{:?}", re.p_values);
+        assert!(rev.passes(0.01), "{:?}", rev.p_values);
+    }
+
+    #[test]
+    fn biased_walk_fails_or_is_inapplicable() {
+        // 52% ones: the walk drifts, cycles become rare.
+        let mut state = 123u64;
+        let bits: BitBuffer = (0..1_000_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 100) < 52
+            })
+            .collect();
+        let re = random_excursions_test(&bits);
+        assert!(
+            !re.applicable || !re.passes(0.01),
+            "biased walk should not pass cleanly"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! NIST SP 800-22 (rev. 1a) statistical test suite.
+//!
+//! All fifteen tests of the paper's Table 3, in the spec's default
+//! configuration for 1 Mbit sequences, plus the multi-sequence aggregation
+//! NIST (and the paper) report: a cross-sequence **uniformity P-value**
+//! (chi-square over ten p-value bins) and a **pass proportion**.
+//!
+//! Subtest conventions follow the paper's footnote: tests with multiple
+//! subtests (CumulativeSums, NonOverlappingTemplate, RandomExcursions,
+//! RandomExcursionsVariant, Serial) report the average of the subtest
+//! p-values as their headline number.
+//!
+//! # Example
+//!
+//! ```
+//! use dhtrng_stattests::BitBuffer;
+//! use dhtrng_stattests::sp800_22::{frequency_test, runs_test};
+//!
+//! // The SP 800-22 §2.1.8 reference vector: first 100 bits of pi.
+//! let eps = BitBuffer::from_binary_str(
+//!     "11001001000011111101101010100010001000010110100011\
+//!      00001000110100110001001100011001100010100010111000");
+//! assert!((frequency_test(&eps).p_value() - 0.109599).abs() < 1e-5);
+//! assert!((runs_test(&eps).p_value() - 0.500798).abs() < 1e-5);
+//! ```
+
+mod complexity;
+mod dft;
+mod entropy;
+mod excursions;
+mod rank;
+mod simple;
+mod suite;
+mod templates;
+mod universal;
+
+pub use complexity::linear_complexity_test;
+pub use dft::dft_test;
+pub use entropy::{approximate_entropy_test, serial_test};
+pub use excursions::{random_excursions_test, random_excursions_variant_test};
+pub use rank::rank_test;
+pub use simple::{
+    block_frequency_test, cumulative_sums_test, frequency_test, longest_run_test, runs_test,
+};
+pub use suite::{run_suite, run_suite_subset, SuiteReport, SuiteRow, TestId, ALL_TESTS};
+pub use templates::{
+    aperiodic_templates, non_overlapping_single, non_overlapping_template_test,
+    overlapping_template_test, TEMPLATE_LEN,
+};
+pub use universal::{universal_test, universal_test_with_params};
+
+/// Significance level of the suite (the paper: "P-value exceeding 0.01
+/// indicates the sequences are approximately uniformly distributed").
+pub const ALPHA: f64 = 0.01;
+
+/// Result of one SP 800-22 test on one sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestResult {
+    /// Test name as printed in Table 3.
+    pub name: &'static str,
+    /// Subtest p-values (most tests have exactly one).
+    pub p_values: Vec<f64>,
+    /// `false` when the test's preconditions are unmet (e.g. Random
+    /// Excursions with too few cycles) — the sequence is then excluded
+    /// from that test's statistics, as NIST prescribes.
+    pub applicable: bool,
+}
+
+impl TestResult {
+    pub(crate) fn single(name: &'static str, p: f64) -> Self {
+        Self {
+            name,
+            p_values: vec![p],
+            applicable: true,
+        }
+    }
+
+    pub(crate) fn multi(name: &'static str, p_values: Vec<f64>) -> Self {
+        Self {
+            name,
+            p_values,
+            applicable: true,
+        }
+    }
+
+    pub(crate) fn not_applicable(name: &'static str) -> Self {
+        Self {
+            name,
+            p_values: Vec::new(),
+            applicable: false,
+        }
+    }
+
+    /// Headline p-value: the average over subtests (the paper's starred
+    /// convention), or the single p-value for single-statistic tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test was not applicable.
+    pub fn p_value(&self) -> f64 {
+        assert!(self.applicable, "{}: not applicable", self.name);
+        let n = self.p_values.len();
+        assert!(n > 0, "{}: no p-values", self.name);
+        self.p_values.iter().sum::<f64>() / n as f64
+    }
+
+    /// Whether the sequence passes: every subtest p-value >= `alpha`.
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.applicable && self.p_values.iter().all(|&p| p >= alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_value_averages_subtests() {
+        let r = TestResult::multi("x", vec![0.2, 0.4]);
+        assert!((r.p_value() - 0.3).abs() < 1e-12);
+        assert!(r.passes(0.01));
+        assert!(!r.passes(0.3));
+    }
+
+    #[test]
+    fn inapplicable_never_passes() {
+        let r = TestResult::not_applicable("x");
+        assert!(!r.passes(0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "not applicable")]
+    fn inapplicable_p_value_panics() {
+        let _ = TestResult::not_applicable("x").p_value();
+    }
+}

@@ -1,0 +1,107 @@
+//! §2.5 Binary Matrix Rank test.
+
+use crate::bits::BitBuffer;
+use crate::special::gf2::binary_rank;
+use crate::special::igamc;
+
+use super::TestResult;
+
+/// Matrix dimension used by the spec (32x32).
+const M: usize = 32;
+/// Asymptotic rank-class probabilities for random 32x32 GF(2) matrices:
+/// P(rank = 32), P(rank = 31), P(rank <= 30).
+const PI: [f64; 3] = [0.2888, 0.5776, 0.1336];
+
+/// §2.5 Binary Matrix Rank test over 32x32 matrices.
+///
+/// Returns an inapplicable result when fewer than 38 matrices fit (the
+/// spec's minimum for valid chi-square approximation).
+pub fn rank_test(bits: &BitBuffer) -> TestResult {
+    let n = bits.len();
+    let matrices = n / (M * M);
+    if matrices < 38 {
+        return TestResult::not_applicable("Rank");
+    }
+    let mut counts = [0u64; 3];
+    for k in 0..matrices {
+        let base = k * M * M;
+        let rows: Vec<u64> = (0..M)
+            .map(|r| {
+                let mut row = 0u64;
+                for c in 0..M {
+                    // Bit c of the row: matrix element (r, c).
+                    if bits.bit(base + r * M + c) {
+                        row |= 1u64 << c;
+                    }
+                }
+                row
+            })
+            .collect();
+        match binary_rank(&rows, M as u32) {
+            32 => counts[0] += 1,
+            31 => counts[1] += 1,
+            _ => counts[2] += 1,
+        }
+    }
+    let nf = matrices as f64;
+    let chi2: f64 = counts
+        .iter()
+        .zip(PI)
+        .map(|(&obs, pi)| {
+            let e = nf * pi;
+            (obs as f64 - e) * (obs as f64 - e) / e
+        })
+        .sum();
+    // 2 degrees of freedom: p = igamc(1, chi2/2) = exp(-chi2/2).
+    TestResult::single("Rank", igamc(1.0, chi2 / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_bits(n: usize, seed: u64) -> BitBuffer {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        (0..n)
+            .map(|_| {
+                // splitmix64: non-linear over GF(2), unlike xorshift.
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) & 1 == 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn short_sequences_are_inapplicable() {
+        let bits = random_bits(1024 * 37, 1);
+        assert!(!rank_test(&bits).applicable);
+    }
+
+    #[test]
+    fn random_data_passes() {
+        let bits = random_bits(200_000, 2);
+        let r = rank_test(&bits);
+        assert!(r.applicable);
+        assert!(r.passes(0.01), "p = {}", r.p_value());
+    }
+
+    #[test]
+    fn low_rank_structure_fails() {
+        // Period-32 sequence: every matrix has identical rows -> rank 1.
+        let bits: BitBuffer = (0..200_000).map(|i| (i / 7) % 2 == 0).collect();
+        let r = rank_test(&bits);
+        assert!(r.applicable);
+        assert!(r.p_value() < 1e-6, "p = {}", r.p_value());
+    }
+
+    #[test]
+    fn p_value_in_unit_interval() {
+        for seed in 3..8 {
+            let p = rank_test(&random_bits(100_000, seed)).p_value();
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

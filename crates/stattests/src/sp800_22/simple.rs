@@ -1,0 +1,290 @@
+//! The frequency-family tests: Frequency (monobit), Block Frequency,
+//! Runs, Longest Run of Ones, and Cumulative Sums (SP 800-22 §2.1–§2.4,
+//! §2.13).
+
+use crate::bits::BitBuffer;
+use crate::special::{erfc, igamc, norm_cdf};
+
+use super::TestResult;
+
+/// §2.1 Frequency (monobit) test.
+///
+/// # Panics
+///
+/// Panics on an empty sequence.
+pub fn frequency_test(bits: &BitBuffer) -> TestResult {
+    let n = bits.len();
+    assert!(n > 0, "frequency test needs a non-empty sequence");
+    let sum = bits.ones() as f64 - bits.zeros() as f64;
+    let s_obs = sum.abs() / (n as f64).sqrt();
+    let p = erfc(s_obs / std::f64::consts::SQRT_2);
+    TestResult::single("Frequency", p)
+}
+
+/// §2.2 Block Frequency test with block length `m` (NIST default 128).
+///
+/// # Panics
+///
+/// Panics if fewer than one block fits.
+pub fn block_frequency_test(bits: &BitBuffer, m: usize) -> TestResult {
+    let n = bits.len();
+    let blocks = n / m;
+    assert!(blocks >= 1, "block frequency needs at least one {m}-bit block");
+    let mut chi2 = 0.0;
+    for b in 0..blocks {
+        let ones = (0..m).filter(|&i| bits.bit(b * m + i)).count();
+        let pi = ones as f64 / m as f64;
+        chi2 += (pi - 0.5) * (pi - 0.5);
+    }
+    chi2 *= 4.0 * m as f64;
+    let p = igamc(blocks as f64 / 2.0, chi2 / 2.0);
+    TestResult::single("BlockFrequency", p)
+}
+
+/// §2.3 Runs test.
+pub fn runs_test(bits: &BitBuffer) -> TestResult {
+    let n = bits.len();
+    assert!(n >= 2, "runs test needs at least two bits");
+    let pi = bits.ones() as f64 / n as f64;
+    // Prerequisite frequency check from the spec.
+    if (pi - 0.5).abs() >= 2.0 / (n as f64).sqrt() {
+        return TestResult::single("Runs", 0.0);
+    }
+    let mut v = 1u64;
+    for i in 1..n {
+        if bits.bit(i) != bits.bit(i - 1) {
+            v += 1;
+        }
+    }
+    let num = (v as f64 - 2.0 * n as f64 * pi * (1.0 - pi)).abs();
+    let den = 2.0 * (2.0 * n as f64).sqrt() * pi * (1.0 - pi);
+    TestResult::single("Runs", erfc(num / den))
+}
+
+/// Parameters of the Longest-Run test for a given sequence length.
+struct LongestRunConfig {
+    m: usize,
+    k: usize,
+    bins_lo: u32,
+    pi: &'static [f64],
+}
+
+fn longest_run_config(n: usize) -> LongestRunConfig {
+    if n < 6272 {
+        LongestRunConfig {
+            m: 8,
+            k: 3,
+            bins_lo: 1,
+            pi: &[0.2148, 0.3672, 0.2305, 0.1875],
+        }
+    } else if n < 750_000 {
+        LongestRunConfig {
+            m: 128,
+            k: 5,
+            bins_lo: 4,
+            pi: &[0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124],
+        }
+    } else {
+        LongestRunConfig {
+            m: 10_000,
+            k: 6,
+            bins_lo: 10,
+            pi: &[0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727],
+        }
+    }
+}
+
+/// §2.4 Longest Run of Ones in a Block test.
+///
+/// # Panics
+///
+/// Panics if the sequence is shorter than the spec minimum (128 bits).
+pub fn longest_run_test(bits: &BitBuffer) -> TestResult {
+    let n = bits.len();
+    assert!(n >= 128, "longest-run test needs at least 128 bits");
+    let cfg = longest_run_config(n);
+    let blocks = n / cfg.m;
+    let mut v = vec![0u64; cfg.k + 1];
+    for b in 0..blocks {
+        let mut longest = 0usize;
+        let mut run = 0usize;
+        for i in 0..cfg.m {
+            if bits.bit(b * cfg.m + i) {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        let bin = (longest as i64 - i64::from(cfg.bins_lo)).clamp(0, cfg.k as i64) as usize;
+        v[bin] += 1;
+    }
+    let nf = blocks as f64;
+    let chi2: f64 = v
+        .iter()
+        .zip(cfg.pi)
+        .map(|(&obs, &pi)| {
+            let e = nf * pi;
+            (obs as f64 - e) * (obs as f64 - e) / e
+        })
+        .sum();
+    let p = igamc(cfg.k as f64 / 2.0, chi2 / 2.0);
+    TestResult::single("LongestRun", p)
+}
+
+/// §2.13 Cumulative Sums test; returns both the forward and backward
+/// subtests (the paper's starred row averages them).
+pub fn cumulative_sums_test(bits: &BitBuffer) -> TestResult {
+    let n = bits.len();
+    assert!(n > 0, "cusum test needs a non-empty sequence");
+    let p_fwd = cusum_p(bits, false);
+    let p_rev = cusum_p(bits, true);
+    TestResult::multi("CumulativeSums", vec![p_fwd, p_rev])
+}
+
+fn cusum_p(bits: &BitBuffer, reverse: bool) -> f64 {
+    let n = bits.len();
+    let mut s = 0i64;
+    let mut z = 0i64;
+    for i in 0..n {
+        let idx = if reverse { n - 1 - i } else { i };
+        s += if bits.bit(idx) { 1 } else { -1 };
+        z = z.max(s.abs());
+    }
+    if z == 0 {
+        return 0.0;
+    }
+    let n_f = n as f64;
+    let z_f = z as f64;
+    let sqrt_n = n_f.sqrt();
+
+    let mut sum1 = 0.0;
+    let k_lo = ((-(n_f / z_f) + 1.0) / 4.0).ceil() as i64;
+    let k_hi = ((n_f / z_f - 1.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        let k = k as f64;
+        sum1 += norm_cdf((4.0 * k + 1.0) * z_f / sqrt_n) - norm_cdf((4.0 * k - 1.0) * z_f / sqrt_n);
+    }
+    let mut sum2 = 0.0;
+    let k_lo = ((-(n_f / z_f) - 3.0) / 4.0).ceil() as i64;
+    let k_hi = ((n_f / z_f - 1.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        let k = k as f64;
+        sum2 += norm_cdf((4.0 * k + 3.0) * z_f / sqrt_n) - norm_cdf((4.0 * k + 1.0) * z_f / sqrt_n);
+    }
+    (1.0 - sum1 + sum2).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SP 800-22 §2.1.8 reference sequence: first 100 binary digits of pi.
+    fn pi_100() -> BitBuffer {
+        BitBuffer::from_binary_str(
+            "11001001000011111101101010100010001000010110100011\
+             00001000110100110001001100011001100010100010111000",
+        )
+    }
+
+    fn random_bits(n: usize, seed: u64) -> BitBuffer {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        (0..n)
+            .map(|_| {
+                // splitmix64: non-linear over GF(2), unlike xorshift.
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) & 1 == 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frequency_nist_vectors() {
+        // §2.1.4 worked example: ε = 1011010101, p = 0.527089.
+        let small = BitBuffer::from_binary_str("1011010101");
+        assert!((frequency_test(&small).p_value() - 0.527_089).abs() < 1e-5);
+        // §2.1.8: pi digits, p = 0.109599.
+        assert!((frequency_test(&pi_100()).p_value() - 0.109_599).abs() < 1e-5);
+    }
+
+    #[test]
+    fn block_frequency_nist_vectors() {
+        // §2.2.4 worked example: ε = 0110011010, M = 3, p = 0.801252.
+        let small = BitBuffer::from_binary_str("0110011010");
+        assert!((block_frequency_test(&small, 3).p_value() - 0.801_252).abs() < 1e-5);
+        // §2.2.8: pi digits, M = 10, p = 0.706438.
+        assert!((block_frequency_test(&pi_100(), 10).p_value() - 0.706_438).abs() < 1e-5);
+    }
+
+    #[test]
+    fn runs_nist_vectors() {
+        // §2.3.4 worked example: ε = 1001101011, p = 0.147232.
+        let small = BitBuffer::from_binary_str("1001101011");
+        assert!((runs_test(&small).p_value() - 0.147_232).abs() < 1e-5);
+        // §2.3.8: pi digits, p = 0.500798.
+        assert!((runs_test(&pi_100()).p_value() - 0.500_798).abs() < 1e-5);
+    }
+
+    #[test]
+    fn runs_rejects_biased_sequence_via_prerequisite() {
+        let biased: BitBuffer = (0..1000).map(|i| i % 10 != 0).collect();
+        assert_eq!(runs_test(&biased).p_value(), 0.0);
+    }
+
+    #[test]
+    fn longest_run_nist_example() {
+        // §2.4.8 example: 128-bit sequence, p = 0.180609.
+        let eps = BitBuffer::from_binary_str(
+            "11001100000101010110110001001100111000000000001001\
+             00110101010001000100111101011010000000110101111100\
+             1100111001101101100010110010",
+        );
+        // 0.180609 in the spec (rounded pi constants); exact arithmetic
+        // gives 0.1805980.
+        assert!((longest_run_test(&eps).p_value() - 0.180_609).abs() < 2e-4);
+    }
+
+    #[test]
+    fn cusum_nist_vectors() {
+        // §2.13.4 worked example: ε = 1011010111, forward z = 4,
+        // p = 0.4116588.
+        let small = BitBuffer::from_binary_str("1011010111");
+        let r = cumulative_sums_test(&small);
+        assert!((r.p_values[0] - 0.411_658_8).abs() < 1e-5, "{:?}", r.p_values);
+        // §2.13.8: pi digits, forward 0.219194, reverse 0.114866.
+        let r = cumulative_sums_test(&pi_100());
+        assert!((r.p_values[0] - 0.219_194).abs() < 1e-5, "{:?}", r.p_values);
+        assert!((r.p_values[1] - 0.114_866).abs() < 1e-5, "{:?}", r.p_values);
+    }
+
+    #[test]
+    fn random_data_passes_all_simple_tests() {
+        let bits = random_bits(100_000, 0xDEADBEEF);
+        assert!(frequency_test(&bits).passes(0.01));
+        assert!(block_frequency_test(&bits, 128).passes(0.01));
+        assert!(runs_test(&bits).passes(0.01));
+        assert!(longest_run_test(&bits).passes(0.01));
+        assert!(cumulative_sums_test(&bits).passes(0.01));
+    }
+
+    #[test]
+    fn pathological_data_fails() {
+        let ones: BitBuffer = (0..10_000).map(|_| true).collect();
+        assert!(!frequency_test(&ones).passes(0.01));
+        let alternating: BitBuffer = (0..10_000).map(|i| i % 2 == 0).collect();
+        // Alternating bits are balanced but have far too many runs.
+        assert!(frequency_test(&alternating).passes(0.01));
+        assert!(!runs_test(&alternating).passes(0.01));
+    }
+
+    #[test]
+    fn longest_run_uses_large_config_for_megabit() {
+        let bits = random_bits(1_000_000, 7);
+        // Should run without panicking and produce a sane p-value.
+        let p = longest_run_test(&bits).p_value();
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

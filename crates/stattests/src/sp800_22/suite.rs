@@ -1,0 +1,390 @@
+//! Suite driver: runs all fifteen tests over a set of sequences and
+//! aggregates results the way the paper's Table 3 reports them.
+
+use crate::bits::BitBuffer;
+use crate::special::igamc;
+
+use super::{
+    approximate_entropy_test, block_frequency_test, cumulative_sums_test, dft_test,
+    frequency_test, linear_complexity_test, longest_run_test, non_overlapping_template_test,
+    overlapping_template_test, random_excursions_test, random_excursions_variant_test, rank_test,
+    runs_test, serial_test, universal_test, TestResult, ALPHA,
+};
+
+/// Identifier of one SP 800-22 test, in the paper's Table 3 order.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TestId {
+    Frequency,
+    BlockFrequency,
+    CumulativeSums,
+    Runs,
+    LongestRun,
+    Rank,
+    Fft,
+    NonOverlappingTemplate,
+    OverlappingTemplate,
+    Universal,
+    ApproximateEntropy,
+    RandomExcursions,
+    RandomExcursionsVariant,
+    Serial,
+    LinearComplexity,
+}
+
+/// All fifteen tests in Table 3 order.
+pub const ALL_TESTS: [TestId; 15] = [
+    TestId::Frequency,
+    TestId::BlockFrequency,
+    TestId::CumulativeSums,
+    TestId::Runs,
+    TestId::LongestRun,
+    TestId::Rank,
+    TestId::Fft,
+    TestId::NonOverlappingTemplate,
+    TestId::OverlappingTemplate,
+    TestId::Universal,
+    TestId::ApproximateEntropy,
+    TestId::RandomExcursions,
+    TestId::RandomExcursionsVariant,
+    TestId::Serial,
+    TestId::LinearComplexity,
+];
+
+impl TestId {
+    /// The name as printed in the paper's Table 3.
+    pub fn name(self) -> &'static str {
+        match self {
+            TestId::Frequency => "Frequency",
+            TestId::BlockFrequency => "BlockFrequency",
+            TestId::CumulativeSums => "CumulativeSums*",
+            TestId::Runs => "Runs",
+            TestId::LongestRun => "LongestRun",
+            TestId::Rank => "Rank",
+            TestId::Fft => "FFT",
+            TestId::NonOverlappingTemplate => "NonOverlappingTemplate*",
+            TestId::OverlappingTemplate => "OverlappingTemplate",
+            TestId::Universal => "Universal",
+            TestId::ApproximateEntropy => "ApproximateEntropy",
+            TestId::RandomExcursions => "RandomExcursions*",
+            TestId::RandomExcursionsVariant => "RandomExcursionsVariant*",
+            TestId::Serial => "Serial*",
+            TestId::LinearComplexity => "LinearComplexity",
+        }
+    }
+
+    /// Runs this test on one sequence with the NIST defaults for 1 Mbit
+    /// inputs (BlockFrequency M=128, ApproximateEntropy m=2, Serial m=16,
+    /// LinearComplexity M=500).
+    pub fn run(self, bits: &BitBuffer) -> TestResult {
+        match self {
+            TestId::Frequency => frequency_test(bits),
+            TestId::BlockFrequency => block_frequency_test(bits, 128),
+            TestId::CumulativeSums => cumulative_sums_test(bits),
+            TestId::Runs => runs_test(bits),
+            TestId::LongestRun => longest_run_test(bits),
+            TestId::Rank => rank_test(bits),
+            TestId::Fft => dft_test(bits),
+            TestId::NonOverlappingTemplate => non_overlapping_template_test(bits),
+            TestId::OverlappingTemplate => overlapping_template_test(bits),
+            TestId::Universal => universal_test(bits),
+            TestId::ApproximateEntropy => approximate_entropy_test(bits, 2),
+            TestId::RandomExcursions => random_excursions_test(bits),
+            TestId::RandomExcursionsVariant => random_excursions_variant_test(bits),
+            TestId::Serial => serial_test(bits, 16),
+            TestId::LinearComplexity => linear_complexity_test(bits, 500),
+        }
+    }
+}
+
+impl std::fmt::Display for TestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Aggregated Table 3 row for one test over many sequences.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteRow {
+    /// Which test.
+    pub test: TestId,
+    /// Cross-sequence uniformity P-value (chi-square over 10 bins of the
+    /// pooled subtest p-values) — the "P-value" column of Table 3.
+    pub uniformity_p: f64,
+    /// Mean of all pooled p-values (informational).
+    pub mean_p: f64,
+    /// Sequences that passed all subtests.
+    pub passed: usize,
+    /// Sequences for which the test applied.
+    pub applicable: usize,
+}
+
+impl SuiteRow {
+    /// The "Prop." column of Table 3, e.g. `29/30`.
+    pub fn proportion(&self) -> String {
+        format!("{}/{}", self.passed, self.applicable)
+    }
+
+    /// NIST minimum pass proportion for the given sample size at
+    /// alpha = 0.01: `p_hat - 3 sqrt(p_hat (1-p_hat) / s)` with
+    /// `p_hat = 0.99`.
+    pub fn minimum_pass_rate(&self) -> f64 {
+        if self.applicable == 0 {
+            return 0.0;
+        }
+        let p = 1.0 - ALPHA;
+        p - 3.0 * (p * (1.0 - p) / self.applicable as f64).sqrt()
+    }
+
+    /// Whether the row meets both NIST acceptance criteria: uniformity
+    /// P-value >= 0.0001 and pass proportion above the minimum rate.
+    pub fn acceptable(&self) -> bool {
+        if self.applicable == 0 {
+            return false;
+        }
+        let rate = self.passed as f64 / self.applicable as f64;
+        self.uniformity_p >= 0.0001 && rate >= self.minimum_pass_rate()
+    }
+}
+
+/// Aggregated suite results over a set of sequences.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteReport {
+    /// One row per test, Table 3 order.
+    pub rows: Vec<SuiteRow>,
+    /// Number of input sequences.
+    pub sequences: usize,
+}
+
+impl SuiteReport {
+    /// Whether every row meets the NIST acceptance criteria.
+    pub fn all_acceptable(&self) -> bool {
+        self.rows.iter().all(SuiteRow::acceptable)
+    }
+
+    /// The row for a given test.
+    pub fn row(&self, test: TestId) -> Option<&SuiteRow> {
+        self.rows.iter().find(|r| r.test == test)
+    }
+}
+
+/// Uniformity P-value: chi-square of the pooled p-values over 10 equal
+/// bins (SP 800-22 §4.2.2).
+fn uniformity_p_value(p_values: &[f64]) -> f64 {
+    if p_values.is_empty() {
+        return 0.0;
+    }
+    let mut bins = [0u64; 10];
+    for &p in p_values {
+        let idx = ((p * 10.0).floor() as usize).min(9);
+        bins[idx] += 1;
+    }
+    let expect = p_values.len() as f64 / 10.0;
+    let chi2: f64 = bins
+        .iter()
+        .map(|&c| (c as f64 - expect) * (c as f64 - expect) / expect)
+        .sum();
+    igamc(9.0 / 2.0, chi2 / 2.0)
+}
+
+/// Runs the full suite over `sequences` and aggregates per-test rows.
+///
+/// Tests that are inapplicable for a sequence (Rank on short inputs,
+/// RandomExcursions with few cycles, …) exclude that sequence from their
+/// statistics, mirroring the paper's 17/17 RandomExcursions row.
+pub fn run_suite(sequences: &[BitBuffer]) -> SuiteReport {
+    run_suite_subset(sequences, &ALL_TESTS)
+}
+
+/// Runs a subset of the suite (used by benches that budget runtime).
+///
+/// The tests are independent, so they are spread across the available
+/// cores (each test still sees the sequences in order, keeping results
+/// bit-identical to a serial run).
+pub fn run_suite_subset(sequences: &[BitBuffer], tests: &[TestId]) -> SuiteReport {
+    let slots: Vec<std::sync::Mutex<Option<SuiteRow>>> =
+        tests.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(tests.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= tests.len() {
+                    break;
+                }
+                let row = run_one_test(sequences, tests[i]);
+                *slots[i].lock().expect("suite slot poisoned") = Some(row);
+            });
+        }
+    });
+    let rows = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("suite slot poisoned").expect("row computed"))
+        .collect();
+    SuiteReport {
+        rows,
+        sequences: sequences.len(),
+    }
+}
+
+/// Aggregates one test over all sequences (one row of Table 3).
+fn run_one_test(sequences: &[BitBuffer], test: TestId) -> SuiteRow {
+    let rows = [test]
+        .iter()
+        .map(|&test| {
+            let mut pooled = Vec::new();
+            // Per-subtest pass counts: NIST tracks each subtest's pass
+            // proportion separately (a sequence is not failed outright
+            // because one of 148 templates dipped below alpha — at
+            // alpha = 0.01 that happens to most sequences by chance).
+            let mut subtest_passes: Vec<usize> = Vec::new();
+            let mut applicable = 0usize;
+            for bits in sequences {
+                let r = test.run(bits);
+                if !r.applicable {
+                    continue;
+                }
+                applicable += 1;
+                if subtest_passes.len() < r.p_values.len() {
+                    subtest_passes.resize(r.p_values.len(), 0);
+                }
+                for (k, &p) in r.p_values.iter().enumerate() {
+                    if p >= ALPHA {
+                        subtest_passes[k] += 1;
+                    }
+                }
+                pooled.extend_from_slice(&r.p_values);
+            }
+            let mean_p = if pooled.is_empty() {
+                0.0
+            } else {
+                pooled.iter().sum::<f64>() / pooled.len() as f64
+            };
+            // The row's "passed" is the mean per-subtest pass count,
+            // rounded — for single-statistic tests this is exactly the
+            // sequence pass count; for starred tests it matches the
+            // paper's single-number summary convention.
+            let passed = if subtest_passes.is_empty() {
+                0
+            } else {
+                let mean = subtest_passes.iter().sum::<usize>() as f64
+                    / subtest_passes.len() as f64;
+                mean.round() as usize
+            };
+            SuiteRow {
+                test,
+                uniformity_p: uniformity_p_value(&pooled),
+                mean_p,
+                passed,
+                applicable,
+            }
+        })
+        .collect::<Vec<SuiteRow>>();
+    rows.into_iter().next().expect("one row per test")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_bits(n: usize, seed: u64) -> BitBuffer {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        (0..n)
+            .map(|_| {
+                // splitmix64: non-linear over GF(2), unlike xorshift.
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) & 1 == 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniformity_of_uniform_ps() {
+        let ps: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        assert!(uniformity_p_value(&ps) > 0.99);
+    }
+
+    #[test]
+    fn uniformity_of_clustered_ps_is_tiny() {
+        let ps = vec![0.5; 100];
+        assert!(uniformity_p_value(&ps) < 1e-10);
+    }
+
+    #[test]
+    fn subset_suite_on_random_sequences() {
+        let seqs: Vec<BitBuffer> = (0..8).map(|s| random_bits(50_000, 1000 + s)).collect();
+        let quick = [
+            TestId::Frequency,
+            TestId::BlockFrequency,
+            TestId::Runs,
+            TestId::CumulativeSums,
+            TestId::LongestRun,
+            TestId::ApproximateEntropy,
+        ];
+        let report = run_suite_subset(&seqs, &quick);
+        assert_eq!(report.rows.len(), quick.len());
+        for row in &report.rows {
+            assert_eq!(row.applicable, 8, "{}", row.test);
+            assert!(
+                row.passed >= 7,
+                "{}: {} — random data should pass",
+                row.test,
+                row.proportion()
+            );
+        }
+    }
+
+    #[test]
+    fn broken_generator_is_flagged() {
+        // Heavily biased sequences must fail the acceptance criteria.
+        let mut state = 99u64;
+        let seqs: Vec<BitBuffer> = (0..4)
+            .map(|_| {
+                (0..50_000)
+                    .map(|_| {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state % 100 < 60 // 60% ones
+                    })
+                    .collect()
+            })
+            .collect();
+        let report = run_suite_subset(&seqs, &[TestId::Frequency]);
+        assert!(!report.all_acceptable());
+        assert_eq!(report.rows[0].passed, 0);
+    }
+
+    #[test]
+    fn proportion_formatting_and_min_rate() {
+        let row = SuiteRow {
+            test: TestId::Frequency,
+            uniformity_p: 0.5,
+            mean_p: 0.5,
+            passed: 29,
+            applicable: 30,
+        };
+        assert_eq!(row.proportion(), "29/30");
+        // For 30 sequences the NIST minimum rate is ~0.9355.
+        assert!((row.minimum_pass_rate() - 0.9355).abs() < 0.001);
+        assert!(row.acceptable());
+    }
+
+    #[test]
+    fn row_lookup() {
+        let seqs = [random_bits(2000, 5)];
+        let report = run_suite_subset(&seqs, &[TestId::Frequency, TestId::Runs]);
+        assert!(report.row(TestId::Runs).is_some());
+        assert!(report.row(TestId::Rank).is_none());
+    }
+}

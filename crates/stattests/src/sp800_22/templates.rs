@@ -1,0 +1,275 @@
+//! §2.7 Non-overlapping and §2.8 Overlapping Template Matching tests.
+
+use crate::bits::BitBuffer;
+use crate::special::igamc;
+
+use super::TestResult;
+
+/// Default template length used by the NIST suite.
+pub const TEMPLATE_LEN: usize = 9;
+/// Number of blocks for the non-overlapping test.
+const N_BLOCKS: usize = 8;
+
+/// Enumerates all aperiodic templates of length `m`, as bit patterns with
+/// the first template bit in the most significant of the low `m` bits.
+///
+/// A template `B` is aperiodic if no proper shift of `B` matches itself:
+/// for all `1 <= k < m`, `B[0..m-k] != B[k..m]`. For `m = 9` this yields
+/// the 148 templates of the NIST `template9` file.
+pub fn aperiodic_templates(m: usize) -> Vec<u64> {
+    assert!(m >= 2 && m <= 16, "template length out of supported range");
+    let mut out = Vec::new();
+    'outer: for t in 0..(1u64 << m) {
+        for k in 1..m {
+            // Compare B[0..m-k] with B[k..m].
+            let top = t >> k; // B[0..m-k] (high bits)
+            let mask = (1u64 << (m - k)) - 1;
+            if (t & mask) == (top & mask) {
+                continue 'outer; // periodic with shift k
+            }
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// §2.7 Non-overlapping Template Matching test over every aperiodic
+/// template of length [`TEMPLATE_LEN`] (one subtest per template, as the
+/// NIST suite runs it; the paper's starred row averages them).
+///
+/// The rolling 9-bit window code at every position is precomputed once
+/// and shared by all 148 template scans, which keeps megabit inputs fast.
+///
+/// # Panics
+///
+/// Panics if the sequence is too short for 8 blocks of meaningful length.
+pub fn non_overlapping_template_test(bits: &BitBuffer) -> TestResult {
+    let m = TEMPLATE_LEN;
+    let n = bits.len();
+    let block_len = n / N_BLOCKS;
+    assert!(
+        block_len >= 2 * m,
+        "sequence too short for the non-overlapping template test"
+    );
+    // codes[i] = the m-bit window starting at i (within scanning range).
+    let mask = (1u64 << m) - 1;
+    let mut codes = vec![0u16; n - m + 1];
+    let mut w = bits.window(0, m);
+    codes[0] = w as u16;
+    for i in 1..=(n - m) {
+        w = ((w << 1) | u64::from(bits.bit(i + m - 1))) & mask;
+        codes[i] = w as u16;
+    }
+
+    let mu = (block_len - m + 1) as f64 / 2f64.powi(m as i32);
+    let sigma2 = block_len as f64
+        * (1.0 / 2f64.powi(m as i32) - (2.0 * m as f64 - 1.0) / 2f64.powi(2 * m as i32));
+
+    let templates = aperiodic_templates(m);
+    let p_values: Vec<f64> = templates
+        .iter()
+        .map(|&t| {
+            let t = t as u16;
+            let mut chi2 = 0.0;
+            for b in 0..N_BLOCKS {
+                let base = b * block_len;
+                let mut count = 0u64;
+                let mut i = 0usize;
+                while i + m <= block_len {
+                    if codes[base + i] == t {
+                        count += 1;
+                        i += m;
+                    } else {
+                        i += 1;
+                    }
+                }
+                chi2 += (count as f64 - mu) * (count as f64 - mu) / sigma2;
+            }
+            igamc(N_BLOCKS as f64 / 2.0, chi2 / 2.0)
+        })
+        .collect();
+    TestResult::multi("NonOverlappingTemplate", p_values)
+}
+
+/// One template's p-value for the non-overlapping test (kept public for
+/// targeted diagnostics; the suite path uses the precomputed-code scan).
+pub fn non_overlapping_single(bits: &BitBuffer, template: u64, m: usize) -> f64 {
+    let n = bits.len();
+    let block_len = n / N_BLOCKS;
+    assert!(
+        block_len >= 2 * m,
+        "sequence too short for the non-overlapping template test"
+    );
+    let mu = (block_len - m + 1) as f64 / 2f64.powi(m as i32);
+    let sigma2 = block_len as f64
+        * (1.0 / 2f64.powi(m as i32) - (2.0 * m as f64 - 1.0) / 2f64.powi(2 * m as i32));
+    let mut chi2 = 0.0;
+    for b in 0..N_BLOCKS {
+        let base = b * block_len;
+        let mut w = 0u64;
+        let mut i = 0usize;
+        while i + m <= block_len {
+            if bits.window(base + i, m) == template {
+                w += 1;
+                i += m; // non-overlapping scan restarts after a match
+            } else {
+                i += 1;
+            }
+        }
+        chi2 += (w as f64 - mu) * (w as f64 - mu) / sigma2;
+    }
+    igamc(N_BLOCKS as f64 / 2.0, chi2 / 2.0)
+}
+
+/// Bin probabilities for the overlapping test with m = 9, M = 1032
+/// (SP 800-22 rev. 1a §3.8 corrected values).
+const OVERLAP_PI: [f64; 6] = [
+    0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865,
+];
+/// Block length of the overlapping test.
+const OVERLAP_M: usize = 1032;
+
+/// §2.8 Overlapping Template Matching test (all-ones template of length
+/// 9, blocks of 1032 bits, 5 degrees of freedom).
+///
+/// Returns an inapplicable result when fewer than 5 blocks fit.
+pub fn overlapping_template_test(bits: &BitBuffer) -> TestResult {
+    let n = bits.len();
+    let blocks = n / OVERLAP_M;
+    if blocks < 5 {
+        return TestResult::not_applicable("OverlappingTemplate");
+    }
+    let m = TEMPLATE_LEN;
+    let template = (1u64 << m) - 1; // 111111111
+    let mut v = [0u64; 6];
+    for b in 0..blocks {
+        let base = b * OVERLAP_M;
+        let mut count = 0usize;
+        for i in 0..=(OVERLAP_M - m) {
+            if bits.window(base + i, m) == template {
+                count += 1;
+            }
+        }
+        v[count.min(5)] += 1;
+    }
+    let nf = blocks as f64;
+    let chi2: f64 = v
+        .iter()
+        .zip(OVERLAP_PI)
+        .map(|(&obs, pi)| {
+            let e = nf * pi;
+            (obs as f64 - e) * (obs as f64 - e) / e
+        })
+        .sum();
+    TestResult::single("OverlappingTemplate", igamc(5.0 / 2.0, chi2 / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_bits(n: usize, seed: u64) -> BitBuffer {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        (0..n)
+            .map(|_| {
+                // splitmix64: non-linear over GF(2), unlike xorshift.
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) & 1 == 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn template9_count_matches_nist_file() {
+        assert_eq!(aperiodic_templates(9).len(), 148);
+    }
+
+    #[test]
+    fn template2_enumeration() {
+        // Length 2: 01 and 10 are aperiodic; 00 and 11 are periodic.
+        let t = aperiodic_templates(2);
+        assert_eq!(t, vec![0b01, 0b10]);
+    }
+
+    #[test]
+    fn templates_are_actually_aperiodic() {
+        for &t in aperiodic_templates(6).iter() {
+            for k in 1..6 {
+                let mask = (1u64 << (6 - k)) - 1;
+                assert_ne!(t & mask, (t >> k) & mask, "template {t:06b} shift {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn nist_nonoverlapping_example() {
+        // §2.7.4 worked example: ε = 10100100101110010110, B = 001,
+        // N = 2 blocks of 10 bits, p = 0.344154.
+        // Our implementation fixes N = 8, so replicate the computation
+        // with the internal kernel generalised by hand: use the formula
+        // directly to validate mu/sigma arithmetic instead.
+        let bits = BitBuffer::from_binary_str("10100100101110010110");
+        let m = 3;
+        let block_len = 10;
+        let mu = (block_len - m + 1) as f64 / 8.0;
+        let sigma2 = block_len as f64 * (1.0 / 8.0 - (2.0 * 3.0 - 1.0) / 64.0);
+        // Count W in each half with the non-overlapping scan for B=001.
+        let count = |start: usize| {
+            let mut w = 0;
+            let mut i = 0;
+            while i + m <= block_len {
+                if bits.window(start + i, m) == 0b001 {
+                    w += 1;
+                    i += m;
+                } else {
+                    i += 1;
+                }
+            }
+            w
+        };
+        let (w1, w2) = (count(0), count(10));
+        assert_eq!((w1, w2), (2, 1));
+        let chi2 = ((w1 as f64 - mu).powi(2) + (w2 as f64 - mu).powi(2)) / sigma2;
+        let p = igamc(1.0, chi2 / 2.0);
+        assert!((p - 0.344_154).abs() < 1e-4, "p = {p}");
+    }
+
+    #[test]
+    fn random_data_passes_both_template_tests() {
+        let bits = random_bits(1_000_000, 21);
+        let non = non_overlapping_template_test(&bits);
+        assert_eq!(non.p_values.len(), 148);
+        let fails = non.p_values.iter().filter(|&&p| p < 0.01).count();
+        // With 148 subtests at alpha = 0.01 a few failures are expected;
+        // more than 8 would signal a broken implementation.
+        assert!(fails <= 8, "{fails} template subtests failed");
+
+        let over = overlapping_template_test(&bits);
+        assert!(over.passes(0.01), "p = {}", over.p_value());
+    }
+
+    #[test]
+    fn stuck_pattern_fails_nonoverlapping() {
+        // Repeating 000000001: one template massively over-represented.
+        let bits: BitBuffer = (0..200_000).map(|i| i % 9 == 8).collect();
+        let r = non_overlapping_template_test(&bits);
+        let min_p = r.p_values.iter().cloned().fold(1.0, f64::min);
+        assert!(min_p < 1e-10, "min p = {min_p}");
+    }
+
+    #[test]
+    fn all_ones_fails_overlapping() {
+        let bits: BitBuffer = (0..200_000).map(|_| true).collect();
+        let r = overlapping_template_test(&bits);
+        assert!(r.p_value() < 1e-10);
+    }
+
+    #[test]
+    fn short_input_is_inapplicable_for_overlapping() {
+        let bits = random_bits(4000, 3);
+        assert!(!overlapping_template_test(&bits).applicable);
+    }
+}

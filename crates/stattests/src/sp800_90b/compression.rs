@@ -1,0 +1,214 @@
+//! §6.3.4 Compression estimate (Maurer-style).
+//!
+//! The sequence is processed as 6-bit blocks; after a 1000-block
+//! dictionary warm-up, each block contributes `log2` of its distance to
+//! the previous occurrence. The lower-bounded mean of those contributions
+//! is inverted through the spec's `G` function by binary search on the
+//! most-likely-symbol probability `p`.
+
+use crate::bits::BitBuffer;
+
+use super::{Estimate, Z_ALPHA};
+
+/// Block size in bits (spec: `b = 6`).
+const B: usize = 6;
+/// Dictionary warm-up length in blocks (spec: `d = 1000`).
+const D: usize = 1000;
+/// Standard-deviation correction factor for b = 6 (spec §6.3.4 step 5).
+const C_FACTOR: f64 = 0.5907;
+/// Geometric weights below this are treated as zero.
+const TINY: f64 = 1e-18;
+
+/// §6.3.4 Compression estimate.
+///
+/// # Panics
+///
+/// Panics if fewer than `d + 2 = 1002` six-bit blocks are available.
+pub fn compression_estimate(bits: &BitBuffer) -> Estimate {
+    let l = bits.len() / B;
+    assert!(l >= D + 2, "compression estimate needs more than {D} blocks");
+
+    // Dictionary of last-seen indices (1-based block positions).
+    let mut dict = [0usize; 1 << B];
+    for i in 1..=D {
+        let v = bits.window((i - 1) * B, B) as usize;
+        dict[v] = i;
+    }
+    let v_count = l - D;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for i in (D + 1)..=l {
+        let v = bits.window((i - 1) * B, B) as usize;
+        let dist = if dict[v] == 0 { i } else { i - dict[v] };
+        dict[v] = i;
+        let lg = (dist as f64).log2();
+        sum += lg;
+        sum_sq += lg * lg;
+    }
+    let mean = sum / v_count as f64;
+    let var = (sum_sq / v_count as f64 - mean * mean).max(0.0);
+    let sigma = C_FACTOR * var.sqrt();
+    let x_lower = mean - Z_ALPHA * sigma / (v_count as f64).sqrt();
+
+    // Binary search p in [2^-6, 1] such that
+    //   G(p) + (2^6 - 1) G(q) = x_lower,  q = (1 - p) / (2^6 - 1).
+    // The left side decreases in p (a more predictable source has shorter
+    // recurrence distances). When even p = 2^-6 cannot reach x_lower the
+    // search converges to the full-entropy floor, as the spec prescribes.
+    let mut lo = 1.0 / (1 << B) as f64;
+    let mut hi = 1.0;
+    for _ in 0..60 {
+        let p = 0.5 * (lo + hi);
+        let q = (1.0 - p) / ((1 << B) as f64 - 1.0);
+        let val = g_fn(p, l) + ((1 << B) as f64 - 1.0) * g_fn(q, l);
+        if val > x_lower {
+            lo = p;
+        } else {
+            hi = p;
+        }
+    }
+    let p_final = 0.5 * (lo + hi);
+    let h = (-(p_final.log2()) / B as f64).clamp(0.0, 1.0);
+    Estimate {
+        name: "Compression",
+        p_max: 2f64.powf(-h),
+        h_min: h,
+    }
+}
+
+/// The spec's `G(z)` function:
+/// `G(z) = (1/v) * sum_{t=d+1}^{L} sum_{u=1}^{t} log2(u) F(z, t, u)`
+/// with `F(z, t, u) = z^2 (1-z)^{u-1}` for `u < t` and
+/// `F(z, t, u) = z (1-z)^{t-1}` for `u = t`.
+///
+/// Splitting off the `u = t` diagonal leaves
+/// `G(z) = (1/v) [ sum_t z (1-z)^{t-1} log2(t) + z^2 sum_t A(t-1) ]`
+/// with `A(T) = sum_{u=1}^{T} log2(u) (1-z)^{u-1}`, which saturates once
+/// the geometric weight vanishes — so the whole thing is O(L).
+fn g_fn(z: f64, l: usize) -> f64 {
+    if z <= 0.0 || z >= 1.0 {
+        // z = 1: distances are always 1, log2(1) = 0. z = 0: the symbol
+        // never occurs, contributing nothing.
+        return 0.0;
+    }
+    let v = (l - D) as f64;
+    let one_minus = 1.0 - z;
+
+    // Diagonal term: sum_{t=d+1}^{L} z (1-z)^(t-1) log2(t).
+    let mut diag = 0.0;
+    let mut w = one_minus.powi(D as i32);
+    for t in (D + 1)..=l {
+        if w < TINY {
+            break;
+        }
+        diag += z * w * (t as f64).log2();
+        w *= one_minus;
+    }
+
+    // Inner term: z^2 sum_{t=d+1}^{L} A(t-1).
+    // Warm `a` up to A(D).
+    let mut a = 0.0;
+    let mut w = 1.0; // (1-z)^(u-1) for the u about to be added
+    let mut u = 1usize;
+    while u <= D && w >= TINY {
+        a += (u as f64).log2() * w;
+        w *= one_minus;
+        u += 1;
+    }
+    let mut inner = 0.0;
+    let mut t = D + 1;
+    while t <= l {
+        inner += a; // a == A(t-1)
+        if w < TINY {
+            // A has saturated: every remaining t contributes the same.
+            inner += a * (l - t) as f64;
+            break;
+        }
+        // Extend a to A(t) for the next iteration (u == t here unless
+        // saturation stopped the warm-up early).
+        while u <= t && w >= TINY {
+            a += (u as f64).log2() * w;
+            w *= one_minus;
+            u += 1;
+        }
+        t += 1;
+    }
+    (diag + z * z * inner) / v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sp800_90b::{biased_bits, splitmix_bits};
+
+    #[test]
+    fn g_is_monotone_decreasing_in_z() {
+        let l = 20_000;
+        let total = |p: f64| {
+            let q = (1.0 - p) / 63.0;
+            g_fn(p, l) + 63.0 * g_fn(q, l)
+        };
+        let mut prev = f64::INFINITY;
+        for i in 1..20 {
+            let p = (i as f64 / 20.0).max(1.0 / 64.0);
+            let v = total(p);
+            assert!(v <= prev + 1e-9, "p = {p}: {v} > {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn g_matches_brute_force_on_small_input() {
+        // Brute-force the double sum for a small L and moderate z.
+        let l = D + 50;
+        for &z in &[0.05f64, 0.3, 0.7] {
+            let mut brute = 0.0;
+            for t in (D + 1)..=l {
+                for u in 1..=t {
+                    let f = if u < t {
+                        z * z * (1.0 - z).powi(u as i32 - 1)
+                    } else {
+                        z * (1.0 - z).powi(t as i32 - 1)
+                    };
+                    brute += (u as f64).log2() * f;
+                }
+            }
+            brute /= (l - D) as f64;
+            let fast = g_fn(z, l);
+            assert!(
+                (fast - brute).abs() < 1e-9,
+                "z = {z}: fast {fast} vs brute {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn ideal_data_scores_high() {
+        let bits = splitmix_bits(600_000, 31);
+        let e = compression_estimate(&bits);
+        // The paper's Table 4 Compression row reports h-min = 1.0 (their
+        // p-max column shows 0.5): ideal data saturates this estimator.
+        assert!(e.h_min > 0.85, "h = {}", e.h_min);
+    }
+
+    #[test]
+    fn constant_data_scores_zero() {
+        let bits: BitBuffer = (0..100_000).map(|_| true).collect();
+        let e = compression_estimate(&bits);
+        assert!(e.h_min < 0.05, "h = {}", e.h_min);
+    }
+
+    #[test]
+    fn bias_reduces_compression_entropy() {
+        let fair = compression_estimate(&splitmix_bits(400_000, 32)).h_min;
+        let biased = compression_estimate(&biased_bits(400_000, 32, 75)).h_min;
+        assert!(biased < fair, "{biased} !< {fair}");
+    }
+
+    #[test]
+    #[should_panic(expected = "compression estimate needs")]
+    fn too_short_panics() {
+        let bits = splitmix_bits(100, 33);
+        let _ = compression_estimate(&bits);
+    }
+}

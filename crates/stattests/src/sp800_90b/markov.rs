@@ -1,0 +1,129 @@
+//! §6.3.3 Markov estimate (binary).
+//!
+//! Builds the first-order transition matrix, then finds the most likely
+//! 128-step sequence by dynamic programming. The reported `p_max` is that
+//! sequence's probability — which is why the paper's Table 4 shows values
+//! like `4.28E-39` — and `h = min(-log2(p_max)/128, 1)` per bit.
+
+use crate::bits::BitBuffer;
+
+use super::Estimate;
+
+/// Chain length prescribed by the spec.
+const CHAIN_LEN: u32 = 128;
+
+/// §6.3.3 Markov estimate.
+///
+/// # Panics
+///
+/// Panics if the sequence has fewer than two bits.
+pub fn markov_estimate(bits: &BitBuffer) -> Estimate {
+    let n = bits.len();
+    assert!(n >= 2, "Markov estimate needs at least two bits");
+
+    // Initial probabilities.
+    let ones = bits.ones() as f64;
+    let p1 = ones / n as f64;
+    let p0 = 1.0 - p1;
+
+    // Transition counts.
+    let mut c = [[0u64; 2]; 2];
+    for i in 0..n - 1 {
+        c[usize::from(bits.bit(i))][usize::from(bits.bit(i + 1))] += 1;
+    }
+    let t = |from: usize, to: usize| -> f64 {
+        let row = c[from][0] + c[from][1];
+        if row == 0 {
+            // Unobserved state: the spec treats its transitions as free
+            // (probability 1 upper bound).
+            1.0
+        } else {
+            c[from][to] as f64 / row as f64
+        }
+    };
+
+    // DP over log-probabilities of the most likely 128-step sequence.
+    let safe_log = |p: f64| -> f64 {
+        if p <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            p.log2()
+        }
+    };
+    let mut best = [safe_log(p0), safe_log(p1)];
+    for _ in 1..CHAIN_LEN {
+        let next0 = (best[0] + safe_log(t(0, 0))).max(best[1] + safe_log(t(1, 0)));
+        let next1 = (best[0] + safe_log(t(0, 1))).max(best[1] + safe_log(t(1, 1)));
+        best = [next0, next1];
+    }
+    let log_p_max = best[0].max(best[1]);
+    let p_max = 2f64.powf(log_p_max);
+    let h = (-log_p_max / f64::from(CHAIN_LEN)).clamp(0.0, 1.0);
+    Estimate {
+        name: "Markov",
+        p_max,
+        h_min: h,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sp800_90b::{biased_bits, splitmix_bits};
+
+    #[test]
+    fn ideal_data_p_max_is_astronomically_small() {
+        let bits = splitmix_bits(1_000_000, 21);
+        let e = markov_estimate(&bits);
+        // ~2^-128 ~ 2.9e-39: the paper's Table 4 shows 4.28E-39.
+        assert!(e.p_max < 1e-37, "p_max = {:e}", e.p_max);
+        assert!(e.p_max > 1e-41, "p_max = {:e}", e.p_max);
+        assert!(e.h_min > 0.99, "h = {}", e.h_min);
+    }
+
+    #[test]
+    fn constant_data_has_zero_entropy() {
+        let bits: BitBuffer = (0..10_000).map(|_| true).collect();
+        let e = markov_estimate(&bits);
+        assert!((e.p_max - 1.0).abs() < 1e-9);
+        assert_eq!(e.h_min, 0.0);
+    }
+
+    #[test]
+    fn alternating_data_is_fully_predictable() {
+        // 0101...: transitions are deterministic, so the best chain has
+        // probability ~= initial probability ~ 0.5 -> h ~ 1/128 * 1 bit.
+        let bits: BitBuffer = (0..10_000).map(|i| i % 2 == 0).collect();
+        let e = markov_estimate(&bits);
+        assert!(e.h_min < 0.01, "h = {}", e.h_min);
+    }
+
+    #[test]
+    fn bias_lowers_markov_entropy() {
+        let fair = markov_estimate(&splitmix_bits(500_000, 22)).h_min;
+        let biased = markov_estimate(&biased_bits(500_000, 22, 65)).h_min;
+        assert!(biased < fair);
+    }
+
+    #[test]
+    fn sticky_source_detected() {
+        // Markov chain with strong persistence: P(same) = 0.8.
+        let mut state = 77u64;
+        let mut prev = false;
+        let bits: BitBuffer = (0..200_000)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                let flip = (z ^ (z >> 31)) % 100 < 20;
+                prev = prev != flip;
+                prev
+            })
+            .collect();
+        let e = markov_estimate(&bits);
+        // Best chain stays in the sticky state: h ~ -log2(0.8) = 0.32.
+        assert!(e.h_min < 0.45, "h = {}", e.h_min);
+        assert!(e.h_min > 0.2, "h = {}", e.h_min);
+    }
+}

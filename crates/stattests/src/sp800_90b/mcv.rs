@@ -1,0 +1,67 @@
+//! §6.3.1 Most Common Value estimate.
+
+use crate::bits::BitBuffer;
+
+use super::{upper_bound, Estimate};
+
+/// §6.3.1 Most Common Value estimate: `p_u = p_hat + Z sqrt(p(1-p)/(n-1))`
+/// on the mode frequency; `h = -log2(p_u)`.
+///
+/// # Panics
+///
+/// Panics on an empty sequence.
+pub fn mcv_estimate(bits: &BitBuffer) -> Estimate {
+    let n = bits.len();
+    assert!(n > 0, "MCV estimate needs a non-empty sequence");
+    let ones = bits.ones();
+    let mode = ones.max(n - ones);
+    let p_hat = mode as f64 / n as f64;
+    Estimate::from_p("MCV", upper_bound(p_hat, n))
+}
+
+/// The paper's scalar "min-entropy" (Tables 1–2, Figure 9, IID row):
+/// the MCV min-entropy per bit.
+pub fn min_entropy_mcv(bits: &BitBuffer) -> f64 {
+    mcv_estimate(bits).h_min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sp800_90b::splitmix_bits;
+
+    #[test]
+    fn ideal_data_is_near_one() {
+        let bits = splitmix_bits(1_000_000, 3);
+        let h = min_entropy_mcv(&bits);
+        // With 1 Mbit of fair coin flips the CI term costs ~0.004 bits.
+        assert!(h > 0.99, "h = {h}");
+        assert!(h <= 1.0);
+    }
+
+    #[test]
+    fn known_bias_maps_to_expected_entropy() {
+        // Exactly 60% ones: p_u ~ 0.6012, h ~ -log2 -> 0.734.
+        let bits: BitBuffer = (0..100_000).map(|i| i % 5 != 0 || i % 10 == 5).collect();
+        let ones = bits.ones() as f64 / bits.len() as f64;
+        let e = mcv_estimate(&bits);
+        assert!(e.p_max >= ones.max(1.0 - ones));
+        assert!(e.p_max < ones.max(1.0 - ones) + 0.01);
+    }
+
+    #[test]
+    fn constant_sequence_has_zero_entropy() {
+        let bits: BitBuffer = (0..1000).map(|_| true).collect();
+        let e = mcv_estimate(&bits);
+        assert_eq!(e.p_max, 1.0);
+        assert_eq!(e.h_min, 0.0);
+    }
+
+    #[test]
+    fn more_data_tightens_the_bound() {
+        let small = min_entropy_mcv(&splitmix_bits(10_000, 4));
+        let large = min_entropy_mcv(&splitmix_bits(1_000_000, 4));
+        // Larger samples shrink the confidence penalty (both near 1).
+        assert!(large > small - 0.01);
+    }
+}

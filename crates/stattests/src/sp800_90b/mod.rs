@@ -1,0 +1,217 @@
+//! NIST SP 800-90B min-entropy estimation.
+//!
+//! Implements the ten non-IID estimators the paper's Table 4 reports
+//! (MCV, Collision, Markov, Compression, t-Tuple, LRS, Multi-MCW, Lag,
+//! Multi-MMC, LZ78Y), the shared predictor machinery of §6.3.7–6.3.10,
+//! and the IID-track permutation test of §5.1.
+//!
+//! All estimators are the **binary-source specialisations** of the spec
+//! (the DH-TRNG emits one bit per clock): where the spec's general
+//! formulas simplify for a two-letter alphabet, the simplified closed
+//! forms are used and documented in place.
+//!
+//! The paper's scalar "min-entropy" numbers (Tables 1-2, Figure 9, and
+//! the IID row of §4.1.2) correspond to the most-common-value estimate,
+//! exposed as [`min_entropy_mcv`].
+//!
+//! # Example
+//!
+//! ```
+//! use dhtrng_stattests::BitBuffer;
+//! use dhtrng_stattests::sp800_90b::{mcv_estimate, min_entropy_mcv};
+//!
+//! // A strongly biased source has low min-entropy.
+//! let biased: BitBuffer = (0..10_000).map(|i| i % 10 != 0).collect();
+//! assert!(min_entropy_mcv(&biased) < 0.2);
+//! let e = mcv_estimate(&biased);
+//! assert!(e.p_max > 0.88);
+//! ```
+
+mod collision;
+mod compression;
+mod iid;
+mod markov;
+mod mcv;
+mod predictors;
+mod restart;
+mod tuple;
+
+pub use collision::collision_estimate;
+pub use compression::compression_estimate;
+pub use iid::{iid_permutation_test, IidReport, IidStatistic};
+pub use markov::markov_estimate;
+pub use mcv::{mcv_estimate, min_entropy_mcv};
+pub use predictors::{lag_estimate, lz78y_estimate, multi_mcw_estimate, multi_mmc_estimate};
+pub use restart::{RestartAssessment, RestartMatrix};
+pub use tuple::{lrs_estimate, t_tuple_estimate};
+
+use crate::bits::BitBuffer;
+
+/// Upper 99.5 % normal quantile used by every confidence adjustment in
+/// the spec (`Z(0.995)`).
+pub const Z_ALPHA: f64 = 2.575_829_303_548_901;
+
+/// One estimator's output: the bound on the most likely outcome
+/// probability and the derived min-entropy (per bit).
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimator name as printed in the paper's Table 4.
+    pub name: &'static str,
+    /// Probability bound. For most estimators this is the per-bit upper
+    /// confidence bound; for Markov it is the probability of the most
+    /// likely 128-bit sequence (hence the paper's `4.28E-39`-style value).
+    pub p_max: f64,
+    /// Min-entropy per bit, clamped to `[0, 1]`.
+    pub h_min: f64,
+}
+
+impl Estimate {
+    pub(crate) fn from_p(name: &'static str, p_max: f64) -> Self {
+        let p = p_max.clamp(0.5, 1.0);
+        Self {
+            name,
+            p_max: p,
+            h_min: (-p.log2()).clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl std::fmt::Display for Estimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: p-max {:.6e}, h-min {:.6}", self.name, self.p_max, self.h_min)
+    }
+}
+
+/// Runs the full non-IID battery (Table 4 order).
+pub fn non_iid_battery(bits: &BitBuffer) -> Vec<Estimate> {
+    vec![
+        mcv_estimate(bits),
+        collision_estimate(bits),
+        markov_estimate(bits),
+        compression_estimate(bits),
+        t_tuple_estimate(bits),
+        lrs_estimate(bits),
+        multi_mcw_estimate(bits),
+        lag_estimate(bits),
+        multi_mmc_estimate(bits),
+        lz78y_estimate(bits),
+    ]
+}
+
+/// The overall non-IID min-entropy assessment: the minimum over all ten
+/// estimators (SP 800-90B §3.1.3).
+pub fn non_iid_min_entropy(bits: &BitBuffer) -> f64 {
+    non_iid_battery(bits)
+        .iter()
+        .map(|e| e.h_min)
+        .fold(1.0, f64::min)
+}
+
+/// Shared upper confidence bound on a proportion (`p_hat` over `n`
+/// observations), per the spec's repeated
+/// `p + Z * sqrt(p (1-p) / (n-1))` pattern.
+pub(crate) fn upper_bound(p_hat: f64, n: usize) -> f64 {
+    if n <= 1 {
+        return 1.0;
+    }
+    (p_hat + Z_ALPHA * (p_hat * (1.0 - p_hat) / (n as f64 - 1.0)).sqrt()).min(1.0)
+}
+
+#[cfg(test)]
+pub(crate) fn splitmix_bits(n: usize, seed: u64) -> BitBuffer {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) & 1 == 1
+        })
+        .collect()
+}
+
+/// Biased splitmix-driven bits for detection tests: `percent_ones` of the
+/// bits are 1 on average.
+#[cfg(test)]
+pub(crate) fn biased_bits(n: usize, seed: u64, percent_ones: u64) -> BitBuffer {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) % 100 < percent_ones
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_clamps_and_derives_h() {
+        let e = Estimate::from_p("x", 0.5);
+        assert!((e.h_min - 1.0).abs() < 1e-12);
+        let e = Estimate::from_p("x", 1.0);
+        assert_eq!(e.h_min, 0.0);
+        // Below 1/2 is clamped to the binary floor.
+        let e = Estimate::from_p("x", 0.3);
+        assert!((e.h_min - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_bound_shrinks_with_n() {
+        let small = upper_bound(0.5, 100);
+        let large = upper_bound(0.5, 1_000_000);
+        assert!(small > large);
+        assert!(large > 0.5);
+        assert_eq!(upper_bound(0.5, 1), 1.0);
+    }
+
+    #[test]
+    fn battery_runs_and_orders_like_table4() {
+        let bits = splitmix_bits(40_000, 7);
+        let battery = non_iid_battery(&bits);
+        let names: Vec<&str> = battery.iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "MCV",
+                "Collision",
+                "Markov",
+                "Compression",
+                "t-Tuple",
+                "LRS",
+                "Multi-MCW",
+                "Lag",
+                "Multi-MMC",
+                "LZ78Y"
+            ]
+        );
+        for e in &battery {
+            assert!((0.0..=1.0).contains(&e.h_min), "{e}");
+        }
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_traits_are_implemented() {
+        fn assert_ser<T: serde::Serialize>() {}
+        assert_ser::<Estimate>();
+        assert_ser::<crate::sp800_22::SuiteReport>();
+        assert_ser::<crate::ais31::Ais31Report>();
+        assert_ser::<super::RestartAssessment>();
+    }
+
+    #[test]
+    fn overall_assessment_is_the_minimum() {
+        let bits = splitmix_bits(40_000, 9);
+        let battery = non_iid_battery(&bits);
+        let min = battery.iter().map(|e| e.h_min).fold(1.0, f64::min);
+        assert!((non_iid_min_entropy(&bits) - min).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,381 @@
+//! §6.3.7–§6.3.10 prediction estimators: Multi-MCW, Lag, Multi-MMC and
+//! LZ78Y, plus the shared global/local probability machinery.
+//!
+//! Each estimator simulates a family of sub-predictors walking the
+//! sequence; a scoreboard promotes whichever sub-predictor has been right
+//! most often. The final bound combines the global accuracy (with
+//! confidence adjustment) and a "local" bound derived from the longest
+//! run of correct predictions.
+//!
+//! Binary-source notes: contexts of up to 16 bits are stored in flat
+//! tables rather than capped dictionaries (the binary context space is
+//! tiny), and prediction ties resolve to the most recent occurrence for
+//! MCW and to zero for the Markov-model predictors; both choices are
+//! documented deviations that do not affect the estimates at the
+//! precision the reproduction uses.
+
+use crate::bits::BitBuffer;
+
+use super::{upper_bound, Estimate};
+
+/// Longest run of `true` in a slice.
+fn longest_true_run(v: &[bool]) -> usize {
+    let mut best = 0;
+    let mut run = 0;
+    for &b in v {
+        if b {
+            run += 1;
+            best = best.max(run);
+        } else {
+            run = 0;
+        }
+    }
+    best
+}
+
+/// The spec's local probability bound: the `p` for which the observed
+/// longest correct-prediction run (plus one) would be the 99th-percentile
+/// outcome over `n` predictions (Feller's recurrence for runs).
+fn local_probability(r: usize, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    if r > n {
+        return 1.0;
+    }
+    if r == 0 {
+        // Never a single correct prediction; the local bound is vacuous.
+        return 0.0;
+    }
+    // P(no run of length r in n trials), evaluated in logs to survive
+    // x^(n+1) for megabit inputs.
+    let log_p_no_run = |p: f64| -> f64 {
+        let q = 1.0 - p;
+        // Smallest real root > 1 of  x = 1 + q p^r x^(r+1).
+        let mut x = 1.0f64;
+        for _ in 0..64 {
+            let nx = 1.0 + q * p.powi(r as i32) * x.powi(r as i32 + 1);
+            if !nx.is_finite() || nx > 1.0 / p.max(1e-12) {
+                // Iteration escaping towards the large root: the no-run
+                // probability is effectively zero here.
+                return f64::NEG_INFINITY;
+            }
+            if (nx - x).abs() < 1e-14 {
+                x = nx;
+                break;
+            }
+            x = nx;
+        }
+        let num = 1.0 - p * x;
+        let den = (r as f64 + 1.0 - r as f64 * x) * q;
+        if num <= 0.0 || den <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        (num / den).ln() - (n as f64 + 1.0) * x.ln()
+    };
+    let target = 0.99f64.ln();
+    // log_p_no_run is decreasing in p: binary search.
+    let mut lo = 1e-9;
+    let mut hi = 1.0 - 1e-9;
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if log_p_no_run(mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Combines the correctness trace of a predictor into an [`Estimate`].
+fn predictor_estimate(name: &'static str, correct: &[bool]) -> Estimate {
+    let n = correct.len();
+    assert!(n > 0, "{name}: predictor made no predictions");
+    let c = correct.iter().filter(|&&b| b).count();
+    let p_global = c as f64 / n as f64;
+    let p_global_u = if c == 0 {
+        1.0 - 0.01f64.powf(1.0 / n as f64)
+    } else {
+        upper_bound(p_global, n)
+    };
+    let r = longest_true_run(correct) + 1;
+    let p_local = local_probability(r, n);
+    Estimate::from_p(name, p_global_u.max(p_local))
+}
+
+/// §6.3.7 Multi Most-Common-in-Window estimate (windows 63/255/1023/4095).
+///
+/// # Panics
+///
+/// Panics if the sequence has 64 bits or fewer.
+pub fn multi_mcw_estimate(bits: &BitBuffer) -> Estimate {
+    const WINDOWS: [usize; 4] = [63, 255, 1023, 4095];
+    let n = bits.len();
+    assert!(n > 64, "Multi-MCW needs more than 64 bits");
+
+    let mut ones_in_window = [0usize; 4];
+    let mut scoreboard = [0u64; 4];
+    let mut winner = 0usize;
+    let mut correct = Vec::with_capacity(n - 63);
+
+    for i in 0..n {
+        if i >= 63 {
+            // Sub-predictions for every active window.
+            let mut subs = [false; 4];
+            for (k, &w) in WINDOWS.iter().enumerate() {
+                if i >= w {
+                    let ones = ones_in_window[k];
+                    subs[k] = match (2 * ones).cmp(&w) {
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Less => false,
+                        // Tie: the most recently observed value.
+                        std::cmp::Ordering::Equal => bits.bit(i - 1),
+                    };
+                }
+            }
+            let actual = bits.bit(i);
+            correct.push(subs[winner] == actual && i >= WINDOWS[winner]);
+            // Scoreboard update: a sub-predictor takes over only by
+            // strictly exceeding the current winner's score.
+            for k in 0..4 {
+                if i >= WINDOWS[k] && subs[k] == actual {
+                    scoreboard[k] += 1;
+                    if scoreboard[k] > scoreboard[winner] {
+                        winner = k;
+                    }
+                }
+            }
+        }
+        // Slide the windows.
+        for (k, &w) in WINDOWS.iter().enumerate() {
+            if bits.bit(i) {
+                ones_in_window[k] += 1;
+            }
+            if i >= w && bits.bit(i - w) {
+                ones_in_window[k] -= 1;
+            }
+        }
+    }
+    predictor_estimate("Multi-MCW", &correct)
+}
+
+/// §6.3.8 Lag predictor estimate (lags 1..=128).
+///
+/// # Panics
+///
+/// Panics if the sequence has fewer than 2 bits.
+pub fn lag_estimate(bits: &BitBuffer) -> Estimate {
+    const D: usize = 128;
+    let n = bits.len();
+    assert!(n >= 2, "Lag estimate needs at least 2 bits");
+    let mut scoreboard = [0u64; D];
+    let mut winner = 0usize;
+    let mut correct = Vec::with_capacity(n - 1);
+    for i in 1..n {
+        let actual = bits.bit(i);
+        let winner_lag = winner + 1;
+        correct.push(i >= winner_lag && bits.bit(i - winner_lag) == actual);
+        for d in 1..=D.min(i) {
+            if bits.bit(i - d) == actual {
+                scoreboard[d - 1] += 1;
+                if scoreboard[d - 1] > scoreboard[winner] {
+                    winner = d - 1;
+                }
+            }
+        }
+    }
+    predictor_estimate("Lag", &correct)
+}
+
+/// §6.3.9 Multi Markov-Model-with-Counting estimate (orders 1..=16).
+///
+/// # Panics
+///
+/// Panics if the sequence has fewer than 3 bits.
+pub fn multi_mmc_estimate(bits: &BitBuffer) -> Estimate {
+    const D: usize = 16;
+    let n = bits.len();
+    assert!(n >= 3, "Multi-MMC needs at least 3 bits");
+    // Flat per-order context tables: counts[d][ctx][symbol].
+    let mut counts: Vec<Vec<[u32; 2]>> = (1..=D).map(|d| vec![[0u32; 2]; 1 << d]) .collect();
+    let mut scoreboard = [0u64; D];
+    let mut winner = 0usize;
+    let mut correct = Vec::with_capacity(n - 2);
+
+    // Rolling contexts: ctx[d] = last d bits before position i.
+    let mut ctx = [0u32; D + 1];
+    let update_ctx = |ctx: &mut [u32; D + 1], bit: bool| {
+        for d in 1..=D {
+            let mask = (1u32 << d) - 1;
+            ctx[d] = ((ctx[d] << 1) | u32::from(bit)) & mask;
+        }
+    };
+    update_ctx(&mut ctx, bits.bit(0));
+    update_ctx(&mut ctx, bits.bit(1));
+
+    for i in 2..n {
+        let actual = bits.bit(i);
+        // Sub-predictions.
+        let mut subs: [Option<bool>; D] = [None; D];
+        for d in 1..=D.min(i) {
+            let c = &counts[d - 1][ctx[d] as usize];
+            if c[0] == 0 && c[1] == 0 {
+                subs[d - 1] = None; // unseen context: no prediction
+            } else {
+                subs[d - 1] = Some(c[1] > c[0]); // tie resolves to 0
+            }
+        }
+        correct.push(subs[winner] == Some(actual));
+        for d in 1..=D.min(i) {
+            if subs[d - 1] == Some(actual) {
+                scoreboard[d - 1] += 1;
+                if scoreboard[d - 1] > scoreboard[winner] {
+                    winner = d - 1;
+                }
+            }
+        }
+        // Learn the observed transition.
+        for d in 1..=D.min(i) {
+            counts[d - 1][ctx[d] as usize][usize::from(actual)] += 1;
+        }
+        update_ctx(&mut ctx, actual);
+    }
+    predictor_estimate("Multi-MMC", &correct)
+}
+
+/// §6.3.10 LZ78Y estimate (suffixes up to 16 bits, 65536-entry cap).
+///
+/// # Panics
+///
+/// Panics if the sequence has fewer than 19 bits.
+pub fn lz78y_estimate(bits: &BitBuffer) -> Estimate {
+    const B: usize = 16;
+    const MAX_ENTRIES: usize = 65_536;
+    let n = bits.len();
+    assert!(n > B + 2, "LZ78Y needs more than {} bits", B + 2);
+
+    // counts[len-1][ctx] = [count0, count1]; an entry "exists" once any
+    // count is non-zero (subject to the global cap).
+    let mut counts: Vec<Vec<[u32; 2]>> = (1..=B).map(|len| vec![[0u32; 2]; 1 << len]).collect();
+    let mut entries = 0usize;
+    let mut correct = Vec::with_capacity(n - B - 1);
+
+    let mut ctx = [0u32; B + 1]; // ctx[len] = last `len` bits
+    let update_ctx = |ctx: &mut [u32; B + 1], bit: bool| {
+        for (len, slot) in ctx.iter_mut().enumerate().skip(1) {
+            let mask = (1u32 << len) - 1;
+            *slot = ((*slot << 1) | u32::from(bit)) & mask;
+        }
+    };
+    for i in 0..B {
+        update_ctx(&mut ctx, bits.bit(i));
+    }
+
+    for i in B..n {
+        let actual = bits.bit(i);
+        if i > B {
+            // Predict: over all context lengths present in the dictionary,
+            // choose the symbol with the highest count (longest length
+            // wins ties between lengths by scan order).
+            let mut best_count = 0u32;
+            let mut prediction: Option<bool> = None;
+            for len in (1..=B).rev() {
+                let c = counts[len - 1][ctx[len] as usize];
+                if c[0] == 0 && c[1] == 0 {
+                    continue;
+                }
+                let (sym, cnt) = if c[1] > c[0] { (true, c[1]) } else { (false, c[0]) };
+                if cnt > best_count {
+                    best_count = cnt;
+                    prediction = Some(sym);
+                }
+            }
+            correct.push(prediction == Some(actual));
+        }
+        // Learn: add/update every suffix ending just before position i.
+        for len in 1..=B {
+            let slot = &mut counts[len - 1][ctx[len] as usize];
+            let existed = slot[0] != 0 || slot[1] != 0;
+            if existed || entries < MAX_ENTRIES {
+                if !existed {
+                    entries += 1;
+                }
+                slot[usize::from(actual)] += 1;
+            }
+        }
+        update_ctx(&mut ctx, actual);
+    }
+    predictor_estimate("LZ78Y", &correct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sp800_90b::{biased_bits, splitmix_bits};
+
+    #[test]
+    fn longest_run_helper() {
+        assert_eq!(longest_true_run(&[true, true, false, true]), 2);
+        assert_eq!(longest_true_run(&[]), 0);
+        assert_eq!(longest_true_run(&[false; 5]), 0);
+        assert_eq!(longest_true_run(&[true; 5]), 5);
+    }
+
+    #[test]
+    fn local_probability_behaviour() {
+        // Longer observed runs at fixed n imply higher p.
+        let p10 = local_probability(10, 10_000);
+        let p25 = local_probability(25, 10_000);
+        assert!(p25 > p10, "{p25} !> {p10}");
+        // For a fair coin over 10k predictions the 99th-percentile run is
+        // ~ log2(10000) + 5: r = 18 should imply p in a band around 0.5.
+        let p = local_probability(18, 10_000);
+        assert!(p > 0.35 && p < 0.7, "p = {p}");
+        // Edge cases.
+        assert_eq!(local_probability(0, 100), 0.0);
+        assert_eq!(local_probability(200, 100), 1.0);
+    }
+
+    #[test]
+    fn ideal_data_scores_near_one_on_all_predictors() {
+        let bits = splitmix_bits(200_000, 51);
+        for e in [
+            multi_mcw_estimate(&bits),
+            lag_estimate(&bits),
+            multi_mmc_estimate(&bits),
+            lz78y_estimate(&bits),
+        ] {
+            assert!(e.h_min > 0.9, "{e}");
+        }
+    }
+
+    #[test]
+    fn alternating_data_is_fully_predicted_by_lag() {
+        let bits: BitBuffer = (0..50_000).map(|i| i % 2 == 0).collect();
+        let e = lag_estimate(&bits);
+        assert!(e.h_min < 0.01, "{e}");
+        // Multi-MMC also nails a period-2 source.
+        let e = multi_mmc_estimate(&bits);
+        assert!(e.h_min < 0.01, "{e}");
+        // And LZ78Y.
+        let e = lz78y_estimate(&bits);
+        assert!(e.h_min < 0.01, "{e}");
+    }
+
+    #[test]
+    fn biased_data_is_predicted_by_mcw() {
+        let bits = biased_bits(200_000, 52, 80);
+        let e = multi_mcw_estimate(&bits);
+        // 80% ones: global accuracy ~0.8 -> h ~ 0.32.
+        assert!(e.h_min < 0.45, "{e}");
+        assert!(e.h_min > 0.15, "{e}");
+    }
+
+    #[test]
+    fn period_three_source_detected_by_mmc() {
+        let bits: BitBuffer = (0..60_000).map(|i| i % 3 == 0).collect();
+        let e = multi_mmc_estimate(&bits);
+        assert!(e.h_min < 0.05, "{e}");
+    }
+}

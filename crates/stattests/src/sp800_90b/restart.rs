@@ -1,0 +1,259 @@
+//! §3.1.4 restart testing.
+//!
+//! SP 800-90B validation requires collecting a matrix of outputs from
+//! many device restarts (rows = restarts, columns = sample index after
+//! power-up) and checking that neither the rows nor the columns carry
+//! less entropy than the sequential estimate — catching sources whose
+//! start-up transient is repeatable (the failure mode the paper's §4.2
+//! restart experiment probes by hand).
+
+use crate::bits::BitBuffer;
+use crate::special::norm_sf;
+
+use super::{markov_estimate, mcv_estimate, Estimate};
+
+/// A restart matrix: `rows` restarts × `cols` bits per restart.
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_stattests::sp800_90b::RestartMatrix;
+/// use dhtrng_stattests::BitBuffer;
+///
+/// let mut m = RestartMatrix::new(8);
+/// for seed in 0..50u64 {
+///     // Eight post-restart bits per power-up (toy example).
+///     let bits: BitBuffer = (0..8).map(|i| (seed >> (i % 8)) & 1 == 1).collect();
+///     m.record(&bits);
+/// }
+/// assert_eq!(m.restarts(), 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RestartMatrix {
+    cols: usize,
+    rows: Vec<BitBuffer>,
+}
+
+/// Result of the restart sanity check.
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartAssessment {
+    /// Row-wise (per-restart) estimate: the minimum of the MCV and
+    /// Markov estimates, so both bias and repeat-structure register.
+    pub row_estimate: Estimate,
+    /// Column-wise (across-restart, fixed post-restart index) estimate.
+    pub column_estimate: Estimate,
+    /// The sequential estimate the matrix is validated against.
+    pub sequential_h: f64,
+    /// §3.1.4.3 sanity test: the maximum column one-frequency stays
+    /// within the binomial envelope of the claimed entropy.
+    pub frequency_test_passed: bool,
+}
+
+impl RestartAssessment {
+    /// §3.1.4.3: validation fails if either directional estimate falls
+    /// below half the sequential estimate, or the frequency sanity test
+    /// fails.
+    pub fn passed(&self) -> bool {
+        self.frequency_test_passed
+            && self.row_estimate.h_min >= self.sequential_h / 2.0
+            && self.column_estimate.h_min >= self.sequential_h / 2.0
+    }
+}
+
+impl RestartMatrix {
+    /// Creates a collector for `cols` bits per restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols == 0`.
+    pub fn new(cols: usize) -> Self {
+        assert!(cols > 0, "restart rows need at least one bit");
+        Self {
+            cols,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Records one restart's first `cols` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capture is shorter than `cols`.
+    pub fn record(&mut self, first_bits: &BitBuffer) {
+        assert!(
+            first_bits.len() >= self.cols,
+            "restart capture shorter than {} bits",
+            self.cols
+        );
+        self.rows.push(first_bits.slice(0, self.cols));
+    }
+
+    /// Number of restarts collected.
+    pub fn restarts(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Bits per restart.
+    pub fn columns(&self) -> usize {
+        self.cols
+    }
+
+    /// Runs the §3.1.4 assessment against a sequential min-entropy
+    /// estimate `sequential_h` (bits/bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 restarts were recorded or
+    /// `sequential_h` is outside `[0, 1]`.
+    pub fn assess(&self, sequential_h: f64) -> RestartAssessment {
+        assert!(self.rows.len() >= 2, "need at least two restarts");
+        assert!(
+            (0.0..=1.0).contains(&sequential_h),
+            "sequential entropy must be in [0,1]"
+        );
+        // Directional estimates: min(MCV, Markov) — MCV registers bias,
+        // Markov registers the repeated-structure failure mode a restart
+        // matrix exists to catch.
+        let directional = |bits: &BitBuffer| -> Estimate {
+            let mcv = mcv_estimate(bits);
+            let markov = markov_estimate(bits);
+            if markov.h_min < mcv.h_min {
+                markov
+            } else {
+                mcv
+            }
+        };
+        // Row direction: concatenate rows.
+        let mut row_bits = BitBuffer::with_capacity(self.rows.len() * self.cols);
+        for row in &self.rows {
+            row_bits.extend(row.iter());
+        }
+        let row_estimate = directional(&row_bits);
+
+        // Column direction: read column-major.
+        let mut col_bits = BitBuffer::with_capacity(self.rows.len() * self.cols);
+        for c in 0..self.cols {
+            for row in &self.rows {
+                col_bits.push(row.bit(c));
+            }
+        }
+        let column_estimate = directional(&col_bits);
+
+        // Frequency sanity test: in each column, the count of the most
+        // common value must not exceed the binomial upper bound implied
+        // by the claimed per-bit probability 2^-h, at a family-wise
+        // significance of 1% across the columns (Bonferroni).
+        let r = self.rows.len() as f64;
+        let p_claim = 2f64.powf(-sequential_h);
+        let z = z_for_alpha(0.01 / (2.0 * self.cols as f64));
+        let bound = (r * p_claim + z * (r * p_claim * (1.0 - p_claim)).sqrt()).min(r);
+        let mut frequency_test_passed = true;
+        for c in 0..self.cols {
+            let ones = self.rows.iter().filter(|row| row.bit(c)).count();
+            let mode = ones.max(self.rows.len() - ones) as f64;
+            if mode > bound {
+                frequency_test_passed = false;
+                break;
+            }
+        }
+
+        RestartAssessment {
+            row_estimate,
+            column_estimate,
+            sequential_h,
+            frequency_test_passed,
+        }
+    }
+}
+
+/// Upper-tail normal quantile: the `z` with `P(Z > z) = alpha`, by
+/// bisection on the survival function.
+fn z_for_alpha(alpha: f64) -> f64 {
+    debug_assert!(alpha > 0.0 && alpha < 0.5);
+    let mut lo = 0.0f64;
+    let mut hi = 10.0f64;
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if norm_sf(mid) > alpha {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sp800_90b::splitmix_bits;
+
+    fn healthy_matrix(restarts: usize, cols: usize) -> RestartMatrix {
+        let mut m = RestartMatrix::new(cols);
+        for seed in 0..restarts as u64 {
+            m.record(&splitmix_bits(cols, 1000 + seed));
+        }
+        m
+    }
+
+    #[test]
+    fn healthy_restarts_pass() {
+        let m = healthy_matrix(100, 64);
+        let a = m.assess(0.98);
+        assert!(a.passed(), "{a:?}");
+        assert!(a.row_estimate.h_min > 0.9);
+        assert!(a.column_estimate.h_min > 0.9);
+    }
+
+    #[test]
+    fn repeatable_startup_fails_columns() {
+        // Every restart produces the same first bits: columns are
+        // constant -> column entropy collapses and the frequency test
+        // trips.
+        let mut m = RestartMatrix::new(64);
+        let fixed = splitmix_bits(64, 7);
+        for _ in 0..100 {
+            m.record(&fixed);
+        }
+        let a = m.assess(0.98);
+        assert!(!a.passed());
+        assert!(!a.frequency_test_passed);
+        // The column stream is 100-long constant runs: the Markov leg of
+        // the directional estimate collapses.
+        assert!(a.column_estimate.h_min < 0.1, "{a:?}");
+    }
+
+    #[test]
+    fn biased_startup_transient_fails_frequency_test() {
+        // First 8 bits of every restart are 80% ones (a slow-settling
+        // node); the rest is fine.
+        let mut m = RestartMatrix::new(64);
+        for seed in 0..200u64 {
+            let tail = splitmix_bits(56, 3000 + seed);
+            let head = splitmix_bits(8, 9000 + seed);
+            let bits: BitBuffer = (0..8)
+                .map(|i| head.bit(i) || i % 4 != 3) // ~87% ones
+                .chain(tail.iter())
+                .collect();
+            m.record(&bits);
+        }
+        let a = m.assess(0.98);
+        assert!(!a.frequency_test_passed, "{a:?}");
+        assert!(!a.passed());
+    }
+
+    #[test]
+    fn matrix_bookkeeping() {
+        let m = healthy_matrix(5, 32);
+        assert_eq!(m.restarts(), 5);
+        assert_eq!(m.columns(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two restarts")]
+    fn single_restart_panics() {
+        let m = healthy_matrix(1, 8);
+        let _ = m.assess(0.9);
+    }
+}

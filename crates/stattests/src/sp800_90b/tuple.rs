@@ -1,0 +1,158 @@
+//! §6.3.5 t-Tuple and §6.3.6 Longest Repeated Substring estimates.
+//!
+//! Both scan overlapping windows of increasing width. Binary windows up
+//! to 64 bits are counted exactly through hashed `u64` keys; repeated
+//! substrings longer than 64 bits only occur in grossly defective
+//! sources, which these estimators already grade near zero entropy, so
+//! the width is capped there (documented deviation).
+
+use std::collections::HashMap;
+
+use crate::bits::BitBuffer;
+
+use super::{upper_bound, Estimate};
+
+/// Cutoff for "frequent" tuples (spec: 35 occurrences).
+const CUTOFF: u64 = 35;
+/// Maximum window width we count exactly.
+const MAX_WIDTH: usize = 64;
+
+/// Occurrence counts of all `width`-bit overlapping windows.
+fn window_counts(bits: &BitBuffer, width: usize) -> HashMap<u64, u64> {
+    let n = bits.len();
+    let mut map = HashMap::new();
+    if width > n {
+        return map;
+    }
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let mut w = bits.window(0, width);
+    *map.entry(w).or_insert(0) += 1;
+    for i in 1..=(n - width) {
+        w = ((w << 1) | u64::from(bits.bit(i + width - 1))) & mask;
+        *map.entry(w).or_insert(0) += 1;
+    }
+    map
+}
+
+/// §6.3.5 t-Tuple estimate: find the largest `t` whose most common
+/// t-tuple still occurs at least 35 times; bound the per-bit probability
+/// by `max_i (Q_i / (n - i + 1))^(1/i)` with the usual confidence
+/// adjustment.
+///
+/// # Panics
+///
+/// Panics if the sequence is shorter than 35 bits.
+pub fn t_tuple_estimate(bits: &BitBuffer) -> Estimate {
+    let n = bits.len();
+    assert!(n as u64 >= CUTOFF, "t-tuple estimate needs at least 35 bits");
+    let mut p_max: f64 = 0.0;
+    for width in 1..=MAX_WIDTH.min(n) {
+        let counts = window_counts(bits, width);
+        let q = counts.values().copied().max().unwrap_or(0);
+        if q < CUTOFF {
+            break;
+        }
+        let p_i = (q as f64 / (n - width + 1) as f64).powf(1.0 / width as f64);
+        p_max = p_max.max(p_i);
+    }
+    Estimate::from_p("t-Tuple", upper_bound(p_max, n))
+}
+
+/// §6.3.6 Longest Repeated Substring estimate: for widths from the first
+/// "infrequent" length up to the longest width with any repeat, bound the
+/// collision probability `P_i = sum_j C(c_ij, 2) / C(n - i + 1, 2)` and
+/// take the worst `P_i^(1/i)`.
+///
+/// # Panics
+///
+/// Panics if the sequence is shorter than 35 bits.
+pub fn lrs_estimate(bits: &BitBuffer) -> Estimate {
+    let n = bits.len();
+    assert!(n as u64 >= CUTOFF, "LRS estimate needs at least 35 bits");
+
+    // u = first width where the most common tuple count drops below 35.
+    let mut u = 1usize;
+    while u <= MAX_WIDTH.min(n) {
+        let q = window_counts(bits, u).values().copied().max().unwrap_or(0);
+        if q < CUTOFF {
+            break;
+        }
+        u += 1;
+    }
+    let u = u.min(MAX_WIDTH);
+
+    let mut p_hat_max: f64 = 0.0;
+    let mut any = false;
+    for width in u..=MAX_WIDTH.min(n) {
+        let counts = window_counts(bits, width);
+        let repeats: u128 = counts
+            .values()
+            .map(|&c| u128::from(c) * u128::from(c.saturating_sub(1)) / 2)
+            .sum();
+        if repeats == 0 {
+            break; // no repeated substring this long: v = width - 1
+        }
+        any = true;
+        let windows = (n - width + 1) as u128;
+        let total_pairs = windows * (windows - 1) / 2;
+        let p_i = repeats as f64 / total_pairs as f64;
+        p_hat_max = p_hat_max.max(p_i.powf(1.0 / width as f64));
+    }
+    if !any {
+        // No repeats at all beyond the frequent widths: the source looks
+        // fully random at this resolution.
+        return Estimate::from_p("LRS", 0.5);
+    }
+    Estimate::from_p("LRS", upper_bound(p_hat_max, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sp800_90b::{biased_bits, splitmix_bits};
+
+    #[test]
+    fn window_counts_sum_to_window_count() {
+        let bits = splitmix_bits(10_000, 41);
+        for width in [1usize, 3, 8, 17] {
+            let total: u64 = window_counts(&bits, width).values().sum();
+            assert_eq!(total as usize, 10_000 - width + 1);
+        }
+    }
+
+    #[test]
+    fn ideal_data_scores_high_on_both() {
+        let bits = splitmix_bits(1_000_000, 42);
+        let t = t_tuple_estimate(&bits);
+        let l = lrs_estimate(&bits);
+        // Paper's Table 4: t-Tuple ~ 0.92-0.95, LRS ~ 0.95-0.99.
+        assert!(t.h_min > 0.85, "t-tuple h = {}", t.h_min);
+        assert!(l.h_min > 0.85, "LRS h = {}", l.h_min);
+    }
+
+    #[test]
+    fn constant_data_scores_zero() {
+        let bits: BitBuffer = (0..10_000).map(|_| true).collect();
+        assert!(t_tuple_estimate(&bits).h_min < 0.01);
+        assert!(lrs_estimate(&bits).h_min < 0.2);
+    }
+
+    #[test]
+    fn bias_lowers_t_tuple() {
+        let fair = t_tuple_estimate(&splitmix_bits(300_000, 43)).h_min;
+        let biased = t_tuple_estimate(&biased_bits(300_000, 43, 70)).h_min;
+        assert!(biased < fair, "{biased} !< {fair}");
+    }
+
+    #[test]
+    fn periodic_data_is_caught_by_lrs() {
+        // Period-20 data: enormous repeated substrings.
+        let bits: BitBuffer = (0..100_000).map(|i| (i % 20) < 7).collect();
+        let l = lrs_estimate(&bits);
+        assert!(l.h_min < 0.3, "h = {}", l.h_min);
+    }
+}

@@ -1,0 +1,247 @@
+//! Fast Fourier transform for the SP 800-22 spectral (DFT) test.
+//!
+//! Two layers: an in-place iterative radix-2 complex FFT for power-of-two
+//! lengths, and Bluestein's chirp-z algorithm on top of it for arbitrary
+//! lengths, so the spectral test works on any sequence length (the NIST
+//! test is defined for arbitrary `n`).
+
+use std::f64::consts::PI;
+
+/// A complex number as a `(re, im)` pair.
+pub type Complex = (f64, f64);
+
+#[inline]
+fn c_add(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+#[inline]
+fn c_sub(a: Complex, b: Complex) -> Complex {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+#[inline]
+fn c_mul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+#[inline]
+fn c_conj(a: Complex) -> Complex {
+    (a.0, -a.1)
+}
+
+/// Magnitude of a complex value.
+#[inline]
+pub fn c_abs(a: Complex) -> f64 {
+    a.0.hypot(a.1)
+}
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_pow2(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft_pow2 length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let wlen = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = (1.0, 0.0);
+            for j in 0..len / 2 {
+                let u = data[i + j];
+                let v = c_mul(data[i + j + len / 2], w);
+                data[i + j] = c_add(u, v);
+                data[i + j + len / 2] = c_sub(u, v);
+                w = c_mul(w, wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Inverse FFT for power-of-two lengths (normalised by `1/n`).
+pub fn ifft_pow2(data: &mut [Complex]) {
+    let n = data.len();
+    for x in data.iter_mut() {
+        *x = c_conj(*x);
+    }
+    fft_pow2(data);
+    let inv = 1.0 / n as f64;
+    for x in data.iter_mut() {
+        *x = (x.0 * inv, -x.1 * inv);
+    }
+}
+
+/// Forward DFT of arbitrary length: radix-2 when possible, Bluestein
+/// otherwise.
+pub fn dft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut data = input.to_vec();
+        fft_pow2(&mut data);
+        return data;
+    }
+    bluestein(input)
+}
+
+/// Bluestein's algorithm: expresses an arbitrary-length DFT as a
+/// convolution, evaluated with power-of-two FFTs.
+fn bluestein(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let m = (2 * n - 1).next_power_of_two();
+
+    // Chirp: w_k = exp(-i pi k^2 / n).
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            // k^2 mod 2n keeps the argument small and exact.
+            let k2 = (k as u64 * k as u64) % (2 * n as u64);
+            let ang = -PI * k2 as f64 / n as f64;
+            (ang.cos(), ang.sin())
+        })
+        .collect();
+
+    let mut a = vec![(0.0, 0.0); m];
+    for k in 0..n {
+        a[k] = c_mul(input[k], chirp[k]);
+    }
+    let mut b = vec![(0.0, 0.0); m];
+    b[0] = c_conj(chirp[0]);
+    for k in 1..n {
+        let c = c_conj(chirp[k]);
+        b[k] = c;
+        b[m - k] = c;
+    }
+
+    fft_pow2(&mut a);
+    fft_pow2(&mut b);
+    for k in 0..m {
+        a[k] = c_mul(a[k], b[k]);
+    }
+    ifft_pow2(&mut a);
+
+    (0..n).map(|k| c_mul(a[k], chirp[k])).collect()
+}
+
+/// Naive O(n^2) DFT, used as the test oracle.
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = (0.0, 0.0);
+            for (j, &x) in input.iter().enumerate() {
+                let ang = -2.0 * PI * (k as f64) * (j as f64) / n as f64;
+                acc = c_add(acc, c_mul(x, (ang.cos(), ang.sin())));
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x.0 - y.0).abs() < tol && (x.1 - y.1).abs() < tol,
+                "index {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    fn real(v: &[f64]) -> Vec<Complex> {
+        v.iter().map(|&x| (x, 0.0)).collect()
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![(0.0, 0.0); 8];
+        x[0] = (1.0, 0.0);
+        fft_pow2(&mut x);
+        for &(re, im) in &x {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_concentrates_at_dc() {
+        let mut x = vec![(1.0, 0.0); 16];
+        fft_pow2(&mut x);
+        assert!((x[0].0 - 16.0).abs() < 1e-12);
+        for &(re, im) in &x[1..] {
+            assert!(re.abs() < 1e-10 && im.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pow2_matches_naive() {
+        let input = real(&[1.0, -1.0, 2.5, 0.0, -3.0, 4.0, 0.5, 1.5]);
+        let mut fast = input.clone();
+        fft_pow2(&mut fast);
+        close(&fast, &dft_naive(&input), 1e-10);
+    }
+
+    #[test]
+    fn bluestein_matches_naive_for_odd_lengths() {
+        for n in [3usize, 5, 7, 10, 13, 100, 101] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| ((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            let fast = dft(&input);
+            close(&fast, &dft_naive(&input), 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let input = real(&[0.5, 1.5, -2.0, 3.0, 0.0, -1.0, 2.0, 4.0]);
+        let mut x = input.clone();
+        fft_pow2(&mut x);
+        ifft_pow2(&mut x);
+        close(&x, &input, 1e-12);
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let input: Vec<Complex> = (0..64).map(|i| ((i as f64).sin(), 0.0)).collect();
+        let spec = dft(&input);
+        let time_e: f64 = input.iter().map(|&c| c.0 * c.0 + c.1 * c.1).sum();
+        let freq_e: f64 = spec.iter().map(|&c| (c.0 * c.0 + c.1 * c.1) / 64.0).sum();
+        assert!((time_e - freq_e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn magnitude_helper() {
+        assert!((c_abs((3.0, 4.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn pow2_rejects_other_lengths() {
+        let mut x = vec![(0.0, 0.0); 6];
+        fft_pow2(&mut x);
+    }
+}

@@ -1,0 +1,233 @@
+//! GF(2) kernels: Berlekamp–Massey and binary matrix rank.
+//!
+//! * Berlekamp–Massey computes the linear complexity of a bit block — the
+//!   statistic of the SP 800-22 Linear Complexity test.
+//! * Binary matrix rank over 32×32 matrices is the statistic of the
+//!   SP 800-22 Rank test.
+
+/// Computes the linear complexity (length of the shortest LFSR generating
+/// the sequence) of `bits` via Berlekamp–Massey over GF(2).
+///
+/// Words are packed internally so the inner loop runs 64 bits at a time;
+/// a 500-bit block (the NIST default) takes microseconds.
+pub fn berlekamp_massey(bits: &[bool]) -> usize {
+    let n = bits.len();
+    if n == 0 {
+        return 0;
+    }
+    let words = n.div_ceil(64) + 1;
+    // c = current connection polynomial, b = previous, as bitsets.
+    let mut c = vec![0u64; words];
+    let mut b = vec![0u64; words];
+    c[0] = 1;
+    b[0] = 1;
+    let mut l = 0usize;
+    let mut m: isize = -1;
+    let mut t = vec![0u64; words];
+
+    for i in 0..n {
+        // Discrepancy d = s_i + sum_{j=1..l} c_j * s_{i-j}  (mod 2).
+        let mut d = u8::from(bits[i]);
+        for j in 1..=l {
+            let cj = (c[j / 64] >> (j % 64)) & 1;
+            if cj == 1 && bits[i - j] {
+                d ^= 1;
+            }
+        }
+        if d == 1 {
+            t.copy_from_slice(&c);
+            // c ^= b << (i - m)
+            let shift = (i as isize - m) as usize;
+            xor_shifted(&mut c, &b, shift);
+            if 2 * l <= i {
+                l = i + 1 - l;
+                m = i as isize;
+                b.copy_from_slice(&t);
+            }
+        }
+    }
+    l
+}
+
+/// `dst ^= src << shift` over bit-packed words.
+fn xor_shifted(dst: &mut [u64], src: &[u64], shift: usize) {
+    let word_shift = shift / 64;
+    let bit_shift = shift % 64;
+    if bit_shift == 0 {
+        for i in (word_shift..dst.len()).rev() {
+            dst[i] ^= src[i - word_shift];
+        }
+    } else {
+        for i in (word_shift..dst.len()).rev() {
+            let lo = src[i - word_shift] << bit_shift;
+            let hi = if i > word_shift {
+                src[i - word_shift - 1] >> (64 - bit_shift)
+            } else {
+                0
+            };
+            dst[i] ^= lo | hi;
+        }
+    }
+}
+
+/// Rank of a binary matrix whose rows are the low `cols` bits of each
+/// `u64` entry (bit `j` of `rows[i]` is the matrix element `(i, j)`).
+///
+/// # Panics
+///
+/// Panics if `cols > 64`.
+pub fn binary_rank(rows: &[u64], cols: u32) -> u32 {
+    assert!(cols <= 64, "at most 64 columns supported");
+    let mut rows = rows.to_vec();
+    let mut rank = 0u32;
+    for col in 0..cols {
+        let mask = 1u64 << col;
+        // Find a pivot row at or below `rank`.
+        let pivot = (rank as usize..rows.len()).find(|&r| rows[r] & mask != 0);
+        if let Some(p) = pivot {
+            rows.swap(rank as usize, p);
+            let pivot_row = rows[rank as usize];
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != rank as usize && *row & mask != 0 {
+                    *row ^= pivot_row;
+                }
+            }
+            rank += 1;
+            if rank as usize == rows.len() {
+                break;
+            }
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generates an LFSR sequence with taps given as polynomial exponents.
+    fn lfsr(taps: &[usize], init: &[bool], n: usize) -> Vec<bool> {
+        let l = init.len();
+        let mut s: Vec<bool> = init.to_vec();
+        for i in l..n {
+            let mut next = false;
+            for &t in taps {
+                next ^= s[i - t];
+            }
+            s.push(next);
+        }
+        s
+    }
+
+    #[test]
+    fn bm_zero_sequence() {
+        assert_eq!(berlekamp_massey(&[false; 32]), 0);
+        assert_eq!(berlekamp_massey(&[]), 0);
+    }
+
+    #[test]
+    fn bm_single_one_at_end_has_full_complexity() {
+        // 0^(n-1) 1 has linear complexity n.
+        let mut bits = vec![false; 16];
+        bits[15] = true;
+        assert_eq!(berlekamp_massey(&bits), 16);
+    }
+
+    #[test]
+    fn bm_alternating_sequence() {
+        // 101010... satisfies s_i = s_{i-2}: complexity 2.
+        let bits: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        assert_eq!(berlekamp_massey(&bits), 2);
+    }
+
+    #[test]
+    fn bm_recovers_lfsr_length() {
+        // x^5 + x^2 + 1 (maximal-length, period 31).
+        let seq = lfsr(&[5, 2], &[true, false, false, true, true], 200);
+        assert_eq!(berlekamp_massey(&seq), 5);
+        // x^7 + x^1 + 1.
+        let seq = lfsr(&[7, 1], &[true, true, false, false, true, false, true], 300);
+        assert_eq!(berlekamp_massey(&seq), 7);
+    }
+
+    #[test]
+    fn bm_nist_example() {
+        // SP 800-22 §2.10.4 example: ε = 1101011110001 (n = 13) has
+        // linear complexity L = 4 after processing.
+        let bits: Vec<bool> = "1101011110001"
+            .chars()
+            .map(|c| c == '1')
+            .collect();
+        assert_eq!(berlekamp_massey(&bits), 4);
+    }
+
+    #[test]
+    fn bm_long_block_is_fast_and_plausible() {
+        // Random 5000-bit block: complexity should be close to n/2 (the
+        // expected value is n/2 + O(1) with tiny variance). xorshift would
+        // be useless here — it is linear over GF(2) with complexity 64 —
+        // so use splitmix64 (multiplicative, non-linear).
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        let bits: Vec<bool> = (0..5000)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) & 1 == 1
+            })
+            .collect();
+        let l = berlekamp_massey(&bits);
+        assert!((l as f64 - 2500.0).abs() < 16.0, "L = {l}");
+    }
+
+    #[test]
+    fn rank_identity_and_singular() {
+        let identity: Vec<u64> = (0..32).map(|i| 1u64 << i).collect();
+        assert_eq!(binary_rank(&identity, 32), 32);
+
+        let zero = vec![0u64; 32];
+        assert_eq!(binary_rank(&zero, 32), 0);
+
+        // Two identical rows: rank 1.
+        assert_eq!(binary_rank(&[0b1011, 0b1011], 4), 1);
+
+        // Row 3 = row 1 xor row 2.
+        assert_eq!(binary_rank(&[0b1100, 0b0110, 0b1010], 4), 2);
+    }
+
+    #[test]
+    fn rank_is_permutation_invariant() {
+        let m = [0b1001u64, 0b0110, 0b1111, 0b0001];
+        let r1 = binary_rank(&m, 4);
+        let m2 = [m[2], m[0], m[3], m[1]];
+        assert_eq!(r1, binary_rank(&m2, 4));
+    }
+
+    #[test]
+    fn random_32x32_matrices_are_usually_full_rank() {
+        // P(full rank) ~ 0.2888, P(rank 31) ~ 0.5776 for random matrices.
+        let mut full = 0;
+        let mut m1 = 0;
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let trials = 2000;
+        for _ in 0..trials {
+            let rows: Vec<u64> = (0..32).map(|_| next() & 0xFFFF_FFFF).collect();
+            match binary_rank(&rows, 32) {
+                32 => full += 1,
+                31 => m1 += 1,
+                _ => {}
+            }
+        }
+        let f_full = f64::from(full) / f64::from(trials);
+        let f_m1 = f64::from(m1) / f64::from(trials);
+        assert!((f_full - 0.2888).abs() < 0.05, "P(full) = {f_full}");
+        assert!((f_m1 - 0.5776).abs() < 0.05, "P(n-1) = {f_m1}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Special functions and numerical kernels for the test batteries.
+//!
+//! Everything the NIST/AIS procedures need and nothing more: log-gamma,
+//! regularized incomplete gamma (the `igamc` of the NIST reference code),
+//! the complementary error function, normal/chi-square tail probabilities
+//! ([`self`]), an FFT supporting arbitrary lengths ([`fft`]), and GF(2)
+//! kernels — Berlekamp–Massey and matrix rank ([`gf2`]).
+
+pub mod fft;
+pub mod gf2;
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+///
+/// Accurate to ~1e-13 relative error for `x > 0`.
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients (g = 7, n = 9).
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn igam(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "igam domain: a > 0, x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+///
+/// This is the `igamc` of the NIST STS reference implementation; nearly
+/// every chi-square-based p-value in SP 800-22 is `igamc(dof/2, chi2/2)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn igamc(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "igamc domain: a > 0, x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cf(a, x)
+    }
+}
+
+/// Series expansion of `P(a, x)`, valid for `x < a + 1`.
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..1000 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction expansion of `Q(a, x)`, valid for `x >= a + 1`
+/// (modified Lentz algorithm).
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..1000 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Complementary error function, via `igamc(1/2, x^2)` (accurate to
+/// ~1e-13, far better than rational fits — the p-value tails need it).
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        igamc(0.5, x * x)
+    } else {
+        2.0 - igamc(0.5, x * x)
+    }
+}
+
+/// Error function `erf(x) = 1 - erfc(x)`.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Standard normal CDF.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal survival function `P(Z > x)`.
+pub fn norm_sf(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Chi-square survival function with `dof` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `dof` is 0 or `x < 0`.
+pub fn chi2_sf(x: f64, dof: u32) -> f64 {
+    assert!(dof > 0, "dof must be positive");
+    igamc(f64::from(dof) / 2.0, x / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Gamma(n) = (n-1)!.
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+        assert!((ln_gamma(2.0)).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-11);
+        assert!((ln_gamma(11.0) - 3_628_800f64.ln()).abs() < 1e-10);
+        // Gamma(1/2) = sqrt(pi).
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn igam_igamc_complement() {
+        for &a in &[0.5, 1.0, 2.5, 10.0, 100.0] {
+            for &x in &[0.0, 0.1, 1.0, 5.0, 50.0, 200.0] {
+                let s = igam(a, x) + igamc(a, x);
+                assert!((s - 1.0).abs() < 1e-12, "a={a} x={x}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn igamc_known_values() {
+        // Q(1, x) = exp(-x).
+        for &x in &[0.5, 1.0, 3.0, 10.0] {
+            assert!((igamc(1.0, x) - (-x).exp()).abs() < 1e-13, "x={x}");
+        }
+        // Q(0.5, x) = erfc(sqrt(x)).
+        let q = igamc(0.5, 1.0);
+        assert!((q - 0.157_299_207_1).abs() < 1e-9, "{q}");
+    }
+
+    #[test]
+    fn erfc_high_precision() {
+        // Abramowitz & Stegun reference values.
+        assert!((erfc(0.0) - 1.0).abs() < 1e-14);
+        assert!((erfc(0.5) - 0.479_500_122_186_953_5).abs() < 1e-12);
+        assert!((erfc(1.0) - 0.157_299_207_050_285_13).abs() < 1e-12);
+        assert!((erfc(2.0) - 0.004_677_734_981_063_127).abs() < 1e-13);
+        assert!((erfc(-1.0) - 1.842_700_792_949_714_9).abs() < 1e-12);
+        assert!((erf(1.0) + erfc(1.0) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn normal_tails() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-14);
+        assert!((norm_sf(1.959_963_985) - 0.025).abs() < 1e-9);
+        assert!((norm_cdf(-1.0) - 0.158_655_253_9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi2_survival() {
+        // chi2_sf(x, 2) = exp(-x/2).
+        assert!((chi2_sf(4.0, 2) - (-2f64).exp()).abs() < 1e-12);
+        // 95th percentile of chi2(1) is 3.841.
+        assert!((chi2_sf(3.841_458_8, 1) - 0.05).abs() < 1e-7);
+        // 95th percentile of chi2(9) is 16.919.
+        assert!((chi2_sf(16.918_977_6, 9) - 0.05).abs() < 1e-7);
+    }
+
+    #[test]
+    fn igamc_monotone_in_x() {
+        let mut prev = 1.0;
+        for i in 0..100 {
+            let x = i as f64 * 0.3;
+            let q = igamc(3.0, x);
+            assert!(q <= prev + 1e-14);
+            prev = q;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+}

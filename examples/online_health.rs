@@ -1,0 +1,82 @@
+//! Online health monitoring scenario: a deployed TRNG must detect
+//! entropy-source failure at runtime (SP 800-90B §4.4). This example
+//! streams from a healthy DH-TRNG, then injects two classic failures —
+//! a stuck-at source and a strong bias — and shows the monitor tripping
+//! within the expected bit counts.
+//!
+//! Run with: `cargo run --release --example online_health`
+
+use dh_trng::prelude::*;
+
+/// A failing wrapper: passes its inner TRNG through until `fail_after`,
+/// then emits a constant (stuck-at fault, e.g. a died ring oscillator).
+struct StuckAfter<T: Trng> {
+    inner: T,
+    produced: usize,
+    fail_after: usize,
+}
+
+impl<T: Trng> Trng for StuckAfter<T> {
+    fn next_bit(&mut self) -> bool {
+        self.produced += 1;
+        if self.produced > self.fail_after {
+            true
+        } else {
+            self.inner.next_bit()
+        }
+    }
+}
+
+fn main() {
+    // Healthy stream: no trips over 2 Mbit.
+    let mut trng = DhTrng::builder().seed(0x4ea1).build();
+    let mut monitor = HealthMonitor::new();
+    let mut failures = 0u64;
+    for _ in 0..2_000_000 {
+        if monitor.feed(trng.next_bit()) != HealthStatus::Ok {
+            failures += 1;
+        }
+    }
+    println!("healthy DH-TRNG: {failures} health failures in 2 Mbit (expect 0)");
+
+    // Stuck-at failure: the repetition-count test must fire within ~32
+    // bits of the fault.
+    let mut stuck = StuckAfter {
+        inner: DhTrng::builder().seed(0x4ea2).build(),
+        produced: 0,
+        fail_after: 10_000,
+    };
+    let mut monitor = HealthMonitor::new();
+    let mut tripped_at = None;
+    for i in 0..20_000 {
+        if monitor.feed(stuck.next_bit()) == HealthStatus::RepetitionFailure {
+            tripped_at = Some(i);
+            break;
+        }
+    }
+    match tripped_at {
+        Some(i) => println!(
+            "stuck-at fault injected at bit 10000: RCT tripped at bit {i} \
+             ({} bits after the fault)",
+            i - 10_000 + 1
+        ),
+        None => println!("stuck-at fault NOT detected — monitor broken!"),
+    }
+
+    // Bias failure: 70% ones trips the adaptive proportion test within a
+    // few windows.
+    let mut rng = NoiseRng::seed_from_u64(0x4ea3);
+    let mut monitor = HealthMonitor::new();
+    let mut tripped_at = None;
+    for i in 0..100_000 {
+        let biased_bit = rng.bernoulli(0.70);
+        if monitor.feed(biased_bit) == HealthStatus::ProportionFailure {
+            tripped_at = Some(i);
+            break;
+        }
+    }
+    match tripped_at {
+        Some(i) => println!("70%-biased source: APT tripped at bit {i} (window = 1024)"),
+        None => println!("bias NOT detected — monitor broken!"),
+    }
+}

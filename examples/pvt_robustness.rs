@@ -1,0 +1,52 @@
+//! PVT robustness scenario: an integrator qualifying the TRNG across an
+//! industrial temperature/voltage envelope, as the paper does in §4.5
+//! (Figure 9) with a temperature chamber and programmable supply.
+//!
+//! For each corner the example reports min-entropy, the derated
+//! throughput, and power — the three quantities a datasheet would carry.
+//!
+//! Run with: `cargo run --release --example pvt_robustness`
+
+use dh_trng::prelude::*;
+
+const BITS: usize = 1 << 19;
+
+fn main() {
+    let device = Device::artix7();
+    println!(
+        "PVT qualification of DH-TRNG on {} ({} bits per corner)\n",
+        device.display_name(),
+        BITS
+    );
+    println!(
+        "{:>6} {:>7} | {:>10} {:>12} {:>9}",
+        "T (C)", "V (V)", "h (MCV)", "Mbps", "power (W)"
+    );
+
+    let mut worst = (1.0f64, String::new());
+    for &t in &[-20.0, 20.0, 80.0] {
+        for &v in &[0.8, 1.0, 1.2] {
+            let corner = PvtCorner::new(t, v);
+            let mut trng = DhTrng::builder()
+                .device(device.clone())
+                .corner(corner)
+                .seed(0x9f7)
+                .build();
+            let bits: BitBuffer = (0..BITS).map(|_| trng.next_bit()).collect();
+            let h = min_entropy_mcv(&bits);
+            if h < worst.0 {
+                worst = (h, corner.to_string());
+            }
+            println!(
+                "{t:>6.0} {v:>7.1} | {h:>10.4} {:>12.1} {:>9.3}",
+                trng.throughput_mbps(),
+                trng.power().total_w()
+            );
+        }
+    }
+    println!(
+        "\nworst corner: h = {:.4} at {} — the paper's Figure 9 floor is ~0.97,\n\
+         comfortably above the 0.91 min-entropy bound AIS-31 PTG.2 requires.",
+        worst.0, worst.1
+    );
+}

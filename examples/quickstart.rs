@@ -1,0 +1,46 @@
+//! Quickstart: build a DH-TRNG, draw random material, and check it the
+//! way the paper's evaluation does.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dh_trng::prelude::*;
+
+fn main() {
+    // The default configuration is the paper's Artix-7 operating point:
+    // 620 Mbps, 8 slices, ~0.068 W, nominal 20 C / 1.0 V corner.
+    let mut trng = DhTrng::builder().seed(0x5eed).build();
+
+    println!("DH-TRNG quickstart");
+    println!("  device:      {}", trng.config().device);
+    println!("  throughput:  {:.1} Mbps", trng.throughput_mbps());
+    println!("  resources:   {} -> {} slices", trng.resources(), trng.slices());
+    println!("  power:       {}", trng.power());
+    println!("  efficiency:  {:.1} Mbps/(slice*W)", trng.efficiency());
+    println!(
+        "  Eq.5 P_rand: {:.3} (per-sample randomness coverage)",
+        trng.randomness_coverage()
+    );
+
+    // Draw a 256-bit key.
+    let mut key = [0u8; 32];
+    trng.fill_bytes(&mut key);
+    print!("\n  256-bit key: ");
+    for b in key {
+        print!("{b:02x}");
+    }
+    println!();
+
+    // Health-check a longer stream (SP 800-90B §4.4 continuous tests).
+    let mut monitor = HealthMonitor::new();
+    let mut failures = 0u32;
+    for _ in 0..1_000_000 {
+        if monitor.feed(trng.next_bit()) != HealthStatus::Ok {
+            failures += 1;
+        }
+    }
+    println!("  health:      {failures} failures in 1 Mbit (expect 0)");
+
+    // Quick entropy assessment (the paper's Table 1/2/4 metric).
+    let bits: BitBuffer = (0..1_000_000).map(|_| trng.next_bit()).collect();
+    println!("  min-entropy: {:.4} bits/bit (MCV; paper: ~0.996)", min_entropy_mcv(&bits));
+}

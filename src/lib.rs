@@ -1,0 +1,66 @@
+//! DH-TRNG reproduction — umbrella crate.
+//!
+//! Re-exports the whole workspace behind one dependency, so downstream
+//! users (and the examples and integration tests in this repository) can
+//! write `use dh_trng::prelude::*;` and reach every layer:
+//!
+//! * [`core`] — the DH-TRNG architecture itself
+//!   ([`DhTrng`](dhtrng_core::DhTrng));
+//! * [`noise`] — the stochastic substrate (jitter, metastability, PVT);
+//! * [`sim`] — the event-driven gate-level simulator;
+//! * [`fpga`] — device, packing, placement, timing and power models;
+//! * [`baselines`] — the Table 6 comparison architectures;
+//! * [`stattests`] — NIST SP 800-22 / SP 800-90B / AIS-31 batteries.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dh_trng::prelude::*;
+//!
+//! let mut trng = DhTrng::builder().seed(1).build();
+//! let mut key = [0u8; 32];
+//! trng.fill_bytes(&mut key);
+//!
+//! // Assess the stream the way the paper's Table 4 does.
+//! let bits: BitBuffer = (0..100_000).map(|_| trng.next_bit()).collect();
+//! let h = min_entropy_mcv(&bits);
+//! assert!(h > 0.98, "h = {h}");
+//! ```
+//!
+//! See `README.md` for the repository tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology and results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use dhtrng_baselines as baselines;
+pub use dhtrng_core as core;
+pub use dhtrng_fpga as fpga;
+pub use dhtrng_noise as noise;
+pub use dhtrng_sim as sim;
+pub use dhtrng_stattests as stattests;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use dhtrng_baselines::{Architecture, RoXorTrng};
+    pub use dhtrng_core::{
+        DhTrng, DhTrngArray, DhTrngBuilder, HealthMonitor, HealthStatus, HybridUnitGroup, Trng,
+    };
+    pub use dhtrng_fpga::Device;
+    pub use dhtrng_noise::{NoiseRng, PvtCorner};
+    pub use dhtrng_stattests::sp800_90b::{min_entropy_mcv, non_iid_battery};
+    pub use dhtrng_stattests::BitBuffer;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_wires_the_stack_together() {
+        let mut trng = DhTrng::builder().seed(3).build();
+        let bits: BitBuffer = (0..10_000).map(|_| trng.next_bit()).collect();
+        assert_eq!(bits.len(), 10_000);
+        assert!(min_entropy_mcv(&bits) > 0.9);
+    }
+}

@@ -1,0 +1,108 @@
+//! The paper's headline comparisons (Table 6 / Figure 1(b)), verified
+//! end-to-end against our platform models and the published rows.
+
+use dh_trng::baselines::{paper_rows, Architecture, MultiphaseTrng, TeroTrng};
+use dh_trng::fpga::packer::{pack_design, pack_unconstrained, Region};
+use dh_trng::fpga::{efficiency_metric, Placement, ResourceReport, TimingModel};
+use dh_trng::prelude::*;
+
+#[test]
+fn our_design_dominates_every_baseline() {
+    let ours = DhTrng::builder().device(Device::artix7()).build();
+    let our_eff = ours.efficiency();
+    for row in &paper_rows()[..7] {
+        assert!(
+            our_eff > row.efficiency(),
+            "{}: {our_eff} !> {}",
+            row.design,
+            row.efficiency()
+        );
+        assert!(ours.throughput_mbps() > row.throughput_mbps, "{}", row.design);
+    }
+}
+
+#[test]
+fn efficiency_gain_over_prior_sota_is_about_2_6x() {
+    let ours = DhTrng::builder().device(Device::artix7()).build();
+    let prior = MultiphaseTrng::new(1);
+    let gain = ours.efficiency() / prior.efficiency();
+    assert!(
+        (gain - 2.63).abs() < 0.15,
+        "paper claims 2.63x, models give {gain:.2}x"
+    );
+}
+
+#[test]
+fn operating_points_match_the_paper() {
+    for (device, mbps, watts) in [
+        (Device::virtex6(), 670.0, 0.126),
+        (Device::artix7(), 620.0, 0.068),
+    ] {
+        let trng = DhTrng::builder().device(device.clone()).build();
+        assert!(
+            (trng.throughput_mbps() - mbps).abs() / mbps < 0.02,
+            "{}: {} vs {}",
+            device,
+            trng.throughput_mbps(),
+            mbps
+        );
+        assert!(
+            (trng.power().total_w() - watts).abs() / watts < 0.05,
+            "{}: {} vs {}",
+            device,
+            trng.power().total_w(),
+            watts
+        );
+    }
+}
+
+#[test]
+fn resource_footprint_matches_section_3_3() {
+    let trng = DhTrng::builder().build();
+    assert_eq!(trng.resources(), ResourceReport::new(23, 4, 14));
+    assert_eq!(trng.slices(), 8);
+    // The typed-placement packing costs 2 slices over the theoretical
+    // unconstrained bound.
+    let free = pack_unconstrained(trng.resources(), Device::artix7().slice_spec());
+    assert_eq!(free, 6);
+    let packed = pack_design(&Region::dh_trng_reference(), Device::artix7().slice_spec());
+    assert_eq!(packed.total_slices, 8);
+}
+
+#[test]
+fn placement_is_compact_and_contiguous() {
+    let trng = DhTrng::builder().build();
+    let placement: Placement = trng.placement((10, 20));
+    assert_eq!(placement.slice_count(), 8);
+    let (w, h) = placement.bounding_box();
+    assert!(w * h <= 9, "8 slices must fit a 3x3 block: {w}x{h}");
+    assert!(placement.is_contiguous());
+}
+
+#[test]
+fn timing_model_derates_at_slow_corners() {
+    let d = Device::artix7();
+    let nominal = TimingModel::dh_trng_throughput_mbps(&d);
+    let slow = TimingModel::throughput_mbps(&d, 2, 1.0, PvtCorner::new(80.0, 0.8));
+    assert!(slow < nominal);
+    assert!(slow > 0.5 * nominal, "derating should be graceful: {slow}");
+}
+
+#[test]
+fn baselines_expose_consistent_architecture_data() {
+    let tero = TeroTrng::new(1);
+    assert_eq!(tero.name(), "FPL'20");
+    assert_eq!(
+        tero.efficiency(),
+        efficiency_metric(tero.throughput_mbps(), tero.slices(), tero.power_w())
+    );
+}
+
+#[test]
+fn slowest_and_fastest_designs_bracket_the_field() {
+    let rows = paper_rows();
+    let min_tput = rows.iter().map(|r| r.throughput_mbps).fold(f64::MAX, f64::min);
+    let max_tput = rows.iter().map(|r| r.throughput_mbps).fold(0.0, f64::max);
+    assert_eq!(min_tput, 0.76); // TCASII'21
+    assert_eq!(max_tput, 620.0); // this work
+}

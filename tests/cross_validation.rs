@@ -1,0 +1,136 @@
+//! Cross-validation between the two implementation levels: the
+//! event-driven gate-level netlist and the fast behavioural model must
+//! tell the same story about the circuit.
+
+use dh_trng::core::architecture::{dh_trng_netlist, entropy_unit_netlist};
+use dh_trng::prelude::*;
+use dh_trng::sim::{Engine, Femtos, Level};
+
+#[test]
+fn gate_level_output_is_balanced_and_busy() {
+    let device = Device::artix7();
+    let (nl, ports) = dh_trng_netlist(&device);
+    let mut e = Engine::new(nl, NoiseRng::seed_from_u64(0xcafe)).unwrap();
+    e.drive(ports.en, Femtos::ZERO, Level::Low);
+    e.drive(ports.en, Femtos::from_ns(20.0), Level::High);
+    let period = Femtos::from_seconds(1.0 / 620.0e6);
+    e.add_clock_50(ports.clk, Femtos::from_ns(40.0), period);
+    let probe = e.attach_probe(ports.out);
+    let cycles = 4000u64;
+    e.run_until(Femtos::from_ns(40.0) + period.mul_u64(cycles));
+
+    let wave = e.waveform(probe).unwrap();
+    let mut ones = 0u64;
+    for c in 0..cycles {
+        let t = Femtos::from_ns(40.0) + period.mul_u64(c) + period;
+        if wave.value_at(t) == Level::High {
+            ones += 1;
+        }
+    }
+    let frac = ones as f64 / cycles as f64;
+    assert!(
+        (frac - 0.5).abs() < 0.08,
+        "gate-level ones fraction = {frac}"
+    );
+    // The output must toggle on a large fraction of cycles (a healthy
+    // XOR of 12 live rings), not idle.
+    assert!(
+        wave.transition_count() as u64 > cycles / 4,
+        "only {} transitions in {cycles} cycles",
+        wave.transition_count()
+    );
+}
+
+#[test]
+fn gate_level_metastability_rate_matches_model_assumptions() {
+    // The behavioural model assumes a few percent of DFF captures
+    // resolve metastably at 620 MHz; the gate-level simulation should
+    // land in the same band.
+    let device = Device::artix7();
+    let (nl, ports) = dh_trng_netlist(&device);
+    let mut e = Engine::new(nl, NoiseRng::seed_from_u64(0xbeef)).unwrap();
+    e.drive(ports.en, Femtos::ZERO, Level::Low);
+    e.drive(ports.en, Femtos::from_ns(20.0), Level::High);
+    let period = Femtos::from_seconds(1.0 / 620.0e6);
+    e.add_clock_50(ports.clk, Femtos::from_ns(40.0), period);
+    e.run_until(Femtos::from_ns(40.0) + period.mul_u64(3000));
+    let stats = e.stats();
+    let rate = stats.metastable_samples as f64 / stats.dff_samples as f64;
+    assert!(
+        rate > 0.002 && rate < 0.2,
+        "metastable capture rate = {rate} (expect a few percent)"
+    );
+}
+
+#[test]
+fn ro2_dual_mode_matches_the_papers_figure_3b() {
+    // In the unit netlist, RO2 must hold while R1 = 1 and oscillate
+    // while R1 = 0 — the dynamic switching the fast model's coverage
+    // term assumes.
+    let device = Device::artix7();
+    let (nl, ports) = entropy_unit_netlist(&device);
+    let mut e = Engine::new(nl, NoiseRng::seed_from_u64(0xd00d)).unwrap();
+    e.drive(ports.en, Femtos::ZERO, Level::Low);
+    e.drive(ports.en, Femtos::from_ns(5.0), Level::High);
+    let p1 = e.attach_probe(ports.r1);
+    let p2 = e.attach_probe(ports.r2);
+    e.run_until(Femtos::from_ns(300.0));
+    let w1 = e.waveform(p1).unwrap();
+    let w2 = e.waveform(p2).unwrap();
+
+    // Count r2 transitions inside r1-high and r1-low stretches.
+    let mut in_high = 0u64;
+    let mut in_low = 0u64;
+    for &(t, _) in w2.samples().iter().skip(1) {
+        match w1.value_at(t) {
+            Level::High => in_high += 1,
+            Level::Low => in_low += 1,
+            Level::Unknown => {}
+        }
+    }
+    // The MUX switches r2's transitions predominantly into the r1-low
+    // (oscillation) phase; transitions landing while r1 is high are the
+    // switch edges themselves.
+    assert!(
+        in_low > in_high,
+        "r2 must transition mostly in oscillation mode: low {in_low} vs high {in_high}"
+    );
+    assert!(w2.transition_count() > 10, "RO2 must run at all");
+}
+
+#[test]
+fn fast_model_tracks_gate_level_toggle_activity() {
+    // Both levels should report the output toggling at a comparable
+    // rate (XOR of 12 rings: toggle probability ~0.5 per cycle).
+    let device = Device::artix7();
+    let (nl, ports) = dh_trng_netlist(&device);
+    let mut e = Engine::new(nl, NoiseRng::seed_from_u64(0xf00d)).unwrap();
+    e.drive(ports.en, Femtos::ZERO, Level::Low);
+    e.drive(ports.en, Femtos::from_ns(20.0), Level::High);
+    let period = Femtos::from_seconds(1.0 / 620.0e6);
+    e.add_clock_50(ports.clk, Femtos::from_ns(40.0), period);
+    let probe = e.attach_probe(ports.out);
+    let cycles = 3000u64;
+    e.run_until(Femtos::from_ns(40.0) + period.mul_u64(cycles));
+    let gate_toggle = e.waveform(probe).unwrap().transition_count() as f64 / cycles as f64;
+
+    let mut fast = DhTrng::builder().seed(0xf00d).build();
+    let bits = fast.collect_bits(cycles as usize);
+    let fast_toggle = bits.windows(2).filter(|w| w[0] != w[1]).count() as f64 / cycles as f64;
+
+    assert!(
+        (gate_toggle - fast_toggle).abs() < 0.15,
+        "toggle rates diverge: gate {gate_toggle:.3} vs fast {fast_toggle:.3}"
+    );
+}
+
+#[test]
+fn netlist_resources_equal_model_resources() {
+    for device in Device::paper_devices() {
+        let trng = DhTrng::builder().device(device.clone()).build();
+        let (nl, _) = dh_trng_netlist(&device);
+        let r = nl.resources();
+        let m = trng.resources();
+        assert_eq!((r.luts, r.muxes, r.dffs), (m.luts, m.muxes, m.dffs));
+    }
+}

@@ -1,0 +1,138 @@
+//! Failure injection: the statistical batteries exist to catch broken
+//! sources. These tests verify the *detectors* — pathological generators
+//! must fail, loudly.
+
+use dh_trng::prelude::*;
+use dh_trng::stattests::ais31;
+use dh_trng::stattests::sp800_22::{run_suite_subset, TestId};
+use dh_trng::stattests::sp800_90b::non_iid_min_entropy;
+
+/// A TRNG whose ring died: constant output.
+struct StuckSource;
+impl Trng for StuckSource {
+    fn next_bit(&mut self) -> bool {
+        true
+    }
+}
+
+/// A TRNG with a catastrophic 65/35 bias.
+struct BiasedSource(NoiseRng);
+impl Trng for BiasedSource {
+    fn next_bit(&mut self) -> bool {
+        self.0.bernoulli(0.65)
+    }
+}
+
+/// An oscillator sampled harmonically: short-period deterministic output.
+struct PeriodicSource(u64);
+impl Trng for PeriodicSource {
+    fn next_bit(&mut self) -> bool {
+        self.0 = self.0.wrapping_add(1);
+        (self.0 / 3) % 2 == 0
+    }
+}
+
+fn collect<T: Trng>(mut t: T, n: usize) -> BitBuffer {
+    (0..n).map(|_| t.next_bit()).collect()
+}
+
+#[test]
+fn biased_source_fails_sp800_22() {
+    let seqs: Vec<BitBuffer> = (0..3)
+        .map(|i| collect(BiasedSource(NoiseRng::seed_from_u64(i)), 100_000))
+        .collect();
+    let report = run_suite_subset(&seqs, &[TestId::Frequency, TestId::Runs]);
+    assert!(!report.all_acceptable());
+    assert_eq!(report.row(TestId::Frequency).unwrap().passed, 0);
+}
+
+#[test]
+fn periodic_source_fails_structure_tests() {
+    let seqs = vec![collect(PeriodicSource(0), 200_000)];
+    let report = run_suite_subset(
+        &seqs,
+        &[TestId::Runs, TestId::Serial, TestId::ApproximateEntropy, TestId::Fft],
+    );
+    for row in &report.rows {
+        assert_eq!(
+            row.passed, 0,
+            "{} must catch a period-6 source",
+            row.test
+        );
+    }
+}
+
+#[test]
+fn stuck_source_has_zero_min_entropy() {
+    let bits = collect(StuckSource, 50_000);
+    assert!(non_iid_min_entropy(&bits) < 0.01);
+}
+
+#[test]
+fn biased_source_entropy_matches_theory() {
+    // 65% ones: MCV h should be near -log2(0.65) = 0.621.
+    let bits = collect(BiasedSource(NoiseRng::seed_from_u64(9)), 500_000);
+    let h = min_entropy_mcv(&bits);
+    assert!((h - 0.621).abs() < 0.02, "h = {h}");
+}
+
+#[test]
+fn ais31_catches_each_failure_mode() {
+    // Build a 7.2 Mbit stream that is healthy DH-TRNG output except the
+    // failure under test, and check the relevant AIS-31 stage trips.
+    let biased = collect(BiasedSource(NoiseRng::seed_from_u64(3)), 7_200_000);
+    let report = ais31::evaluate(&biased);
+    assert!(!report.t1.all(), "monobit must catch 65% bias");
+    assert!(!report.t6, "uniform distribution must catch 65% bias");
+    assert!(!report.t8, "Coron entropy must catch 65% bias");
+
+    let periodic = collect(PeriodicSource(0), 7_200_000);
+    let report = ais31::evaluate(&periodic);
+    assert!(!report.t0, "disjointness must catch a period-6 source");
+    assert!(!report.t2.all() || !report.t3.all() || !report.t5.all());
+}
+
+#[test]
+fn health_monitor_catches_runtime_death() {
+    // A healthy stream that degrades into a stuck ring at bit 5000.
+    let mut trng = DhTrng::builder().seed(77).build();
+    let mut monitor = HealthMonitor::new();
+    let mut detected = false;
+    for i in 0..20_000 {
+        let bit = if i < 5000 { trng.next_bit() } else { false };
+        if monitor.feed(bit) != HealthStatus::Ok {
+            assert!(i >= 5000, "no false alarm before the fault (bit {i})");
+            assert!(i < 5100, "detection must be prompt (bit {i})");
+            detected = true;
+            break;
+        }
+    }
+    assert!(detected, "stuck fault never detected");
+}
+
+#[test]
+fn gate_level_stuck_ring_degrades_the_output() {
+    use dh_trng::core::architecture::dh_trng_netlist;
+    use dh_trng::sim::{Engine, Femtos, Level};
+
+    let device = Device::artix7();
+    let (nl, ports) = dh_trng_netlist(&device);
+    let mut e = Engine::new(nl, NoiseRng::seed_from_u64(0xdead)).unwrap();
+    e.drive(ports.en, Femtos::ZERO, Level::Low);
+    e.drive(ports.en, Femtos::from_ns(20.0), Level::High);
+    let period = Femtos::from_seconds(1.0 / 620.0e6);
+    e.add_clock_50(ports.clk, Femtos::from_ns(40.0), period);
+    e.run_until(Femtos::from_ns(200.0));
+
+    // Kill every ring tap: the sampled XOR collapses to a constant.
+    for &tap in &ports.taps {
+        e.inject_stuck(tap, Level::Low);
+    }
+    let probe = e.attach_probe(ports.out);
+    e.run_until(Femtos::from_ns(200.0) + period.mul_u64(600));
+    let transitions = e.waveform(probe).unwrap().transition_count();
+    assert!(
+        transitions <= 2,
+        "with all rings dead the output must freeze: {transitions} transitions"
+    );
+}

@@ -1,0 +1,107 @@
+//! End-to-end pipeline: the DH-TRNG behavioural generator must satisfy
+//! the same acceptance criteria the paper's evaluation section applies.
+
+use dh_trng::prelude::*;
+use dh_trng::stattests::ais31;
+use dh_trng::stattests::basic::{bias_percent, passes_pearson_criterion};
+use dh_trng::stattests::sp800_22::{run_suite_subset, TestId};
+use dh_trng::stattests::sp800_90b::iid_permutation_test;
+
+fn stream(seed: u64, nbits: usize) -> BitBuffer {
+    let mut trng = DhTrng::builder().seed(seed).build();
+    (0..nbits).map(|_| trng.next_bit()).collect()
+}
+
+#[test]
+fn sp800_22_core_tests_pass_on_multiple_sequences() {
+    let seqs: Vec<BitBuffer> = (0..8).map(|i| stream(100 + i, 1 << 19)).collect();
+    let quick = [
+        TestId::Frequency,
+        TestId::BlockFrequency,
+        TestId::CumulativeSums,
+        TestId::Runs,
+        TestId::LongestRun,
+        TestId::Rank,
+        TestId::Fft,
+        TestId::OverlappingTemplate,
+        TestId::ApproximateEntropy,
+        TestId::Serial,
+        TestId::LinearComplexity,
+    ];
+    let report = run_suite_subset(&seqs, &quick);
+    for row in &report.rows {
+        // At 8 sequences the strict NIST minimum-rate criterion is
+        // noisier than the suite itself (one expected failure per ~12
+        // test-sequences at alpha = 0.01), so allow a single miss while
+        // requiring cross-sequence uniformity.
+        assert!(
+            row.uniformity_p > 1e-4 && row.passed + 1 >= row.applicable,
+            "{}: P = {:.4}, prop {}",
+            row.test,
+            row.uniformity_p,
+            row.proportion()
+        );
+    }
+}
+
+#[test]
+fn sp800_90b_battery_is_high_entropy() {
+    let bits = stream(7, 1 << 20);
+    for est in non_iid_battery(&bits) {
+        assert!(
+            est.h_min > 0.80,
+            "{}: h = {} — every estimator should be near 1 on DH-TRNG output",
+            est.name,
+            est.h_min
+        );
+    }
+    assert!(min_entropy_mcv(&bits) > 0.99);
+}
+
+#[test]
+fn ais31_procedure_passes_end_to_end() {
+    let bits = stream(8, 7_200_000);
+    let report = ais31::evaluate(&bits);
+    assert!(report.all_pass(), "{report:?}");
+    assert!(report.t8_statistic > ais31::T8_THRESHOLD);
+}
+
+#[test]
+fn basic_diagnostics_match_paper_sections() {
+    let bits = stream(9, 1 << 20);
+    // §4.3: bias at the sampling floor (sub-0.2% at 1 Mbit).
+    assert!(bias_percent(&bits) < 0.3, "bias = {}%", bias_percent(&bits));
+    // §4.4: Pearson criterion over lags 1..=100.
+    assert!(passes_pearson_criterion(&bits, 100));
+}
+
+#[test]
+fn iid_track_consistency() {
+    // 64 kbit slice, 1000 permutations (spec-shaped, scaled for runtime).
+    let bits = stream(10, 1 << 16);
+    let report = iid_permutation_test(&bits, 1000, 42);
+    let failures = report.failures().len();
+    assert!(
+        failures <= 1,
+        "at most one marginal statistic may trip at this scale: {:?}",
+        report
+            .failures()
+            .iter()
+            .map(|o| o.statistic.to_string())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn bytes_and_bits_are_consistent() {
+    let mut a = DhTrng::builder().seed(11).build();
+    let mut b = DhTrng::builder().seed(11).build();
+    let bits = a.collect_bits(64);
+    let mut bytes = [0u8; 8];
+    b.fill_bytes(&mut bytes);
+    let rebuilt: Vec<bool> = bytes
+        .iter()
+        .flat_map(|&byte| (0..8).rev().map(move |i| (byte >> i) & 1 == 1))
+        .collect();
+    assert_eq!(bits, rebuilt, "byte path must be the bit path, MSB first");
+}
