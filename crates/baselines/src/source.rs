@@ -32,13 +32,7 @@ impl BehaviouralSource {
     ///
     /// Panics unless `0 <= p_rand <= 1`, `0 <= bias < 0.5`, and at least
     /// one beat period is supplied.
-    pub fn new(
-        p_rand: f64,
-        bias: f64,
-        beat_periods_ns: &[f64],
-        sample_ns: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn new(p_rand: f64, bias: f64, beat_periods_ns: &[f64], sample_ns: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p_rand), "p_rand must be in [0,1]");
         assert!((0.0..0.5).contains(&bias), "bias must be in [0,0.5)");
         assert!(!beat_periods_ns.is_empty(), "need at least one oscillator");

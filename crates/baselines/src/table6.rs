@@ -138,7 +138,11 @@ mod tests {
         let rows = paper_rows();
         let ours = rows.last().unwrap();
         for other in &rows[..7] {
-            assert!(ours.throughput_mbps > other.throughput_mbps, "{}", other.design);
+            assert!(
+                ours.throughput_mbps > other.throughput_mbps,
+                "{}",
+                other.design
+            );
             assert!(ours.efficiency() > other.efficiency(), "{}", other.design);
         }
         // And the 2.63x headline over the prior best.

@@ -16,11 +16,21 @@ const BITS: usize = 1 << 15;
 fn ablation_benches(c: &mut Criterion) {
     let variants: Vec<(&str, DhTrng)> = vec![
         ("full", DhTrng::builder().seed(1).build()),
-        ("no-coupling", DhTrng::builder().seed(1).coupling(false).build()),
-        ("no-feedback", DhTrng::builder().seed(1).feedback(false).build()),
+        (
+            "no-coupling",
+            DhTrng::builder().seed(1).coupling(false).build(),
+        ),
+        (
+            "no-feedback",
+            DhTrng::builder().seed(1).feedback(false).build(),
+        ),
         (
             "no-coupling-no-feedback",
-            DhTrng::builder().seed(1).coupling(false).feedback(false).build(),
+            DhTrng::builder()
+                .seed(1)
+                .coupling(false)
+                .feedback(false)
+                .build(),
         ),
         (
             "virtex6",

@@ -13,7 +13,11 @@ fn run_unit(ns: f64) -> u64 {
     let mut e = Engine::new(nl, NoiseRng::seed_from_u64(1)).expect("valid");
     e.drive(ports.en, Femtos::ZERO, Level::Low);
     e.drive(ports.en, Femtos::from_ns(2.0), Level::High);
-    e.add_clock_50(ports.clk, Femtos::from_ns(3.0), Femtos::from_seconds(1.0 / 100.0e6));
+    e.add_clock_50(
+        ports.clk,
+        Femtos::from_ns(3.0),
+        Femtos::from_seconds(1.0 / 100.0e6),
+    );
     e.run_until(Femtos::from_ns(ns));
     e.stats().events
 }
@@ -23,7 +27,11 @@ fn run_full(ns: f64) -> u64 {
     let mut e = Engine::new(nl, NoiseRng::seed_from_u64(1)).expect("valid");
     e.drive(ports.en, Femtos::ZERO, Level::Low);
     e.drive(ports.en, Femtos::from_ns(2.0), Level::High);
-    e.add_clock_50(ports.clk, Femtos::from_ns(3.0), Femtos::from_seconds(1.0 / 620.0e6));
+    e.add_clock_50(
+        ports.clk,
+        Femtos::from_ns(3.0),
+        Femtos::from_seconds(1.0 / 620.0e6),
+    );
     e.run_until(Femtos::from_ns(ns));
     e.stats().events
 }

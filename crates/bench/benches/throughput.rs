@@ -6,7 +6,9 @@
 //! simulation itself runs, which bounds experiment runtimes.)
 
 use criterion::measurement::WallTime;
-use criterion::{criterion_group, criterion_main, BenchmarkGroup, BenchmarkId, Criterion, Throughput};
+use criterion::{
+    criterion_group, criterion_main, BenchmarkGroup, BenchmarkId, Criterion, Throughput,
+};
 use dhtrng_baselines::{
     DualModePufTrng, JitterLatchTrng, LatchedRoTrng, MetastableCmTrng, MultiphaseTrng, TeroTrng,
     TerotTrng,
@@ -38,12 +40,20 @@ fn throughput_benches(c: &mut Criterion) {
         "DH-TRNG-no-feedback",
         DhTrng::builder().seed(1).feedback(false).build(),
     );
-    bench_generator(&mut group, "HybridUnits-x12", HybridUnitGroup::hybrid(12, 1));
+    bench_generator(
+        &mut group,
+        "HybridUnits-x12",
+        HybridUnitGroup::hybrid(12, 1),
+    );
     bench_generator(&mut group, "TERO-FPL20", TeroTrng::new(1));
     bench_generator(&mut group, "LatchedRO-TCASII21", LatchedRoTrng::new(1));
     bench_generator(&mut group, "JitterLatch-TCASI21", JitterLatchTrng::new(1));
     bench_generator(&mut group, "TEROT-TCASI22", TerotTrng::new(1));
-    bench_generator(&mut group, "MetastableCM-TCASII22", MetastableCmTrng::new(1));
+    bench_generator(
+        &mut group,
+        "MetastableCM-TCASII22",
+        MetastableCmTrng::new(1),
+    );
     bench_generator(&mut group, "DualModePUF-TC23", DualModePufTrng::new(1));
     bench_generator(&mut group, "Multiphase-DAC23", MultiphaseTrng::new(1));
     group.finish();

@@ -8,8 +8,19 @@ use dhtrng_bench::args;
 use std::process::Command;
 
 const EXPERIMENTS: [&str; 13] = [
-    "table1", "table2", "table3", "table4", "table5", "table6", "fig1b", "fig3b", "fig7",
-    "fig8", "fig9", "restart", "deviation",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig1b",
+    "fig3b",
+    "fig7",
+    "fig8",
+    "fig9",
+    "restart",
+    "deviation",
 ];
 
 fn main() {

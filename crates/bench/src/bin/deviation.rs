@@ -14,18 +14,23 @@ fn main() {
     println!("Deviation test (§4.3) — Eq. 6 bias over {sets} sets of {nbits} bits\n");
 
     let mut table = Table::new(&["device", "paper bias %", "measured bias % (mean)"]);
-    for (device, (_, paper_bias)) in
-        [Device::virtex6(), Device::artix7()].into_iter().zip(paper::DEVIATION)
+    for (device, (_, paper_bias)) in [Device::virtex6(), Device::artix7()]
+        .into_iter()
+        .zip(paper::DEVIATION)
     {
         let label = device.display_name();
         let dev = device.clone();
         let seqs = gen::sequences(
-            move |i| DhTrng::builder().device(dev.clone()).seed(0xb1a5 + i).build(),
+            move |i| {
+                DhTrng::builder()
+                    .device(dev.clone())
+                    .seed(0xb1a5 + i)
+                    .build()
+            },
             sets,
             nbits,
         );
-        let mean_bias =
-            seqs.iter().map(bias_percent).sum::<f64>() / sets as f64;
+        let mean_bias = seqs.iter().map(bias_percent).sum::<f64>() / sets as f64;
         table.row(&[label, format!("{paper_bias:.4}"), format!("{mean_bias:.4}")]);
     }
     println!("{table}");

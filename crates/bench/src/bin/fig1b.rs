@@ -29,7 +29,11 @@ fn main() {
     for (i, &(_, x, y)) in points.iter().enumerate() {
         let cx = ((x / x_max) * (w - 1) as f64).round() as usize;
         let cy = ((y / y_max) * (h - 1) as f64).round() as usize;
-        let marker = if i == points.len() - 1 { '*' } else { (b'a' + i as u8) as char };
+        let marker = if i == points.len() - 1 {
+            '*'
+        } else {
+            (b'a' + i as u8) as char
+        };
         grid[h - 1 - cy][cx] = marker;
     }
     println!("Mbps");

@@ -35,7 +35,11 @@ fn main() {
 
     engine.drive(ports.en, Femtos::ZERO, Level::Low);
     engine.drive(ports.en, Femtos::from_ns(5.0), Level::High);
-    engine.add_clock_50(ports.clk, Femtos::from_ns(6.0), Femtos::from_seconds(1.0 / 100.0e6));
+    engine.add_clock_50(
+        ports.clk,
+        Femtos::from_ns(6.0),
+        Femtos::from_seconds(1.0 / 100.0e6),
+    );
 
     let probes = [
         ("clk", engine.attach_probe(ports.clk)),

@@ -18,7 +18,11 @@ fn main() {
         let label = device.display_name();
         let file = out_dir.join(format!(
             "fig7-{}.pbm",
-            label.split_whitespace().next().unwrap_or("device").to_lowercase()
+            label
+                .split_whitespace()
+                .next()
+                .unwrap_or("device")
+                .to_lowercase()
         ));
         let mut trng = DhTrng::builder().device(device).seed(0xf16).build();
         let bits = gen::bits_from(&mut trng, side * side);

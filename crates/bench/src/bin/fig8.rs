@@ -24,7 +24,12 @@ fn main() {
             label,
             format!("{max:.2e}"),
             format!("{mean:.2e}"),
-            if passes_pearson_criterion(&bits, 100) { "pass" } else { "FAIL" }.to_string(),
+            if passes_pearson_criterion(&bits, 100) {
+                "pass"
+            } else {
+                "FAIL"
+            }
+            .to_string(),
         ]);
     }
     println!("{table}");

@@ -50,6 +50,8 @@ fn main() {
     );
     println!(
         "min h = {:.4} at {} (paper: stays above {} at every corner)",
-        global_min.0, global_min.1, paper::FIG9_MIN_ENTROPY_FLOOR
+        global_min.0,
+        global_min.1,
+        paper::FIG9_MIN_ENTROPY_FLOOR
     );
 }

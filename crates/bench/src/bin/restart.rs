@@ -37,7 +37,11 @@ fn main() {
     println!(
         "all words distinct: {} (paper: all six sequences differ — \
          unrepeatable, true-random startup)",
-        if sorted.len() == words.len() { "yes" } else { "NO" }
+        if sorted.len() == words.len() {
+            "yes"
+        } else {
+            "NO"
+        }
     );
 
     // Beyond the paper: the SP 800-90B §3.1.4 restart-matrix validation
@@ -55,7 +59,11 @@ fn main() {
          frequency test {} -> {}",
         a.row_estimate.h_min,
         a.column_estimate.h_min,
-        if a.frequency_test_passed { "pass" } else { "FAIL" },
+        if a.frequency_test_passed {
+            "pass"
+        } else {
+            "FAIL"
+        },
         if a.passed() { "validated" } else { "REJECTED" }
     );
 }

@@ -18,7 +18,12 @@ fn main() {
         let label = device.display_name();
         let dev = device.clone();
         let seqs = gen::sequences(
-            move |i| DhTrng::builder().device(dev.clone()).seed(0x5eed + i).build(),
+            move |i| {
+                DhTrng::builder()
+                    .device(dev.clone())
+                    .seed(0x5eed + i)
+                    .build()
+            },
             sets,
             nbits,
         );

@@ -47,11 +47,19 @@ fn main() {
         // §4.1.2 also quotes the IID-track min-entropy.
         let iid = iid_permutation_test(&bits.slice(0, nbits.min(65_536)), perms, 0x11d);
         let h_iid = min_entropy_mcv(&bits);
-        let paper_iid = if device.process.nm == 45 { 0.994698 } else { 0.995966 };
+        let paper_iid = if device.process.nm == 45 {
+            0.994698
+        } else {
+            0.995966
+        };
         println!(
             "IID track: permutation test ({perms} perms on 64 kbit) {}; \
              min-entropy {h_iid:.6} (paper: {paper_iid})\n",
-            if iid.is_iid() { "consistent with IID" } else { "REJECTED" }
+            if iid.is_iid() {
+                "consistent with IID"
+            } else {
+                "REJECTED"
+            }
         );
     }
 }

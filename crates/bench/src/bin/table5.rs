@@ -21,15 +21,69 @@ fn main() {
     }
     let (v6, a7) = (&reports[0], &reports[1]);
     let pass = |b: bool| if b { "Pass" } else { "FAIL" }.to_string();
-    table.row(&["Disjointness Test (T0)".into(), "Pass".into(), "Pass".into(), pass(v6.t0), pass(a7.t0)]);
-    table.row(&["Monobit Tests (T1)*".into(), "100%".into(), "100%".into(), v6.t1.to_string(), a7.t1.to_string()]);
-    table.row(&["Poker Tests (T2)*".into(), "100%".into(), "100%".into(), v6.t2.to_string(), a7.t2.to_string()]);
-    table.row(&["Run Tests (T3)*".into(), "100%".into(), "100%".into(), v6.t3.to_string(), a7.t3.to_string()]);
-    table.row(&["Long Run Test (T4)*".into(), "100%".into(), "100%".into(), v6.t4.to_string(), a7.t4.to_string()]);
-    table.row(&["Autocorrelation Test (T5)*".into(), "100%".into(), "100%".into(), v6.t5.to_string(), a7.t5.to_string()]);
-    table.row(&["Uniform Distribution (T6)".into(), "Pass".into(), "Pass".into(), pass(v6.t6), pass(a7.t6)]);
-    table.row(&["Multinomial Dist. (T7)".into(), "Pass".into(), "Pass".into(), pass(v6.t7), pass(a7.t7)]);
-    table.row(&["Entropy Test (T8)".into(), "Pass".into(), "Pass".into(), pass(v6.t8), pass(a7.t8)]);
+    table.row(&[
+        "Disjointness Test (T0)".into(),
+        "Pass".into(),
+        "Pass".into(),
+        pass(v6.t0),
+        pass(a7.t0),
+    ]);
+    table.row(&[
+        "Monobit Tests (T1)*".into(),
+        "100%".into(),
+        "100%".into(),
+        v6.t1.to_string(),
+        a7.t1.to_string(),
+    ]);
+    table.row(&[
+        "Poker Tests (T2)*".into(),
+        "100%".into(),
+        "100%".into(),
+        v6.t2.to_string(),
+        a7.t2.to_string(),
+    ]);
+    table.row(&[
+        "Run Tests (T3)*".into(),
+        "100%".into(),
+        "100%".into(),
+        v6.t3.to_string(),
+        a7.t3.to_string(),
+    ]);
+    table.row(&[
+        "Long Run Test (T4)*".into(),
+        "100%".into(),
+        "100%".into(),
+        v6.t4.to_string(),
+        a7.t4.to_string(),
+    ]);
+    table.row(&[
+        "Autocorrelation Test (T5)*".into(),
+        "100%".into(),
+        "100%".into(),
+        v6.t5.to_string(),
+        a7.t5.to_string(),
+    ]);
+    table.row(&[
+        "Uniform Distribution (T6)".into(),
+        "Pass".into(),
+        "Pass".into(),
+        pass(v6.t6),
+        pass(a7.t6),
+    ]);
+    table.row(&[
+        "Multinomial Dist. (T7)".into(),
+        "Pass".into(),
+        "Pass".into(),
+        pass(v6.t7),
+        pass(a7.t7),
+    ]);
+    table.row(&[
+        "Entropy Test (T8)".into(),
+        "Pass".into(),
+        "Pass".into(),
+        pass(v6.t8),
+        pass(a7.t8),
+    ]);
     println!("{table}");
     println!(
         "T8 statistics: V6 f = {:.4}, A7 f = {:.4} (threshold {}); \
@@ -41,7 +95,15 @@ fn main() {
     );
     println!(
         "overall: V6 {}, A7 {}",
-        if v6.all_pass() { "all pass" } else { "FAILURES" },
-        if a7.all_pass() { "all pass" } else { "FAILURES" },
+        if v6.all_pass() {
+            "all pass"
+        } else {
+            "FAILURES"
+        },
+        if a7.all_pass() {
+            "all pass"
+        } else {
+            "FAILURES"
+        },
     );
 }

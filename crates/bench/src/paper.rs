@@ -40,12 +40,24 @@ pub const TABLE3: [(&str, f64, &str, f64, &str); 15] = [
     ("LongestRun", 0.122325, "30/30", 0.213309, "29/30"),
     ("Rank", 0.350485, "30/30", 0.350485, "30/30"),
     ("FFT", 0.739918, "30/30", 0.468595, "30/30"),
-    ("NonOverlappingTemplate*", 0.472949, "30/30", 0.477819, "30/30"),
+    (
+        "NonOverlappingTemplate*",
+        0.472949,
+        "30/30",
+        0.477819,
+        "30/30",
+    ),
     ("OverlappingTemplate", 0.671779, "30/30", 0.534146, "30/30"),
     ("Universal", 0.350485, "30/30", 0.299251, "29/30"),
     ("ApproximateEntropy", 0.602458, "30/30", 0.804337, "30/30"),
     ("RandomExcursions*", 0.090867, "17/17", 0.029136, "17/17"),
-    ("RandomExcursionsVariant*", 0.084577, "17/17", 0.043234, "17/17"),
+    (
+        "RandomExcursionsVariant*",
+        0.084577,
+        "17/17",
+        0.043234,
+        "17/17",
+    ),
     ("Serial*", 0.390368, "30/30", 0.844760, "30/30"),
     ("LinearComplexity", 0.178278, "29/30", 0.407091, "30/30"),
 ];

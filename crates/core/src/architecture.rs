@@ -115,7 +115,12 @@ pub fn entropy_unit_netlist(device: &Device) -> (Netlist, EntropyUnitPorts) {
     nl.add_dff(DffSpec::fpga(rings.r1, clk, q1));
     nl.add_dff(DffSpec::fpga(rings.r2, clk, q2));
     let out = nl.add_net("out");
-    nl.add_gate(GateKind::Xor2, &[q1, q2], out, Femtos::from_seconds(device.lut_delay_s));
+    nl.add_gate(
+        GateKind::Xor2,
+        &[q1, q2],
+        out,
+        Femtos::from_seconds(device.lut_delay_s),
+    );
 
     (
         nl,
@@ -173,8 +178,20 @@ pub fn dh_trng_netlist(device: &Device) -> (Netlist, NetlistPorts) {
         // it latches — the disorderly mode switching of §3.2.
         let c1 = nl.add_net_with_initial(format!("cell{cell}_central1"), dhtrng_sim::Level::Low);
         let c2 = nl.add_net_with_initial(format!("cell{cell}_central2"), dhtrng_sim::Level::Low);
-        nl.add_gate_jittered(GateKind::XorN, &[c1, ua.r1, ub.r2, feedback], c1, stage, jitter);
-        nl.add_gate_jittered(GateKind::XorN, &[c2, ua.r2, ub.r1, feedback], c2, stage, jitter);
+        nl.add_gate_jittered(
+            GateKind::XorN,
+            &[c1, ua.r1, ub.r2, feedback],
+            c1,
+            stage,
+            jitter,
+        );
+        nl.add_gate_jittered(
+            GateKind::XorN,
+            &[c2, ua.r2, ub.r1, feedback],
+            c2,
+            stage,
+            jitter,
+        );
 
         taps.extend([ua.r1, ua.r2, ub.r1, ub.r2, c1, c2]);
     }
@@ -231,7 +248,11 @@ mod tests {
     fn full_netlist_matches_paper_resources() {
         let (nl, _) = dh_trng_netlist(&Device::artix7());
         let r = nl.resources();
-        assert_eq!((r.luts, r.muxes, r.dffs), (23, 4, 14), "paper §3.3 inventory");
+        assert_eq!(
+            (r.luts, r.muxes, r.dffs),
+            (23, 4, 14),
+            "paper §3.3 inventory"
+        );
         nl.validate().expect("netlist must validate");
     }
 

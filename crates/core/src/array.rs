@@ -41,7 +41,7 @@ impl DhTrngArray {
     /// Panics if `k` is 0 or greater than 64 (words are returned in a
     /// `u64`).
     pub fn new(config: DhTrngConfig, k: usize, seed: u64) -> Self {
-        assert!(k >= 1 && k <= 64, "array size must be 1..=64");
+        assert!((1..=64).contains(&k), "array size must be 1..=64");
         let instances = (0..k)
             .map(|i| {
                 let mut cfg = config.clone();
@@ -74,18 +74,12 @@ impl DhTrngArray {
 
     /// Aggregate throughput: `k` bits per sampling clock.
     pub fn throughput_mbps(&self) -> f64 {
-        self.instances
-            .iter()
-            .map(DhTrng::throughput_mbps)
-            .sum()
+        self.instances.iter().map(DhTrng::throughput_mbps).sum()
     }
 
     /// Aggregate cell resources (k x the single instance).
     pub fn resources(&self) -> ResourceReport {
-        self.instances
-            .iter()
-            .map(DhTrng::resources)
-            .sum()
+        self.instances.iter().map(DhTrng::resources).sum()
     }
 
     /// Aggregate slice count.
@@ -109,7 +103,11 @@ impl DhTrngArray {
     /// with `k`): the paper's metric rewards per-core efficiency, which
     /// is exactly why a better core beats replicating a worse one.
     pub fn efficiency(&self) -> f64 {
-        efficiency_metric(self.throughput_mbps(), self.slices(), self.power().total_w())
+        efficiency_metric(
+            self.throughput_mbps(),
+            self.slices(),
+            self.power().total_w(),
+        )
     }
 
     /// Energy efficiency in Mbps per watt — the figure that *improves*

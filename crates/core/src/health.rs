@@ -70,8 +70,14 @@ impl HealthMonitor {
     /// Panics if any cutoff is zero or `apt_cutoff > apt_window`.
     pub fn with_cutoffs(rct_cutoff: u32, apt_window: u32, apt_cutoff: u32) -> Self {
         assert!(rct_cutoff > 1, "RCT cutoff must exceed 1");
-        assert!(apt_window > 0 && apt_cutoff > 0, "APT parameters must be positive");
-        assert!(apt_cutoff <= apt_window, "APT cutoff cannot exceed the window");
+        assert!(
+            apt_window > 0 && apt_cutoff > 0,
+            "APT parameters must be positive"
+        );
+        assert!(
+            apt_cutoff <= apt_window,
+            "APT cutoff cannot exceed the window"
+        );
         Self {
             rct_cutoff,
             apt_window,

@@ -44,8 +44,8 @@ pub mod trng;
 pub use architecture::{dh_trng_netlist, entropy_unit_netlist, EntropyUnitPorts, NetlistPorts};
 pub use array::DhTrngArray;
 pub use health::{HealthMonitor, HealthStatus};
-pub use postproc::{LfsrWhitener, VonNeumann, XorDecimator};
 pub use model::{
     eq3_xor_expectation, eq4_xor_expectation_n, eq5_randomness_coverage, RingCoverage,
 };
+pub use postproc::{LfsrWhitener, VonNeumann, XorDecimator};
 pub use trng::{DhTrng, DhTrngBuilder, DhTrngConfig, HybridUnitGroup, Trng};

@@ -197,8 +197,8 @@ pub fn table1_ro_bias(stages: u32) -> f64 {
     // Bias values derived from Table 1's min-entropies after removing the
     // 1 Mbit MCV confidence floor (~0.00129).
     const BIAS: [f64; 12] = [
-        0.00788, 0.00802, 0.00722, 0.00652, 0.00628, 0.00461, 0.00360, 0.00322, 0.00423,
-        0.00440, 0.00611, 0.00795,
+        0.00788, 0.00802, 0.00722, 0.00652, 0.00628, 0.00461, 0.00360, 0.00322, 0.00423, 0.00440,
+        0.00611, 0.00795,
     ];
     assert!(
         (2..=13).contains(&stages),
@@ -274,7 +274,10 @@ mod tests {
             .count();
         let measured = ones as f64 / n as f64;
         let predicted = eq3_xor_expectation(mu1, mu2);
-        assert!((measured - predicted).abs() < 0.005, "{measured} vs {predicted}");
+        assert!(
+            (measured - predicted).abs() < 0.005,
+            "{measured} vs {predicted}"
+        );
     }
 
     #[test]
@@ -303,7 +306,7 @@ mod tests {
             eps: 100.0e-12,
             f: 290.0e6,
         };
-        let few = eq5_randomness_coverage(&vec![ring; 3]);
+        let few = eq5_randomness_coverage(&[ring; 3]);
         let many = eq5_randomness_coverage(&vec![ring; 12]);
         assert!(many > few);
         assert!(many <= 1.0 && few >= 0.0);
@@ -374,11 +377,8 @@ mod tests {
 
     #[test]
     fn table1_calibration_peaks_at_nine_stages() {
-        let best = (2..=13).min_by(|&a, &b| {
-            table1_ro_bias(a)
-                .partial_cmp(&table1_ro_bias(b))
-                .unwrap()
-        });
+        let best =
+            (2..=13).min_by(|&a, &b| table1_ro_bias(a).partial_cmp(&table1_ro_bias(b)).unwrap());
         assert_eq!(best, Some(9));
         // Coverage declines with order (white-noise physics).
         assert!(table1_ro_coverage(2) > table1_ro_coverage(13));
@@ -390,7 +390,10 @@ mod tests {
         let n = 100_000;
         let ones = (0..n).filter(|_| beat.step()).count();
         let frac = ones as f64 / n as f64;
-        assert!((frac - 0.5).abs() < 0.01, "duty-0.5 beat must be balanced: {frac}");
+        assert!(
+            (frac - 0.5).abs() < 0.01,
+            "duty-0.5 beat must be balanced: {frac}"
+        );
     }
 
     #[test]

@@ -142,8 +142,7 @@ impl<T: Trng> Trng for LfsrWhitener<T> {
     fn next_bit(&mut self) -> bool {
         // Fibonacci LFSR step with the raw bit injected into the
         // feedback, so the output remains entropy-preserving.
-        let fb = ((self.state >> 0) ^ (self.state >> 2) ^ (self.state >> 3) ^ (self.state >> 5))
-            & 1;
+        let fb = (self.state ^ (self.state >> 2) ^ (self.state >> 3) ^ (self.state >> 5)) & 1;
         let raw = u16::from(self.inner.next_bit());
         self.state = (self.state >> 1) | ((fb ^ raw) << 15);
         self.state & 1 == 1

@@ -223,9 +223,9 @@ impl DhTrng {
         let stage = config.device.stage_delay_s() * factors.delay;
         let mux = config.device.net_delay_s * factors.delay;
         let periods = RingPeriods {
-            ro1: 6.0 * stage,               // 3-stage ring
-            ro2: 2.0 * (stage + mux),       // inverter + MUX loop
-            central: 10.0 * stage,          // through-coupling ring
+            ro1: 6.0 * stage,         // 3-stage ring
+            ro2: 2.0 * (stage + mux), // inverter + MUX loop
+            central: 10.0 * stage,    // through-coupling ring
         };
         let sampling_hz = config
             .sampling_hz
@@ -357,15 +357,16 @@ impl DhTrng {
     /// Packed slice count under the paper's typed-placement constraints
     /// (8 slices).
     pub fn slices(&self) -> u32 {
-        pack_design(&Region::dh_trng_reference(), self.config.device.slice_spec()).total_slices
+        pack_design(
+            &Region::dh_trng_reference(),
+            self.config.device.slice_spec(),
+        )
+        .total_slices
     }
 
     /// The compact square placement of Fig. 5(b), anchored at `origin`.
     pub fn placement(&self, origin: (u32, u32)) -> Placement {
-        Placement::compact_square(
-            &[("entropy", 5), ("sampling", 2), ("feedback", 1)],
-            origin,
-        )
+        Placement::compact_square(&[("entropy", 5), ("sampling", 2), ("feedback", 1)], origin)
     }
 
     /// Power at the built corner, from the device's calibrated CV²f
@@ -386,7 +387,11 @@ impl DhTrng {
 
     /// The paper's headline metric `Throughput / (Slices x Power)`.
     pub fn efficiency(&self) -> f64 {
-        efficiency_metric(self.throughput_mbps(), self.slices(), self.power().total_w())
+        efficiency_metric(
+            self.throughput_mbps(),
+            self.slices(),
+            self.power().total_w(),
+        )
     }
 
     /// Emits the gate-level netlist of this configuration (for the

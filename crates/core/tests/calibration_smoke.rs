@@ -1,11 +1,60 @@
 use dhtrng_core::{DhTrng, Trng};
 
 #[test]
+fn fixed_seed_output_is_reproducible() {
+    // Reproducibility guard for CI: the same seed must produce the same
+    // first 1 KiB of output on every platform and every run. Two
+    // independently built generators also cross-check that no hidden
+    // global state leaks between instances.
+    let collect_1kib = || {
+        let mut trng = DhTrng::builder().seed(0x0D4C_2024).build();
+        let mut buf = [0u8; 1024];
+        trng.fill_bytes(&mut buf);
+        buf
+    };
+    let a = collect_1kib();
+    let b = collect_1kib();
+    assert_eq!(a, b, "same seed, same stream");
+
+    // First 16 bytes of the seed-0x0D4C2024 stream, captured at workspace
+    // bootstrap. Drift here means the model (or the noise RNG behind it)
+    // changed behaviour, which invalidates every calibrated table in the
+    // repository and must be deliberate.
+    const EXPECTED_HEAD: [u8; 16] = [
+        0xb9, 0x6d, 0x97, 0x65, 0xb3, 0xfd, 0xf0, 0x89, 0x6b, 0xfb, 0x4b, 0x5d, 0x65, 0xdf, 0xde,
+        0x1b,
+    ];
+    assert_eq!(
+        &a[..16],
+        EXPECTED_HEAD,
+        "seeded stream prefix drifted — recalibrate or revert"
+    );
+
+    // A different seed must diverge immediately (first 16 bytes).
+    let mut other = DhTrng::builder().seed(0x0D4C_2025).build();
+    let mut other_buf = [0u8; 16];
+    other.fill_bytes(&mut other_buf);
+    assert_ne!(
+        other_buf.as_slice(),
+        &a[..16],
+        "different seed, different stream"
+    );
+}
+
+#[test]
 fn mcv_band_smoke() {
     // Inline MCV (no stattests dep in core): mode frequency + CI.
     for (name, mut trng, lo, hi) in [
         ("A7", DhTrng::builder().seed(11).build(), 0.9935, 0.9985),
-        ("V6", DhTrng::builder().device(dhtrng_fpga::Device::virtex6()).seed(12).build(), 0.9935, 0.9985),
+        (
+            "V6",
+            DhTrng::builder()
+                .device(dhtrng_fpga::Device::virtex6())
+                .seed(12)
+                .build(),
+            0.9935,
+            0.9985,
+        ),
     ] {
         let n = 1_000_000;
         let ones = (0..n).filter(|_| trng.next_bit()).count();

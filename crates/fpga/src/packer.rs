@@ -255,9 +255,7 @@ mod tests {
 
     #[test]
     fn luts_get_own_slices_when_they_do_not_fit() {
-        let r = Region::new("big")
-            .with_luts("logic", 9)
-            .with_dffs(8);
+        let r = Region::new("big").with_luts("logic", 9).with_dffs(8);
         // 8 DFFs -> 1 slice hosting up to 4 LUTs; 9 LUTs don't fit -> own
         // slices: ceil(9/4) = 3, plus the DFF slice.
         assert_eq!(pack_region(&r, spec()), 4);

@@ -55,10 +55,7 @@ impl ActivityProfile {
 
     /// Sum over groups of `nodes x rate`, in transitions per second.
     pub fn total_toggle_rate_hz(&self) -> f64 {
-        self.groups
-            .iter()
-            .map(|&(n, r)| f64::from(n) * r)
-            .sum()
+        self.groups.iter().map(|&(n, r)| f64::from(n) * r).sum()
     }
 
     /// Number of node groups.

@@ -203,8 +203,7 @@ impl FlickerWalk {
 
     /// Advances the walk one edge and returns the current offset (seconds).
     pub fn step(&mut self, rng: &mut NoiseRng) -> f64 {
-        self.offset = (1.0 - self.reversion) * self.offset
-            + sample_normal(rng, self.kick_sigma);
+        self.offset = (1.0 - self.reversion) * self.offset + sample_normal(rng, self.kick_sigma);
         self.offset
     }
 

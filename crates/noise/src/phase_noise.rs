@@ -96,7 +96,12 @@ impl PhaseNoiseModel {
 
     /// FPGA ring with nominal constants.
     pub fn fpga_ring(stages: u32, stage_delay: f64, power: f64) -> Self {
-        Self::new(HajimiriConstants::fpga_nominal(), stages, stage_delay, power)
+        Self::new(
+            HajimiriConstants::fpga_nominal(),
+            stages,
+            stage_delay,
+            power,
+        )
     }
 
     /// Ring order `N`.

@@ -153,8 +153,8 @@ impl ProcessParams {
 
         // Thermal jitter ∝ sqrt(T_kelvin); supply deviation adds noise.
         let dv = (corner.vdd_v - nominal.vdd_v) / 0.2;
-        let jitter =
-            (corner.temp_k() / nominal.temp_k()).sqrt() * (1.0 + self.jitter_supply_coeff * dv * dv);
+        let jitter = (corner.temp_k() / nominal.temp_k()).sqrt()
+            * (1.0 + self.jitter_supply_coeff * dv * dv);
 
         // Metastability window widens with slower transistors.
         let metastability = delay.sqrt();

@@ -260,7 +260,10 @@ impl Engine {
     ///
     /// Panics if either half-period is zero.
     pub fn add_clock(&mut self, net: NetId, first_rise: Femtos, high: Femtos, low: Femtos) {
-        assert!(high > Femtos::ZERO && low > Femtos::ZERO, "half-periods must be positive");
+        assert!(
+            high > Femtos::ZERO && low > Femtos::ZERO,
+            "half-periods must be positive"
+        );
         let id = self.clocks.len();
         self.clocks.push(ClockGen {
             net,
@@ -306,7 +309,7 @@ impl Engine {
     /// Panics if an event limit was set with [`Engine::set_event_limit`]
     /// and the run exceeds it.
     pub fn run_until(&mut self, until: Femtos) {
-        while let Some(Reverse(ev)) = self.queue.peek().copied().map(|e| e) {
+        while let Some(&Reverse(ev)) = self.queue.peek() {
             if ev.time > until {
                 break;
             }
@@ -344,7 +347,7 @@ impl Engine {
             EventKind::NetChange { net, value, token } => {
                 let valid = self.states[net.index()]
                     .pending
-                    .map_or(false, |p| p.token == token);
+                    .is_some_and(|p| p.token == token);
                 if !valid {
                     return; // cancelled by a later evaluation
                 }
@@ -365,7 +368,7 @@ impl Engine {
                     } else {
                         c.half_periods[1]
                     };
-                    c.next_level = level.not();
+                    c.next_level = !level;
                     (c.net, level, dwell)
                 };
                 self.apply_change(net, level);
@@ -507,7 +510,7 @@ impl Engine {
             // the resolution time-constant of the same order as sigma.
             let u = self.rng.uniform().max(1e-12);
             let extra = meta_sigma.as_seconds() * (-u.ln());
-            latency = latency + Femtos::from_seconds(extra);
+            latency += Femtos::from_seconds(extra);
         }
         self.schedule_inertial(q_net, captured, latency);
     }
@@ -524,7 +527,7 @@ impl Engine {
     ) -> (Level, bool) {
         let _ = d_net;
         let delta = stable_for.as_seconds();
-        let old_value = d_value.not();
+        let old_value = !d_value;
         let new_wins = meta.resolve(delta, &mut self.rng);
         let level = if new_wins { d_value } else { old_value };
         (level, true)

@@ -70,14 +70,14 @@ impl GateKind {
             );
         }
         match self {
-            GateKind::Inv => inputs[0].not(),
+            GateKind::Inv => !inputs[0],
             GateKind::Buf => inputs[0],
             GateKind::And2 => inputs[0].and(inputs[1]),
-            GateKind::Nand2 => inputs[0].and(inputs[1]).not(),
+            GateKind::Nand2 => !inputs[0].and(inputs[1]),
             GateKind::Or2 => inputs[0].or(inputs[1]),
-            GateKind::Nor2 => inputs[0].or(inputs[1]).not(),
+            GateKind::Nor2 => !inputs[0].or(inputs[1]),
             GateKind::Xor2 => inputs[0].xor(inputs[1]),
-            GateKind::Xnor2 => inputs[0].xor(inputs[1]).not(),
+            GateKind::Xnor2 => !inputs[0].xor(inputs[1]),
             GateKind::Mux2 => Level::mux(inputs[0], inputs[1], inputs[2]),
             GateKind::XorN => inputs.iter().copied().fold(Level::Low, Level::xor),
         }

@@ -34,15 +34,6 @@ impl Level {
         self != Level::Unknown
     }
 
-    /// Logical NOT with X-propagation.
-    pub fn not(self) -> Level {
-        match self {
-            Level::Low => Level::High,
-            Level::High => Level::Low,
-            Level::Unknown => Level::Unknown,
-        }
-    }
-
     /// Logical AND with X-propagation (`0 AND x = 0`).
     pub fn and(self, rhs: Level) -> Level {
         match (self, rhs) {
@@ -88,6 +79,19 @@ impl Level {
     }
 }
 
+/// Logical NOT with X-propagation.
+impl std::ops::Not for Level {
+    type Output = Level;
+
+    fn not(self) -> Level {
+        match self {
+            Level::Low => Level::High,
+            Level::High => Level::Low,
+            Level::Unknown => Level::Unknown,
+        }
+    }
+}
+
 impl From<bool> for Level {
     fn from(b: bool) -> Self {
         if b {
@@ -115,9 +119,9 @@ mod tests {
 
     #[test]
     fn not_table() {
-        assert_eq!(Low.not(), High);
-        assert_eq!(High.not(), Low);
-        assert_eq!(Unknown.not(), Unknown);
+        assert_eq!(!Low, High);
+        assert_eq!(!High, Low);
+        assert_eq!(!Unknown, Unknown);
     }
 
     #[test]

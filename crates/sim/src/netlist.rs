@@ -362,7 +362,10 @@ mod tests {
         let a = nl.add_net("a");
         let b = nl.add_net("b");
         nl.add_gate(GateKind::Inv, &[a], b, Femtos::ZERO);
-        assert_eq!(nl.validate(), Err(NetlistError::ZeroDelay { net: "b".into() }));
+        assert_eq!(
+            nl.validate(),
+            Err(NetlistError::ZeroDelay { net: "b".into() })
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl Femtos {
     ///
     /// Panics if `s` is negative, NaN, or too large to represent.
     pub fn from_seconds(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "time must be finite and >= 0, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "time must be finite and >= 0, got {s}"
+        );
         let fs = s * 1e15;
         assert!(fs <= u64::MAX as f64, "time too large: {s} s");
         Femtos(fs.round() as u64)
@@ -197,7 +200,10 @@ mod tests {
     fn ordering_is_total() {
         let mut v = vec![Femtos::from_fs(5), Femtos::from_fs(1), Femtos::from_fs(3)];
         v.sort();
-        assert_eq!(v, vec![Femtos::from_fs(1), Femtos::from_fs(3), Femtos::from_fs(5)]);
+        assert_eq!(
+            v,
+            vec![Femtos::from_fs(1), Femtos::from_fs(3), Femtos::from_fs(5)]
+        );
     }
 
     #[test]

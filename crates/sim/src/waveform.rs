@@ -53,16 +53,16 @@ impl Waveform {
 
     /// Times of rising (`-> High` from `Low`) edges.
     pub fn rising_edges(&self) -> impl Iterator<Item = Femtos> + '_ {
-        self.samples.windows(2).filter_map(|w| {
-            (w[0].1 == Level::Low && w[1].1 == Level::High).then_some(w[1].0)
-        })
+        self.samples
+            .windows(2)
+            .filter_map(|w| (w[0].1 == Level::Low && w[1].1 == Level::High).then_some(w[1].0))
     }
 
     /// Times of falling (`-> Low` from `High`) edges.
     pub fn falling_edges(&self) -> impl Iterator<Item = Femtos> + '_ {
-        self.samples.windows(2).filter_map(|w| {
-            (w[0].1 == Level::High && w[1].1 == Level::Low).then_some(w[1].0)
-        })
+        self.samples
+            .windows(2)
+            .filter_map(|w| (w[0].1 == Level::High && w[1].1 == Level::Low).then_some(w[1].0))
     }
 
     /// The signal level at time `t` (the most recent recorded value at or

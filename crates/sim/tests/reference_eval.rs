@@ -30,14 +30,18 @@ const KINDS: [GateKind; 8] = [
 ];
 
 fn gate_strategy() -> impl Strategy<Value = GateSpec> {
-    (0usize..KINDS.len(), any::<usize>(), any::<usize>(), any::<usize>()).prop_map(
-        |(kind_idx, in_a, in_b, in_c)| GateSpec {
+    (
+        0usize..KINDS.len(),
+        any::<usize>(),
+        any::<usize>(),
+        any::<usize>(),
+    )
+        .prop_map(|(kind_idx, in_a, in_b, in_c)| GateSpec {
             kind_idx,
             in_a,
             in_b,
             in_c,
-        },
-    )
+        })
 }
 
 /// Straight-line reference evaluation of the DAG.

@@ -87,9 +87,9 @@ pub fn t3_runs(sample: &BitBuffer) -> bool {
         }
     }
     counts[usize::from(run_val)][run_len.min(6) - 1] += 1;
-    for bit in 0..2 {
+    for row in &counts {
         for (len, &(lo, hi)) in T3_INTERVALS.iter().enumerate() {
-            let c = counts[bit][len];
+            let c = row[len];
             if c < lo || c > hi {
                 return false;
             }
@@ -331,13 +331,16 @@ pub fn evaluate(bits: &BitBuffer) -> Ais31Report {
     let t0_bits = T0_WORDS * T0_WORD_BITS;
     let t8_bits = (T8_Q + T8_K) * T8_L;
     assert!(
-        bits.len() >= t0_bits + SAMPLE_BITS + t8_bits.max(0),
+        bits.len() >= t0_bits + SAMPLE_BITS + t8_bits,
         "AIS-31 evaluation needs at least {} bits",
         t0_bits + SAMPLE_BITS + t8_bits
     );
     let t0 = t0_disjointness(bits);
 
-    let mut t1 = PassRate { passed: 0, total: 0 };
+    let mut t1 = PassRate {
+        passed: 0,
+        total: 0,
+    };
     let mut t2 = t1;
     let mut t3 = t1;
     let mut t4 = t1;
@@ -391,7 +394,10 @@ pub fn procedure_a(bits: &BitBuffer) -> (bool, [PassRate; 5]) {
         t0_bits + SAMPLE_BITS
     );
     let t0 = t0_disjointness(bits);
-    let mut rates = [PassRate { passed: 0, total: 0 }; 5];
+    let mut rates = [PassRate {
+        passed: 0,
+        total: 0,
+    }; 5];
     let mut offset = t0_bits;
     while offset + SAMPLE_BITS <= bits.len() {
         let sample = bits.slice(offset, SAMPLE_BITS);
@@ -485,7 +491,11 @@ mod tests {
         // Splice a 40-bit run of ones at position 100 by rebuilding.
         let mut rebuilt = BitBuffer::new();
         for i in 0..SAMPLE_BITS {
-            rebuilt.push(if (100..140).contains(&i) { true } else { s.bit(i) });
+            rebuilt.push(if (100..140).contains(&i) {
+                true
+            } else {
+                s.bit(i)
+            });
         }
         s = rebuilt;
         assert!(!t4_long_run(&s));
@@ -504,7 +514,9 @@ mod tests {
         let bits = splitmix_bits(T0_WORDS * T0_WORD_BITS, 10);
         assert!(t0_disjointness(&bits));
         // Periodic data has massive repeats.
-        let bad: BitBuffer = (0..T0_WORDS * T0_WORD_BITS).map(|i| (i / 3) % 2 == 0).collect();
+        let bad: BitBuffer = (0..T0_WORDS * T0_WORD_BITS)
+            .map(|i| (i / 3) % 2 == 0)
+            .collect();
         assert!(!t0_disjointness(&bad));
     }
 
@@ -539,7 +551,9 @@ mod tests {
 
     #[test]
     fn t8_low_for_structured_data() {
-        let bits: BitBuffer = (0..(T8_Q + T8_K) * T8_L).map(|i| (i / 16) % 2 == 0).collect();
+        let bits: BitBuffer = (0..(T8_Q + T8_K) * T8_L)
+            .map(|i| (i / 16) % 2 == 0)
+            .collect();
         assert!(t8_entropy_statistic(&bits) < 4.0);
     }
 
@@ -569,10 +583,16 @@ mod tests {
 
     #[test]
     fn pass_rate_formatting() {
-        let r = PassRate { passed: 202, total: 202 };
+        let r = PassRate {
+            passed: 202,
+            total: 202,
+        };
         assert_eq!(r.to_string(), "100%");
         assert!(r.all());
-        let r = PassRate { passed: 0, total: 0 };
+        let r = PassRate {
+            passed: 0,
+            total: 0,
+        };
         assert!(!r.all());
     }
 }

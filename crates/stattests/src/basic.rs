@@ -33,7 +33,13 @@ pub fn autocorrelation(bits: &BitBuffer, lag: usize) -> f64 {
     assert!(lag > 0, "lag must be positive");
     assert!(n > lag + 1, "sequence too short for lag {lag}");
     let m = n - lag;
-    let val = |i: usize| -> f64 { if bits.bit(i) { 1.0 } else { -1.0 } };
+    let val = |i: usize| -> f64 {
+        if bits.bit(i) {
+            1.0
+        } else {
+            -1.0
+        }
+    };
     let mean: f64 = (0..n).map(val).sum::<f64>() / n as f64;
     let var: f64 = (0..n).map(|i| (val(i) - mean).powi(2)).sum::<f64>() / n as f64;
     if var == 0.0 {
@@ -104,7 +110,11 @@ impl RestartTest {
 
     /// Formats a recorded word like the paper (`0X8E8F7BE6`).
     pub fn format_word(&self, index: usize) -> String {
-        format!("0X{:0width$X}", self.words[index], width = self.word_bits.div_ceil(4))
+        format!(
+            "0X{:0width$X}",
+            self.words[index],
+            width = self.word_bits.div_ceil(4)
+        )
     }
 
     /// Whether all recorded restart words are pairwise distinct.

@@ -7,9 +7,7 @@ use crate::special::igamc;
 use super::TestResult;
 
 /// Bin probabilities for the T statistic (§3.10).
-const PI: [f64; 7] = [
-    0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833,
-];
+const PI: [f64; 7] = [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833];
 
 /// §2.10 Linear Complexity test with block length `m` (NIST default 500).
 ///
@@ -22,7 +20,10 @@ const PI: [f64; 7] = [
 ///
 /// Panics unless `500 <= m <= 5000` — the spec's allowed block range.
 pub fn linear_complexity_test(bits: &BitBuffer, m: usize) -> TestResult {
-    assert!((500..=5000).contains(&m), "block length must be in 500..=5000");
+    assert!(
+        (500..=5000).contains(&m),
+        "block length must be in 500..=5000"
+    );
     let n = bits.len();
     let blocks = n / m;
     if blocks < 20 {

@@ -64,7 +64,10 @@ pub fn serial_test(bits: &BitBuffer, m: usize) -> TestResult {
 ///
 /// Panics unless `1 <= m <= 23` and the sequence is non-empty.
 pub fn approximate_entropy_test(bits: &BitBuffer, m: usize) -> TestResult {
-    assert!((1..=23).contains(&m), "approximate entropy needs 1 <= m <= 23");
+    assert!(
+        (1..=23).contains(&m),
+        "approximate entropy needs 1 <= m <= 23"
+    );
     let n = bits.len();
     assert!(n > 0, "approximate entropy needs a non-empty sequence");
 
@@ -119,7 +122,11 @@ mod tests {
         // p = 0.261961.
         let bits = BitBuffer::from_binary_str("0100110101");
         let r = approximate_entropy_test(&bits, 3);
-        assert!((r.p_value() - 0.261_961).abs() < 1e-5, "p = {}", r.p_value());
+        assert!(
+            (r.p_value() - 0.261_961).abs() < 1e-5,
+            "p = {}",
+            r.p_value()
+        );
     }
 
     #[test]
@@ -130,7 +137,11 @@ mod tests {
              00001000110100110001001100011001100010100010111000",
         );
         let r = approximate_entropy_test(&eps, 2);
-        assert!((r.p_value() - 0.235_301).abs() < 1e-4, "p = {}", r.p_value());
+        assert!(
+            (r.p_value() - 0.235_301).abs() < 1e-4,
+            "p = {}",
+            r.p_value()
+        );
     }
 
     #[test]

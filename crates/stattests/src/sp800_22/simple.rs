@@ -29,7 +29,10 @@ pub fn frequency_test(bits: &BitBuffer) -> TestResult {
 pub fn block_frequency_test(bits: &BitBuffer, m: usize) -> TestResult {
     let n = bits.len();
     let blocks = n / m;
-    assert!(blocks >= 1, "block frequency needs at least one {m}-bit block");
+    assert!(
+        blocks >= 1,
+        "block frequency needs at least one {m}-bit block"
+    );
     let mut chi2 = 0.0;
     for b in 0..blocks {
         let ones = (0..m).filter(|&i| bits.bit(b * m + i)).count();
@@ -253,7 +256,11 @@ mod tests {
         // p = 0.4116588.
         let small = BitBuffer::from_binary_str("1011010111");
         let r = cumulative_sums_test(&small);
-        assert!((r.p_values[0] - 0.411_658_8).abs() < 1e-5, "{:?}", r.p_values);
+        assert!(
+            (r.p_values[0] - 0.411_658_8).abs() < 1e-5,
+            "{:?}",
+            r.p_values
+        );
         // §2.13.8: pi digits, forward 0.219194, reverse 0.114866.
         let r = cumulative_sums_test(&pi_100());
         assert!((r.p_values[0] - 0.219_194).abs() < 1e-5, "{:?}", r.p_values);

@@ -5,8 +5,8 @@ use crate::bits::BitBuffer;
 use crate::special::igamc;
 
 use super::{
-    approximate_entropy_test, block_frequency_test, cumulative_sums_test, dft_test,
-    frequency_test, linear_complexity_test, longest_run_test, non_overlapping_template_test,
+    approximate_entropy_test, block_frequency_test, cumulative_sums_test, dft_test, frequency_test,
+    linear_complexity_test, longest_run_test, non_overlapping_template_test,
     overlapping_template_test, random_excursions_test, random_excursions_variant_test, rank_test,
     runs_test, serial_test, universal_test, TestResult, ALPHA,
 };
@@ -226,7 +226,11 @@ pub fn run_suite_subset(sequences: &[BitBuffer], tests: &[TestId]) -> SuiteRepor
     });
     let rows = slots
         .into_iter()
-        .map(|s| s.into_inner().expect("suite slot poisoned").expect("row computed"))
+        .map(|s| {
+            s.into_inner()
+                .expect("suite slot poisoned")
+                .expect("row computed")
+        })
         .collect();
     SuiteReport {
         rows,
@@ -274,8 +278,8 @@ fn run_one_test(sequences: &[BitBuffer], test: TestId) -> SuiteRow {
             let passed = if subtest_passes.is_empty() {
                 0
             } else {
-                let mean = subtest_passes.iter().sum::<usize>() as f64
-                    / subtest_passes.len() as f64;
+                let mean =
+                    subtest_passes.iter().sum::<usize>() as f64 / subtest_passes.len() as f64;
                 mean.round() as usize
             };
             SuiteRow {

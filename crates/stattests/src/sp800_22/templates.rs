@@ -17,7 +17,10 @@ const N_BLOCKS: usize = 8;
 /// for all `1 <= k < m`, `B[0..m-k] != B[k..m]`. For `m = 9` this yields
 /// the 148 templates of the NIST `template9` file.
 pub fn aperiodic_templates(m: usize) -> Vec<u64> {
-    assert!(m >= 2 && m <= 16, "template length out of supported range");
+    assert!(
+        (2..=16).contains(&m),
+        "template length out of supported range"
+    );
     let mut out = Vec::new();
     'outer: for t in 0..(1u64 << m) {
         for k in 1..m {
@@ -56,9 +59,9 @@ pub fn non_overlapping_template_test(bits: &BitBuffer) -> TestResult {
     let mut codes = vec![0u16; n - m + 1];
     let mut w = bits.window(0, m);
     codes[0] = w as u16;
-    for i in 1..=(n - m) {
+    for (i, code) in codes.iter_mut().enumerate().skip(1) {
         w = ((w << 1) | u64::from(bits.bit(i + m - 1))) & mask;
-        codes[i] = w as u16;
+        *code = w as u16;
     }
 
     let mu = (block_len - m + 1) as f64 / 2f64.powi(m as i32);
@@ -123,9 +126,7 @@ pub fn non_overlapping_single(bits: &BitBuffer, template: u64, m: usize) -> f64 
 
 /// Bin probabilities for the overlapping test with m = 9, M = 1032
 /// (SP 800-22 rev. 1a §3.8 corrected values).
-const OVERLAP_PI: [f64; 6] = [
-    0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865,
-];
+const OVERLAP_PI: [f64; 6] = [0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865];
 /// Block length of the overlapping test.
 const OVERLAP_M: usize = 1032;
 

@@ -29,8 +29,8 @@ const EXPECTED: [f64; 17] = [
 
 /// Variance of the statistic per block length L (index = L).
 const VARIANCE: [f64; 17] = [
-    0.0, 0.690, 1.338, 1.901, 2.358, 2.705, 2.954, 3.125, 3.238, 3.311, 3.356, 3.384, 3.401,
-    3.410, 3.416, 3.419, 3.421,
+    0.0, 0.690, 1.338, 1.901, 2.358, 2.705, 2.954, 3.125, 3.238, 3.311, 3.356, 3.384, 3.401, 3.410,
+    3.416, 3.419, 3.421,
 ];
 
 /// §2.9 Universal test with the spec's automatic parameter selection
@@ -83,8 +83,8 @@ pub fn universal_test_with_params(bits: &BitBuffer, l: usize, q: usize) -> TestR
     }
     let fn_stat = sum / k as f64;
 
-    let c = 0.7 - 0.8 / l as f64
-        + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
+    let c =
+        0.7 - 0.8 / l as f64 + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
     let sigma = c * (VARIANCE[l] / k as f64).sqrt();
     let p = erfc(((fn_stat - EXPECTED[l]) / sigma).abs() / std::f64::consts::SQRT_2);
     TestResult::single("Universal", p)
@@ -117,7 +117,11 @@ mod tests {
         // code and here) applies c and yields 0.063454.
         let bits = BitBuffer::from_binary_str("01011010011101010111");
         let r = universal_test_with_params(&bits, 2, 4);
-        assert!((r.p_value() - 0.063_454).abs() < 1e-4, "p = {}", r.p_value());
+        assert!(
+            (r.p_value() - 0.063_454).abs() < 1e-4,
+            "p = {}",
+            r.p_value()
+        );
         // Reconstruct the spec's uncorrected figure from fn to guard the
         // statistic itself: |fn - 1.5374383| / (sqrt(2 * 1.338)) -> erfc.
         let fn_stat = 1.194_987_5f64;

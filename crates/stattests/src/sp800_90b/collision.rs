@@ -44,7 +44,8 @@ pub fn collision_estimate(bits: &BitBuffer) -> Estimate {
     let v = times.len();
     assert!(v > 0, "no complete collision observed");
     let mean = times.iter().sum::<f64>() / v as f64;
-    let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / (v as f64 - 1.0).max(1.0);
+    let var =
+        times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / (v as f64 - 1.0).max(1.0);
     let x_lower = mean - Z_ALPHA * var.sqrt() / (v as f64).sqrt();
 
     // Invert E[T] = 3 - (p^2 + q^2) for p in [1/2, 1].
@@ -92,7 +93,10 @@ mod tests {
         let fair = collision_estimate(&splitmix_bits(500_000, 12)).h_min;
         let biased = collision_estimate(&biased_bits(500_000, 12, 70)).h_min;
         assert!(biased < fair, "{biased} !< {fair}");
-        assert!(biased < 0.75, "70% bias should cut collision entropy: {biased}");
+        assert!(
+            biased < 0.75,
+            "70% bias should cut collision entropy: {biased}"
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ const TINY: f64 = 1e-18;
 /// Panics if fewer than `d + 2 = 1002` six-bit blocks are available.
 pub fn compression_estimate(bits: &BitBuffer) -> Estimate {
     let l = bits.len() / B;
-    assert!(l >= D + 2, "compression estimate needs more than {D} blocks");
+    assert!(
+        l >= D + 2,
+        "compression estimate needs more than {D} blocks"
+    );
 
     // Dictionary of last-seen indices (1-based block positions).
     let mut dict = [0usize; 1 << B];

@@ -79,7 +79,11 @@ impl Estimate {
 
 impl std::fmt::Display for Estimate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: p-max {:.6e}, h-min {:.6}", self.name, self.p_max, self.h_min)
+        write!(
+            f,
+            "{}: p-max {:.6e}, h-min {:.6}",
+            self.name, self.p_max, self.h_min
+        )
     }
 }
 

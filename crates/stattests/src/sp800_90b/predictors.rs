@@ -198,7 +198,7 @@ pub fn multi_mmc_estimate(bits: &BitBuffer) -> Estimate {
     let n = bits.len();
     assert!(n >= 3, "Multi-MMC needs at least 3 bits");
     // Flat per-order context tables: counts[d][ctx][symbol].
-    let mut counts: Vec<Vec<[u32; 2]>> = (1..=D).map(|d| vec![[0u32; 2]; 1 << d]) .collect();
+    let mut counts: Vec<Vec<[u32; 2]>> = (1..=D).map(|d| vec![[0u32; 2]; 1 << d]).collect();
     let mut scoreboard = [0u64; D];
     let mut winner = 0usize;
     let mut correct = Vec::with_capacity(n - 2);
@@ -206,9 +206,9 @@ pub fn multi_mmc_estimate(bits: &BitBuffer) -> Estimate {
     // Rolling contexts: ctx[d] = last d bits before position i.
     let mut ctx = [0u32; D + 1];
     let update_ctx = |ctx: &mut [u32; D + 1], bit: bool| {
-        for d in 1..=D {
+        for (d, c) in ctx.iter_mut().enumerate().skip(1) {
             let mask = (1u32 << d) - 1;
-            ctx[d] = ((ctx[d] << 1) | u32::from(bit)) & mask;
+            *c = ((*c << 1) | u32::from(bit)) & mask;
         }
     };
     update_ctx(&mut ctx, bits.bit(0));
@@ -285,7 +285,11 @@ pub fn lz78y_estimate(bits: &BitBuffer) -> Estimate {
                 if c[0] == 0 && c[1] == 0 {
                     continue;
                 }
-                let (sym, cnt) = if c[1] > c[0] { (true, c[1]) } else { (false, c[0]) };
+                let (sym, cnt) = if c[1] > c[0] {
+                    (true, c[1])
+                } else {
+                    (false, c[0])
+                };
                 if cnt > best_count {
                     best_count = cnt;
                     prediction = Some(sym);

@@ -48,7 +48,10 @@ fn window_counts(bits: &BitBuffer, width: usize) -> HashMap<u64, u64> {
 /// Panics if the sequence is shorter than 35 bits.
 pub fn t_tuple_estimate(bits: &BitBuffer) -> Estimate {
     let n = bits.len();
-    assert!(n as u64 >= CUTOFF, "t-tuple estimate needs at least 35 bits");
+    assert!(
+        n as u64 >= CUTOFF,
+        "t-tuple estimate needs at least 35 bits"
+    );
     let mut p_max: f64 = 0.0;
     for width in 1..=MAX_WIDTH.min(n) {
         let counts = window_counts(bits, width);

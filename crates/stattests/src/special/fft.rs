@@ -43,7 +43,10 @@ pub fn c_abs(a: Complex) -> f64 {
 /// Panics if the length is not a power of two.
 pub fn fft_pow2(data: &mut [Complex]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "fft_pow2 length must be a power of two");
+    assert!(
+        n.is_power_of_two(),
+        "fft_pow2 length must be a power of two"
+    );
     if n <= 1 {
         return;
     }

@@ -154,10 +154,7 @@ mod tests {
     fn bm_nist_example() {
         // SP 800-22 §2.10.4 example: ε = 1101011110001 (n = 13) has
         // linear complexity L = 4 after processing.
-        let bits: Vec<bool> = "1101011110001"
-            .chars()
-            .map(|c| c == '1')
-            .collect();
+        let bits: Vec<bool> = "1101011110001".chars().map(|c| c == '1').collect();
         assert_eq!(berlekamp_massey(&bits), 4);
     }
 

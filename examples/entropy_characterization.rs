@@ -34,7 +34,11 @@ fn main() {
         let h_ro = measure(HybridUnitGroup::nine_stage_ro(n, 7));
         println!(
             "  XOR {n:>2}: hybrid {h_dh:.4} vs RO {h_ro:.4}  ({})",
-            if h_dh > h_ro { "hybrid wins" } else { "RO wins" }
+            if h_dh > h_ro {
+                "hybrid wins"
+            } else {
+                "RO wins"
+            }
         );
     }
 

@@ -37,7 +37,10 @@ fn main() {
     // The weak source family.
     let weak = || WeakSource(NoiseRng::seed_from_u64(0xbad));
     let (h, b) = assess(&mut weak(), BITS);
-    println!("{:<38} {h:>8.4} {b:>9.4} {:>14}", "weak source, raw", "1.00x");
+    println!(
+        "{:<38} {h:>8.4} {b:>9.4} {:>14}",
+        "weak source, raw", "1.00x"
+    );
 
     let mut vn = VonNeumann::new(weak());
     let (h, b) = assess(&mut vn, BITS / 4);

@@ -13,7 +13,11 @@ fn main() {
     println!("DH-TRNG quickstart");
     println!("  device:      {}", trng.config().device);
     println!("  throughput:  {:.1} Mbps", trng.throughput_mbps());
-    println!("  resources:   {} -> {} slices", trng.resources(), trng.slices());
+    println!(
+        "  resources:   {} -> {} slices",
+        trng.resources(),
+        trng.slices()
+    );
     println!("  power:       {}", trng.power());
     println!("  efficiency:  {:.1} Mbps/(slice*W)", trng.efficiency());
     println!(
@@ -42,5 +46,8 @@ fn main() {
 
     // Quick entropy assessment (the paper's Table 1/2/4 metric).
     let bits: BitBuffer = (0..1_000_000).map(|_| trng.next_bit()).collect();
-    println!("  min-entropy: {:.4} bits/bit (MCV; paper: ~0.996)", min_entropy_mcv(&bits));
+    println!(
+        "  min-entropy: {:.4} bits/bit (MCV; paper: ~0.996)",
+        min_entropy_mcv(&bits)
+    );
 }

@@ -17,7 +17,11 @@ fn our_design_dominates_every_baseline() {
             row.design,
             row.efficiency()
         );
-        assert!(ours.throughput_mbps() > row.throughput_mbps, "{}", row.design);
+        assert!(
+            ours.throughput_mbps() > row.throughput_mbps,
+            "{}",
+            row.design
+        );
     }
 }
 
@@ -101,7 +105,10 @@ fn baselines_expose_consistent_architecture_data() {
 #[test]
 fn slowest_and_fastest_designs_bracket_the_field() {
     let rows = paper_rows();
-    let min_tput = rows.iter().map(|r| r.throughput_mbps).fold(f64::MAX, f64::min);
+    let min_tput = rows
+        .iter()
+        .map(|r| r.throughput_mbps)
+        .fold(f64::MAX, f64::min);
     let max_tput = rows.iter().map(|r| r.throughput_mbps).fold(0.0, f64::max);
     assert_eq!(min_tput, 0.76); // TCASII'21
     assert_eq!(max_tput, 620.0); // this work

@@ -51,14 +51,15 @@ fn periodic_source_fails_structure_tests() {
     let seqs = vec![collect(PeriodicSource(0), 200_000)];
     let report = run_suite_subset(
         &seqs,
-        &[TestId::Runs, TestId::Serial, TestId::ApproximateEntropy, TestId::Fft],
+        &[
+            TestId::Runs,
+            TestId::Serial,
+            TestId::ApproximateEntropy,
+            TestId::Fft,
+        ],
     );
     for row in &report.rows {
-        assert_eq!(
-            row.passed, 0,
-            "{} must catch a period-6 source",
-            row.test
-        );
+        assert_eq!(row.passed, 0, "{} must catch a period-6 source", row.test);
     }
 }
 

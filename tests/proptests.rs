@@ -6,10 +6,10 @@ use dh_trng::noise::pvt::ProcessParams;
 use dh_trng::prelude::*;
 use dh_trng::sim::Femtos;
 use dh_trng::stattests::basic::bias_percent;
+use dh_trng::stattests::sp800_90b::{mcv_estimate, non_iid_battery};
 use dh_trng::stattests::special::fft::{dft, dft_naive};
 use dh_trng::stattests::special::gf2::{berlekamp_massey, binary_rank};
 use dh_trng::stattests::special::{erfc, igam, igamc};
-use dh_trng::stattests::sp800_90b::{mcv_estimate, non_iid_battery};
 use proptest::prelude::*;
 
 proptest! {

@@ -1,0 +1,212 @@
+//! Offline stand-in for the `criterion` crate (API subset of
+//! `criterion 0.5`).
+//!
+//! The DH-TRNG workspace builds in environments with no network access,
+//! so the benchmarking surface its benches use is reimplemented here:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! [`throughput`](BenchmarkGroup::throughput) /
+//! [`bench_function`](BenchmarkGroup::bench_function) /
+//! [`finish`](BenchmarkGroup::finish), [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! The measurement loop is a plain warm-up + timed batch with a mean
+//! ns/iter report — no outlier rejection, no HTML reports, no saved
+//! baselines. That is enough to compare hot paths across commits from
+//! the terminal; swap the workspace `path` dependency for a crates.io
+//! `version` to get the real statistics machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub mod measurement {
+    //! Measurement types (wall-clock only, in this subset).
+
+    /// Wall-clock time measurement — the only measurement supported here.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// How many "items" one iteration of a benchmark processes, for
+/// throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+    /// Iterations process this many abstract elements each.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records its mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also sizes the timed batch so one run costs ~100 ms.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(30) {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let timed_iters = ((0.1 / per_iter) as u64).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        for _ in 0..timed_iters {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_secs_f64() * 1e9 / timed_iters as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion<M>,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark and prints its mean time (and throughput).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut bencher = Bencher { mean_ns: f64::NAN };
+        f(&mut bencher);
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Bytes(n) => format!(
+                " ({:.1} MiB/s)",
+                n as f64 / (bencher.mean_ns * 1e-9) / (1024.0 * 1024.0)
+            ),
+            Throughput::Elements(n) => {
+                format!(
+                    " ({:.1} Melem/s)",
+                    n as f64 / (bencher.mean_ns * 1e-9) / 1e6
+                )
+            }
+        });
+        println!(
+            "{}/{:<40} time: {:>12.1} ns/iter{}",
+            self.name,
+            id.to_string(),
+            bencher.mean_ns,
+            rate.unwrap_or_default()
+        );
+        self.criterion.completed += 1;
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is eager).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion<M = measurement::WallTime> {
+    completed: usize,
+    _measurement: M,
+}
+
+impl Default for Criterion<measurement::WallTime> {
+    fn default() -> Self {
+        Criterion {
+            completed: 0,
+            _measurement: measurement::WallTime,
+        }
+    }
+}
+
+impl<M> Criterion<M> {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, M> {
+        let name = name.into();
+        println!("== {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
