@@ -4,6 +4,7 @@
 //! design's mechanism) with the published Artix-7 resource, throughput
 //! and power figures from the DH-TRNG paper's Table 6.
 
+use dhtrng_core::batch::pack_bits;
 use dhtrng_core::Trng;
 use dhtrng_fpga::ResourceReport;
 use dhtrng_noise::gaussian::sample_normal;
@@ -60,14 +61,24 @@ impl TeroTrng {
             sigma_count: 40.0,
         }
     }
-}
 
-impl Trng for TeroTrng {
-    fn next_bit(&mut self) -> bool {
+    /// One excitation-collapse cycle (both `Trng` paths).
+    #[inline]
+    fn cycle(&mut self) -> bool {
         let count = (self.mean_count + sample_normal(&mut self.rng, self.sigma_count))
             .round()
             .max(1.0) as u64;
         count % 2 == 1
+    }
+}
+
+impl Trng for TeroTrng {
+    fn next_bit(&mut self) -> bool {
+        self.cycle()
+    }
+
+    fn next_bits(&mut self, n: u32) -> u64 {
+        pack_bits(n, || self.cycle())
     }
 }
 
@@ -97,14 +108,24 @@ impl LatchedRoTrng {
             noise_s: 30.0e-12,
         }
     }
+
+    /// One latch release-and-resolve cycle: the race arrives with
+    /// jittered skew around the systematic offset; the latch resolves
+    /// by Eq. 2.
+    #[inline]
+    fn cycle(&mut self) -> bool {
+        let delta = self.offset_s + sample_normal(&mut self.rng, self.noise_s);
+        self.meta.resolve(delta, &mut self.rng)
+    }
 }
 
 impl Trng for LatchedRoTrng {
     fn next_bit(&mut self) -> bool {
-        // The race arrives with jittered skew around the systematic
-        // offset; the latch resolves by Eq. 2.
-        let delta = self.offset_s + sample_normal(&mut self.rng, self.noise_s);
-        self.meta.resolve(delta, &mut self.rng)
+        self.cycle()
+    }
+
+    fn next_bits(&mut self, n: u32) -> u64 {
+        pack_bits(n, || self.cycle())
     }
 }
 
@@ -128,6 +149,14 @@ impl JitterLatchTrng {
 impl Trng for JitterLatchTrng {
     fn next_bit(&mut self) -> bool {
         self.source.next_bit()
+    }
+
+    fn next_bits(&mut self, n: u32) -> u64 {
+        self.source.next_bits(n)
+    }
+
+    fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.source.fill_bytes(buf);
     }
 }
 
@@ -158,13 +187,23 @@ impl TerotTrng {
             lsb_s: 10.0e-12,
         }
     }
+
+    /// One edge-race-and-quantise cycle (both `Trng` paths).
+    #[inline]
+    fn cycle(&mut self) -> bool {
+        self.phase_s += self.step_s + sample_normal(&mut self.rng, self.jitter_s);
+        let code = (self.phase_s / self.lsb_s).floor() as i64;
+        code % 2 != 0
+    }
 }
 
 impl Trng for TerotTrng {
     fn next_bit(&mut self) -> bool {
-        self.phase_s += self.step_s + sample_normal(&mut self.rng, self.jitter_s);
-        let code = (self.phase_s / self.lsb_s).floor() as i64;
-        code % 2 != 0
+        self.cycle()
+    }
+
+    fn next_bits(&mut self, n: u32) -> u64 {
+        pack_bits(n, || self.cycle())
     }
 }
 
@@ -197,14 +236,24 @@ impl MetastableCmTrng {
             jitter_s: 12.0e-12,
         }
     }
-}
 
-impl Trng for MetastableCmTrng {
-    fn next_bit(&mut self) -> bool {
+    /// One swept-phase capture cycle (both `Trng` paths).
+    #[inline]
+    fn cycle(&mut self) -> bool {
         self.sweep_phase = (self.sweep_phase + self.sweep_rate).rem_euclid(1.0);
         let offset = self.sweep_span_s * (2.0 * std::f64::consts::PI * self.sweep_phase).sin();
         let delta = offset + sample_normal(&mut self.rng, self.jitter_s);
         self.meta.resolve(delta, &mut self.rng)
+    }
+}
+
+impl Trng for MetastableCmTrng {
+    fn next_bit(&mut self) -> bool {
+        self.cycle()
+    }
+
+    fn next_bits(&mut self, n: u32) -> u64 {
+        pack_bits(n, || self.cycle())
     }
 }
 
@@ -238,16 +287,26 @@ impl DualModePufTrng {
             mismatch_s,
         }
     }
-}
 
-impl Trng for DualModePufTrng {
-    fn next_bit(&mut self) -> bool {
+    /// One XOR-of-cells excitation cycle (both `Trng` paths).
+    #[inline]
+    fn cycle(&mut self) -> bool {
         let mut bit = false;
         for c in 0..self.cells as usize {
             let delta = self.mismatch_s[c] + sample_normal(&mut self.rng, 10.0e-12);
             bit ^= self.meta.resolve(delta, &mut self.rng);
         }
         bit
+    }
+}
+
+impl Trng for DualModePufTrng {
+    fn next_bit(&mut self) -> bool {
+        self.cycle()
+    }
+
+    fn next_bits(&mut self, n: u32) -> u64 {
+        pack_bits(n, || self.cycle())
     }
 }
 
@@ -278,6 +337,14 @@ impl MultiphaseTrng {
 impl Trng for MultiphaseTrng {
     fn next_bit(&mut self) -> bool {
         self.source.next_bit()
+    }
+
+    fn next_bits(&mut self, n: u32) -> u64 {
+        self.source.next_bits(n)
+    }
+
+    fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.source.fill_bytes(buf);
     }
 }
 

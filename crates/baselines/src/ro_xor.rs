@@ -79,6 +79,14 @@ impl Trng for RoXorTrng {
     fn next_bit(&mut self) -> bool {
         self.source.next_bit()
     }
+
+    fn next_bits(&mut self, n: u32) -> u64 {
+        self.source.next_bits(n)
+    }
+
+    fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.source.fill_bytes(buf);
+    }
 }
 
 #[cfg(test)]

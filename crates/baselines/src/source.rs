@@ -7,6 +7,7 @@
 //! the deterministic beat of its free-running oscillators. A small
 //! architecture-specific systematic bias models sampler/latch mismatch.
 
+use dhtrng_core::batch::BlockKernel;
 use dhtrng_core::model::BeatOscillator;
 use dhtrng_core::Trng;
 use dhtrng_noise::NoiseRng;
@@ -79,6 +80,28 @@ impl Trng for BehaviouralSource {
             bit = true;
         }
         bit
+    }
+
+    fn next_bits(&mut self, n: u32) -> u64 {
+        match BlockKernel::new(&self.beats, self.p_rand, self.bias, None) {
+            Some(mut kernel) => {
+                let word = kernel.next_bits(&mut self.rng, n);
+                kernel.write_back(&mut self.beats);
+                word
+            }
+            None => dhtrng_core::batch::pack_bits(n, || self.next_bit()),
+        }
+    }
+
+    fn fill_bytes(&mut self, buf: &mut [u8]) {
+        let Some(mut kernel) = BlockKernel::new(&self.beats, self.p_rand, self.bias, None) else {
+            for slot in buf {
+                *slot = self.next_byte();
+            }
+            return;
+        };
+        kernel.fill_bytes(&mut self.rng, buf);
+        kernel.write_back(&mut self.beats);
     }
 }
 

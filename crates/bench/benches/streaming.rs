@@ -1,0 +1,55 @@
+//! Streaming-engine microbenchmarks: simulated bytes per second of the
+//! sharded [`EntropyStream`] at different shard counts, against the
+//! single-instance batched path it is built from.
+//!
+//! Wall-clock scaling across shards depends on available cores (the
+//! modeled hardware throughput always scales linearly — one sampling
+//! clock per instance); `bench_report` records both views in
+//! `BENCH_2.json`.
+
+use criterion::measurement::WallTime;
+use criterion::{
+    black_box, criterion_group, criterion_main, BenchmarkGroup, BenchmarkId, Criterion, Throughput,
+};
+use dhtrng_core::{DhTrng, Trng};
+use dhtrng_stream::EntropyStream;
+
+const READ_BYTES: usize = 1 << 18; // 256 KiB per iteration
+
+fn bench_stream(group: &mut BenchmarkGroup<'_, WallTime>, shards: usize) {
+    let mut stream = EntropyStream::builder()
+        .shards(shards)
+        .seed(1)
+        .chunk_bytes(64 * 1024)
+        .build();
+    let mut buf = vec![0u8; READ_BYTES];
+    group.bench_function(BenchmarkId::new("stream", format!("{shards}-shard")), |b| {
+        b.iter(|| {
+            stream.read(&mut buf).expect("healthy stream");
+            black_box(buf[0])
+        })
+    });
+}
+
+fn streaming_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming");
+    group.throughput(Throughput::Bytes(READ_BYTES as u64));
+
+    // Baseline: one instance, batched fill, no threads.
+    let mut single = DhTrng::builder().seed(1).build();
+    let mut buf = vec![0u8; READ_BYTES];
+    group.bench_function(BenchmarkId::from_parameter("single-instance-fill"), |b| {
+        b.iter(|| {
+            single.fill_bytes(&mut buf);
+            black_box(buf[0])
+        })
+    });
+
+    for shards in [1, 2, 4] {
+        bench_stream(&mut group, shards);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, streaming_benches);
+criterion_main!(benches);

@@ -18,6 +18,7 @@ use std::hint::black_box;
 
 const BITS: usize = 1 << 16;
 
+/// The seed's per-bit path: one virtual `next_bit` per cycle.
 fn bench_generator<T: Trng>(group: &mut BenchmarkGroup<'_, WallTime>, name: &str, mut trng: T) {
     group.bench_function(BenchmarkId::from_parameter(name), |b| {
         b.iter(|| {
@@ -30,11 +31,34 @@ fn bench_generator<T: Trng>(group: &mut BenchmarkGroup<'_, WallTime>, name: &str
     });
 }
 
+/// The batched path: the same bit stream through `fill_bytes`.
+fn bench_batched<T: Trng>(group: &mut BenchmarkGroup<'_, WallTime>, name: &str, mut trng: T) {
+    let mut buf = vec![0u8; BITS / 8];
+    group.bench_function(BenchmarkId::from_parameter(name), |b| {
+        b.iter(|| {
+            trng.fill_bytes(&mut buf);
+            black_box(buf[0])
+        })
+    });
+}
+
 fn throughput_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("generation-rate");
     group.throughput(Throughput::Elements(BITS as u64));
 
+    // Per-bit vs batched on the same generators: the ratio is the
+    // acceptance number `bench_report` tracks in BENCH_2.json.
     bench_generator(&mut group, "DH-TRNG", DhTrng::builder().seed(1).build());
+    bench_batched(
+        &mut group,
+        "DH-TRNG-batched",
+        DhTrng::builder().seed(1).build(),
+    );
+    bench_batched(
+        &mut group,
+        "HybridUnits-x12-batched",
+        HybridUnitGroup::hybrid(12, 1),
+    );
     bench_generator(
         &mut group,
         "DH-TRNG-no-feedback",

@@ -3,11 +3,24 @@
 use dhtrng_core::Trng;
 use dhtrng_stattests::BitBuffer;
 
-/// Collects `n` bits from a generator into a [`BitBuffer`].
+/// Collects `n` bits from a generator into a [`BitBuffer`] through the
+/// batched `fill_bytes` path — one block setup for the whole request,
+/// and the same stream a per-bit loop would produce.
 pub fn bits_from<T: Trng + ?Sized>(trng: &mut T, n: usize) -> BitBuffer {
+    let mut bytes = vec![0u8; n / 8];
+    trng.fill_bytes(&mut bytes);
     let mut buf = BitBuffer::with_capacity(n);
-    for _ in 0..n {
-        buf.push(trng.next_bit());
+    for byte in bytes {
+        for i in (0..8).rev() {
+            buf.push((byte >> i) & 1 == 1);
+        }
+    }
+    let tail = (n % 8) as u32;
+    if tail > 0 {
+        let word = trng.next_bits(tail);
+        for i in (0..tail).rev() {
+            buf.push((word >> i) & 1 == 1);
+        }
     }
     buf
 }

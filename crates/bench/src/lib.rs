@@ -19,6 +19,10 @@
 //! | `restart`   | §4.2 — restart test                           |
 //! | `deviation` | §4.3 — deviation (bias) test                  |
 //!
+//! Plus `bench_report`, which is not a paper artefact: it measures the
+//! batched-generation speedup and the shard-scaling of the streaming
+//! engine and emits the `BENCH_2.json` that CI uploads per-PR.
+//!
 //! Every binary prints paper-reported values next to the measured ones.
 //! Dataset sizes default to the paper's where runtime allows and accept
 //! `--sets N` / `--bits N` style flags to scale.

@@ -13,8 +13,10 @@ use dhtrng_fpga::{efficiency_metric, PowerBreakdown, ResourceReport};
 use crate::trng::{DhTrng, DhTrngConfig, Trng};
 
 /// A bank of `k` independent DH-TRNG instances producing `k` bits per
-/// sampling-clock cycle (round-robin through [`Trng::next_bit`], or as
-/// whole words through [`DhTrngArray::next_word`]).
+/// sampling-clock cycle (round-robin through [`Trng::next_bit`], or one
+/// bit per instance per clock through [`DhTrngArray::clock_word`] — not
+/// to be confused with [`Trng::next_word`], which is 64 round-robin
+/// cycles of the bank).
 ///
 /// # Example
 ///
@@ -22,7 +24,7 @@ use crate::trng::{DhTrng, DhTrngConfig, Trng};
 /// use dhtrng_core::{DhTrngArray, DhTrngConfig};
 ///
 /// let mut bank = DhTrngArray::new(DhTrngConfig::default(), 8, 42);
-/// let word = bank.next_word();
+/// let word = bank.clock_word();
 /// assert!(word < 256); // 8 instances -> 8-bit words
 /// assert!(bank.throughput_mbps() > 4000.0); // ~8 x 620 Mbps
 /// ```
@@ -64,7 +66,7 @@ impl DhTrngArray {
 
     /// One bit from every instance, packed little-endian (instance 0 in
     /// bit 0) — the per-clock output word of the bank.
-    pub fn next_word(&mut self) -> u64 {
+    pub fn clock_word(&mut self) -> u64 {
         let mut word = 0u64;
         for (i, t) in self.instances.iter_mut().enumerate() {
             word |= u64::from(t.next_bit()) << i;
@@ -186,7 +188,7 @@ mod tests {
         let n = 20_000;
         let mut lane_ones = [0u32; 8];
         for _ in 0..n {
-            let w = b.next_word();
+            let w = b.clock_word();
             for (lane, count) in lane_ones.iter_mut().enumerate() {
                 *count += ((w >> lane) & 1) as u32;
             }
@@ -200,13 +202,13 @@ mod tests {
     #[test]
     fn restart_renews_every_lane() {
         let mut b = bank(4);
-        let before = b.next_word();
+        let before = b.clock_word();
         b.restart();
-        let after = b.next_word();
+        let after = b.clock_word();
         // 4-bit words collide with probability 1/16; draw a few to be sure.
         let mut differs = before != after;
         for _ in 0..4 {
-            differs |= b.next_word() != before;
+            differs |= b.clock_word() != before;
         }
         assert!(differs);
     }

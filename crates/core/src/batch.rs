@@ -1,0 +1,327 @@
+//! Block-generation kernel behind the batched [`Trng`](crate::Trng)
+//! fast paths.
+//!
+//! The per-bit reference paths ([`Trng::next_bit`](crate::Trng::next_bit))
+//! pay costs every cycle that are in fact invariant across a whole block:
+//!
+//! * `rem_euclid` (an `fmod` libcall) in every beat-oscillator step and
+//!   feedback kick, although the operands always lie in `[0, 2)` where a
+//!   compare-and-subtract is exact;
+//! * the Bernoulli probability clamp and int→float conversion, although
+//!   the acceptance thresholds are fixed at build time
+//!   ([`NoiseRng::bernoulli_threshold`]);
+//! * the feedback kick multipliers, recomputed from scratch per kick;
+//! * the `Vec<BeatOscillator>` indirection of the beat bank.
+//!
+//! [`BlockKernel`] hoists all of that out of the inner loop once per
+//! block, then generates up to 64 cycles per call into a packed word.
+//! The kernel is **bit-exact**: for the same starting state and the same
+//! [`NoiseRng`], it produces exactly the stream the per-bit reference
+//! produces (every arithmetic step is provably the same f64 computation;
+//! the equivalence is additionally pinned by tests here, in `trng.rs`,
+//! and in the workspace-level `tests/batching.rs`).
+
+use dhtrng_noise::NoiseRng;
+
+use crate::model::BeatOscillator;
+
+/// Largest beat bank a [`BlockKernel`] accepts. Callers with more
+/// oscillators fall back to the per-bit reference path (none of the
+/// in-tree generators come close: DH-TRNG has 12 rings, the Table 2
+/// groups at most 18).
+pub const MAX_BEATS: usize = 32;
+
+/// Packs `n` (1..=64) cycles of `cycle` into a word, oldest bit first —
+/// the packing every `Trng::next_bits` implementation must produce.
+///
+/// For generators whose per-cycle body has no hoistable state (e.g. the
+/// Gaussian-sampling baselines), the batched override is this loop over
+/// the same `cycle` function `next_bit` calls — one definition of the
+/// physics, so the two paths cannot drift apart.
+///
+/// # Panics
+///
+/// Panics unless `1 <= n <= 64`.
+#[inline]
+pub fn pack_bits(n: u32, mut cycle: impl FnMut() -> bool) -> u64 {
+    assert!((1..=64).contains(&n), "next_bits takes 1..=64, got {n}");
+    let mut word = 0u64;
+    for _ in 0..n {
+        word = (word << 1) | u64::from(cycle());
+    }
+    word
+}
+
+/// A hoisted-state generator for one block of Eq. 5-shaped cycles.
+///
+/// Covers every generator in the workspace that follows the calibrated
+/// stochastic structure — per cycle: XOR the free-running beat
+/// oscillators, capture a fresh random event with probability `p_rand`,
+/// apply the systematic sampler bias, and (DH-TRNG only) kick the ring
+/// phases through the feedback line when the output bit is 1.
+///
+/// Usage: build from the generator's state, call
+/// [`next_word`](Self::next_word) / [`next_bits`](Self::next_bits) as
+/// often as needed, then [`write_back`](Self::write_back) the advanced
+/// phases. The `NoiseRng` is borrowed per call, so its state stays in
+/// the owning generator throughout.
+#[derive(Debug, Clone)]
+pub struct BlockKernel {
+    beats: usize,
+    phases: [f64; MAX_BEATS],
+    increments: [f64; MAX_BEATS],
+    duties: [f64; MAX_BEATS],
+    /// Feedback kick multipliers; `kick_scale == 0.0` disables feedback
+    /// (an enabled feedback line always has a positive scale).
+    kick_mults: [f64; MAX_BEATS],
+    kick_scale: f64,
+    p_rand_threshold: u64,
+    half_threshold: u64,
+    bias_threshold: u64,
+}
+
+impl BlockKernel {
+    /// Builds a kernel over the generator's beat bank and calibrated
+    /// probabilities.
+    ///
+    /// `feedback` carries the kick scale and per-beat multipliers of the
+    /// feedback strategy (`None` for generators without a feedback
+    /// line). Returns `None` when the beat bank exceeds [`MAX_BEATS`],
+    /// in which case the caller must use its per-bit path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feedback` multipliers don't match the beat count.
+    pub fn new(
+        beats: &[BeatOscillator],
+        p_rand: f64,
+        bias: f64,
+        feedback: Option<(f64, &[f64])>,
+    ) -> Option<Self> {
+        if beats.len() > MAX_BEATS {
+            return None;
+        }
+        let mut kernel = Self {
+            beats: beats.len(),
+            phases: [0.0; MAX_BEATS],
+            increments: [0.0; MAX_BEATS],
+            duties: [0.0; MAX_BEATS],
+            kick_mults: [0.0; MAX_BEATS],
+            kick_scale: 0.0,
+            p_rand_threshold: NoiseRng::bernoulli_threshold(p_rand),
+            half_threshold: NoiseRng::bernoulli_threshold(0.5),
+            // The reference path draws bernoulli(2 * bias).
+            bias_threshold: NoiseRng::bernoulli_threshold(2.0 * bias),
+        };
+        for (i, beat) in beats.iter().enumerate() {
+            kernel.phases[i] = beat.phase();
+            kernel.increments[i] = beat.increment();
+            kernel.duties[i] = beat.duty();
+        }
+        if let Some((scale, mults)) = feedback {
+            assert_eq!(
+                mults.len(),
+                beats.len(),
+                "one kick multiplier per beat oscillator"
+            );
+            kernel.kick_mults[..mults.len()].copy_from_slice(mults);
+            kernel.kick_scale = scale;
+        }
+        Some(kernel)
+    }
+
+    /// One cycle of the Eq. 5 structure — the same draws, in the same
+    /// order, as the per-bit reference paths.
+    #[inline]
+    fn cycle(&mut self, rng: &mut NoiseRng) -> bool {
+        // Free-running beats advance every cycle. Phase and increment
+        // both lie in [0, 1), so the wrapped sum lies in [0, 2) and the
+        // compare-and-subtract equals `rem_euclid(1.0)` exactly.
+        let mut beat_xor = false;
+        for i in 0..self.beats {
+            let mut phase = self.phases[i] + self.increments[i];
+            if phase >= 1.0 {
+                phase -= 1.0;
+            }
+            self.phases[i] = phase;
+            beat_xor ^= phase < self.duties[i];
+        }
+        let mut bit = if rng.bernoulli_fast(self.p_rand_threshold) {
+            rng.bernoulli_fast(self.half_threshold)
+        } else {
+            beat_xor
+        };
+        if !bit && rng.bernoulli_fast(self.bias_threshold) {
+            bit = true;
+        }
+        if bit && self.kick_scale != 0.0 {
+            // Feedback: one uniform draw spread over the rings. Kick
+            // amounts stay below the scale (< 1), so the same
+            // compare-and-subtract wrap applies.
+            let kick = self.kick_scale * rng.uniform();
+            for i in 0..self.beats {
+                let mut phase = self.phases[i] + kick * self.kick_mults[i];
+                if phase >= 1.0 {
+                    phase -= 1.0;
+                }
+                self.phases[i] = phase;
+            }
+        }
+        bit
+    }
+
+    /// Generates `n` cycles (1..=64), oldest bit first: the first cycle
+    /// lands in bit `n - 1`, the newest in bit 0 — the packing a
+    /// `next_bit` fold produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n <= 64`.
+    #[inline]
+    pub fn next_bits(&mut self, rng: &mut NoiseRng, n: u32) -> u64 {
+        assert!((1..=64).contains(&n), "next_bits takes 1..=64, got {n}");
+        let mut word = 0u64;
+        for _ in 0..n {
+            word = (word << 1) | u64::from(self.cycle(rng));
+        }
+        word
+    }
+
+    /// Generates a full 64-cycle word (oldest cycle in the MSB).
+    #[inline]
+    pub fn next_word(&mut self, rng: &mut NoiseRng) -> u64 {
+        self.next_bits(rng, 64)
+    }
+
+    /// Fills `buf` through the kernel — eight bytes per word, then an
+    /// 8-cycle chunk per tail byte. The block body behind every batched
+    /// `Trng::fill_bytes`; callers build one kernel per buffer and
+    /// [`write_back`](Self::write_back) once at the end.
+    pub fn fill_bytes(&mut self, rng: &mut NoiseRng, buf: &mut [u8]) {
+        let mut chunks = buf.chunks_exact_mut(8);
+        for chunk in chunks.by_ref() {
+            chunk.copy_from_slice(&self.next_word(rng).to_be_bytes());
+        }
+        for slot in chunks.into_remainder() {
+            *slot = self.next_bits(rng, 8) as u8;
+        }
+    }
+
+    /// Writes the advanced phases back into the generator's beat bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beats` is not the bank the kernel was built from
+    /// (length mismatch).
+    pub fn write_back(&self, beats: &mut [BeatOscillator]) {
+        assert_eq!(beats.len(), self.beats, "write_back to a different bank");
+        for (beat, &phase) in beats.iter_mut().zip(&self.phases) {
+            beat.set_phase(phase);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(seed: u64, n: usize) -> Vec<BeatOscillator> {
+        let mut rng = NoiseRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| BeatOscillator::new(rng.uniform(), rng.uniform(), 0.5))
+            .collect()
+    }
+
+    /// Per-bit reference for the kernel's cycle structure.
+    fn reference_bit(
+        beats: &mut [BeatOscillator],
+        rng: &mut NoiseRng,
+        p_rand: f64,
+        bias: f64,
+        feedback: Option<(f64, &[f64])>,
+    ) -> bool {
+        let mut beat_xor = false;
+        for beat in beats.iter_mut() {
+            beat_xor ^= beat.step();
+        }
+        let mut bit = if rng.bernoulli(p_rand) {
+            rng.bernoulli(0.5)
+        } else {
+            beat_xor
+        };
+        if !bit && rng.bernoulli(2.0 * bias) {
+            bit = true;
+        }
+        if bit {
+            if let Some((scale, mults)) = feedback {
+                let kick = scale * rng.uniform();
+                for (beat, &m) in beats.iter_mut().zip(mults) {
+                    beat.kick(kick * m);
+                }
+            }
+        }
+        bit
+    }
+
+    #[test]
+    fn kernel_matches_reference_with_and_without_feedback() {
+        let mults = [0.37, 0.81, 0.12, 0.64, 0.29, 0.93, 0.55];
+        for feedback in [None, Some((0.3, &mults[..]))] {
+            let mut ref_beats = bank(5, 7);
+            let mut kernel_beats = ref_beats.clone();
+            let mut ref_rng = NoiseRng::seed_from_u64(9);
+            let mut kernel_rng = NoiseRng::seed_from_u64(9);
+            let (p_rand, bias) = (0.73, 2.1e-4);
+
+            let mut kernel =
+                BlockKernel::new(&kernel_beats, p_rand, bias, feedback).expect("7 <= MAX_BEATS");
+            let mut kernel_bits = Vec::new();
+            for _ in 0..8 {
+                let word = kernel.next_word(&mut kernel_rng);
+                kernel_bits.extend((0..64).rev().map(|i| (word >> i) & 1 == 1));
+            }
+            kernel.write_back(&mut kernel_beats);
+
+            let ref_bits: Vec<bool> = (0..512)
+                .map(|_| reference_bit(&mut ref_beats, &mut ref_rng, p_rand, bias, feedback))
+                .collect();
+
+            assert_eq!(kernel_bits, ref_bits, "feedback = {}", feedback.is_some());
+            // The written-back bank continues in lockstep with the
+            // reference bank.
+            for (a, b) in ref_beats.iter().zip(&kernel_beats) {
+                assert_eq!(a.phase(), b.phase());
+            }
+        }
+    }
+
+    #[test]
+    fn partial_words_pack_oldest_first() {
+        let beats = bank(11, 3);
+        let mut rng_a = NoiseRng::seed_from_u64(4);
+        let mut rng_b = NoiseRng::seed_from_u64(4);
+        let mut a = BlockKernel::new(&beats, 0.6, 1e-4, None).unwrap();
+        let mut b = BlockKernel::new(&beats, 0.6, 1e-4, None).unwrap();
+        let bits: Vec<bool> = (0..12).map(|_| a.cycle(&mut rng_a)).collect();
+        let word = b.next_bits(&mut rng_b, 12);
+        let unpacked: Vec<bool> = (0..12).rev().map(|i| (word >> i) & 1 == 1).collect();
+        assert_eq!(bits, unpacked);
+    }
+
+    #[test]
+    fn oversized_bank_is_rejected() {
+        let beats = bank(1, MAX_BEATS + 1);
+        assert!(BlockKernel::new(&beats, 0.5, 0.0, None).is_none());
+        let beats = bank(1, MAX_BEATS);
+        assert!(BlockKernel::new(&beats, 0.5, 0.0, None).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "next_bits takes 1..=64")]
+    fn zero_bits_panics() {
+        let beats = bank(2, 2);
+        let mut rng = NoiseRng::seed_from_u64(1);
+        let mut kernel = BlockKernel::new(&beats, 0.5, 0.0, None).unwrap();
+        let _ = kernel.next_bits(&mut rng, 0);
+    }
+}

@@ -36,6 +36,7 @@
 
 pub mod architecture;
 pub mod array;
+pub mod batch;
 pub mod health;
 pub mod model;
 pub mod postproc;

@@ -257,6 +257,23 @@ impl BeatOscillator {
     pub fn phase(&self) -> f64 {
         self.phase
     }
+
+    /// Per-sample phase increment in `[0, 1)`.
+    pub fn increment(&self) -> f64 {
+        self.increment
+    }
+
+    /// Duty cycle in `(0, 1)`.
+    pub fn duty(&self) -> f64 {
+        self.duty
+    }
+
+    /// Restores a phase previously read via [`phase`](Self::phase) —
+    /// batched kernels advance phases in working arrays and write the
+    /// final values back through this.
+    pub fn set_phase(&mut self, phase: f64) {
+        self.phase = phase.rem_euclid(1.0);
+    }
 }
 
 #[cfg(test)]

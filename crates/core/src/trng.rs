@@ -23,6 +23,7 @@ use dhtrng_noise::NoiseRng;
 use dhtrng_sim::Netlist;
 
 use crate::architecture::{dh_trng_netlist, NetlistPorts};
+use crate::batch::BlockKernel;
 use crate::model::{
     eq5_randomness_coverage, BeatOscillator, GroupCalibration, RingKind, RingPhysics,
 };
@@ -31,29 +32,73 @@ use crate::model::{
 ///
 /// Implemented by [`DhTrng`], [`HybridUnitGroup`], and every baseline
 /// architecture in `dhtrng-baselines`.
+///
+/// # Batched generation
+///
+/// [`next_bit`](Self::next_bit) is the per-cycle primitive; everything
+/// else routes through the block-oriented [`next_bits`](Self::next_bits)
+/// / [`next_word`](Self::next_word) path, so an implementation that
+/// overrides `next_bits` (and, for long buffers,
+/// [`fill_bytes`](Self::fill_bytes)) with a hoisted-state kernel — see
+/// [`batch::BlockKernel`](crate::batch::BlockKernel) — accelerates every
+/// consumer for free. Whatever the path, the bit stream is identical:
+/// bit `k` of the generator is bit `k` of the generator, however it is
+/// packed.
 pub trait Trng {
     /// Produces the next output bit.
     fn next_bit(&mut self) -> bool;
 
-    /// Produces the next byte (eight clock cycles, MSB first).
-    fn next_byte(&mut self) -> u8 {
-        let mut b = 0u8;
-        for _ in 0..8 {
-            b = (b << 1) | u8::from(self.next_bit());
-        }
-        b
+    /// Produces the next `n` bits (`1..=64` clock cycles), oldest bit
+    /// first: the first cycle lands in bit `n - 1`, the newest in bit 0.
+    ///
+    /// The default loops over [`next_bit`](Self::next_bit); batched
+    /// implementations override it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n <= 64`.
+    fn next_bits(&mut self, n: u32) -> u64 {
+        crate::batch::pack_bits(n, || self.next_bit())
     }
 
-    /// Fills a byte buffer with fresh random bytes.
+    /// Produces the next 64-cycle word, oldest bit in the MSB.
+    fn next_word(&mut self) -> u64 {
+        self.next_bits(64)
+    }
+
+    /// Produces the next byte (eight clock cycles, MSB first).
+    fn next_byte(&mut self) -> u8 {
+        self.next_bits(8) as u8
+    }
+
+    /// Fills a byte buffer with fresh random bytes, eight bytes per
+    /// [`next_word`](Self::next_word) call.
     fn fill_bytes(&mut self, buf: &mut [u8]) {
-        for slot in buf {
+        let mut chunks = buf.chunks_exact_mut(8);
+        for chunk in chunks.by_ref() {
+            chunk.copy_from_slice(&self.next_word().to_be_bytes());
+        }
+        for slot in chunks.into_remainder() {
             *slot = self.next_byte();
         }
     }
 
-    /// Collects `n` bits into a vector.
+    /// Collects `n` bits into a vector, routed through
+    /// [`fill_bytes`](Self::fill_bytes) so batched implementations pay
+    /// one block setup per call, not per word.
     fn collect_bits(&mut self, n: usize) -> Vec<bool> {
-        (0..n).map(|_| self.next_bit()).collect()
+        let mut bytes = vec![0u8; n / 8];
+        self.fill_bytes(&mut bytes);
+        let mut bits = Vec::with_capacity(n);
+        for byte in bytes {
+            bits.extend((0..8).rev().map(|i| (byte >> i) & 1 == 1));
+        }
+        let tail = (n % 8) as u32;
+        if tail > 0 {
+            let word = self.next_bits(tail);
+            bits.extend((0..tail).rev().map(|i| (word >> i) & 1 == 1));
+        }
+        bits
     }
 }
 
@@ -165,6 +210,16 @@ impl DhTrngBuilder {
 
 /// Feedback phase-kick strength (fraction of a beat period).
 const FEEDBACK_KICK: f64 = 0.3;
+/// Per-ring feedback kick multipliers: fixed incommensurate fractions
+/// (golden-ratio schedule) keeping the per-ring kicks mutually
+/// decorrelated. Index `i` is ring `i` of the 12-ring bank.
+fn feedback_kick_multipliers() -> [f64; 12] {
+    let mut mults = [0.0; 12];
+    for (i, slot) in mults.iter_mut().enumerate() {
+        *slot = (0.3 + 0.618_034 * (i as f64 + 1.0)).fract();
+    }
+    mults
+}
 /// Additive bias penalties for the ablations (residual structure when a
 /// reinforcement strategy is disabled). No silicon data exists for these
 /// (the paper always runs both strategies); the values are chosen so the
@@ -399,6 +454,15 @@ impl DhTrng {
     pub fn netlist(&self) -> (Netlist, NetlistPorts) {
         dh_trng_netlist(&self.config.device)
     }
+
+    /// Builds the batched block kernel over the current generator state
+    /// (always succeeds for the 12-ring bank; `None` only if the bank
+    /// ever outgrew the kernel capacity).
+    fn kernel(&self) -> Option<BlockKernel> {
+        let mults = feedback_kick_multipliers();
+        let feedback = self.config.feedback.then_some((FEEDBACK_KICK, &mults[..]));
+        BlockKernel::new(&self.beats, self.p_rand, self.bias, feedback)
+    }
 }
 
 impl Default for DhTrng {
@@ -433,11 +497,46 @@ impl Trng for DhTrng {
         // mutually decorrelated).
         if self.config.feedback && bit {
             let kick = FEEDBACK_KICK * self.rng.uniform();
-            for (i, beat) in self.beats.iter_mut().enumerate() {
-                beat.kick(kick * (0.3 + 0.618_034 * (i as f64 + 1.0)).fract());
+            let mults = feedback_kick_multipliers();
+            for (beat, &mult) in self.beats.iter_mut().zip(&mults) {
+                beat.kick(kick * mult);
             }
         }
         bit
+    }
+
+    fn next_bits(&mut self, n: u32) -> u64 {
+        match self.kernel() {
+            Some(mut kernel) => {
+                let word = kernel.next_bits(&mut self.rng, n);
+                kernel.write_back(&mut self.beats);
+                word
+            }
+            None => per_bit_fallback(self, n),
+        }
+    }
+
+    fn fill_bytes(&mut self, buf: &mut [u8]) {
+        // Block fast path: one kernel build per buffer, not per word.
+        let Some(mut kernel) = self.kernel() else {
+            fill_bytes_fallback(self, buf);
+            return;
+        };
+        kernel.fill_bytes(&mut self.rng, buf);
+        kernel.write_back(&mut self.beats);
+    }
+}
+
+/// Per-bit `next_bits` for generators whose beat bank exceeds the
+/// kernel capacity (never the in-tree ones; correctness backstop).
+fn per_bit_fallback<T: Trng + ?Sized>(trng: &mut T, n: u32) -> u64 {
+    crate::batch::pack_bits(n, || trng.next_bit())
+}
+
+/// Per-bit `fill_bytes` companion to [`per_bit_fallback`].
+fn fill_bytes_fallback<T: Trng + ?Sized>(trng: &mut T, buf: &mut [u8]) {
+    for slot in buf {
+        *slot = per_bit_fallback(trng, 8) as u8;
     }
 }
 
@@ -445,15 +544,13 @@ impl Trng for DhTrng {
 /// `rand` ecosystem (shuffles, distributions, other generators' seeds).
 impl rand::RngCore for DhTrng {
     fn next_u32(&mut self) -> u32 {
-        let mut v = 0u32;
-        for _ in 0..4 {
-            v = (v << 8) | u32::from(Trng::next_byte(self));
-        }
-        v
+        // One kernel build for the whole word (same stream as four
+        // MSB-first bytes).
+        self.next_bits(32) as u32
     }
 
     fn next_u64(&mut self) -> u64 {
-        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+        Trng::next_word(self)
     }
 
     fn fill_bytes(&mut self, dest: &mut [u8]) {
@@ -563,6 +660,26 @@ impl Trng for HybridUnitGroup {
             bit = true;
         }
         bit
+    }
+
+    fn next_bits(&mut self, n: u32) -> u64 {
+        match BlockKernel::new(&self.beats, self.p_rand, self.bias, None) {
+            Some(mut kernel) => {
+                let word = kernel.next_bits(&mut self.rng, n);
+                kernel.write_back(&mut self.beats);
+                word
+            }
+            None => per_bit_fallback(self, n),
+        }
+    }
+
+    fn fill_bytes(&mut self, buf: &mut [u8]) {
+        let Some(mut kernel) = BlockKernel::new(&self.beats, self.p_rand, self.bias, None) else {
+            fill_bytes_fallback(self, buf);
+            return;
+        };
+        kernel.fill_bytes(&mut self.rng, buf);
+        kernel.write_back(&mut self.beats);
     }
 }
 
@@ -699,6 +816,97 @@ mod tests {
     #[should_panic(expected = "at least one source")]
     fn empty_group_panics() {
         let _ = HybridUnitGroup::hybrid(0, 1);
+    }
+
+    /// Collects `n` bits strictly through the per-bit reference path.
+    fn reference_bits<T: Trng>(trng: &mut T, n: usize) -> Vec<bool> {
+        (0..n).map(|_| trng.next_bit()).collect()
+    }
+
+    #[test]
+    fn batched_word_path_is_bit_identical_to_next_bit() {
+        // Feedback on and off exercise both kernel branches.
+        for feedback in [true, false] {
+            let mut per_bit = DhTrng::builder().seed(21).feedback(feedback).build();
+            let mut batched = per_bit.clone();
+            let reference = reference_bits(&mut per_bit, 256);
+            let mut bits = Vec::new();
+            for _ in 0..4 {
+                let word = Trng::next_word(&mut batched);
+                bits.extend((0..64).rev().map(|i| (word >> i) & 1 == 1));
+            }
+            assert_eq!(bits, reference, "feedback = {feedback}");
+            // Both generators keep agreeing afterwards: the kernel left
+            // the beat bank and the noise stream in the same state.
+            assert_eq!(
+                reference_bits(&mut per_bit, 64),
+                reference_bits(&mut batched, 64)
+            );
+        }
+    }
+
+    #[test]
+    fn batched_fill_bytes_matches_per_bit_bytes() {
+        let mut per_bit = DhTrng::builder().seed(33).build();
+        let mut batched = per_bit.clone();
+        // 1035 is deliberately not a multiple of 8: the word chunks and
+        // the byte tail both run.
+        let reference: Vec<u8> = (0..1035)
+            .map(|_| {
+                let mut byte = 0u8;
+                for _ in 0..8 {
+                    byte = (byte << 1) | u8::from(per_bit.next_bit());
+                }
+                byte
+            })
+            .collect();
+        let mut buf = vec![0u8; 1035];
+        batched.fill_bytes(&mut buf);
+        assert_eq!(buf, reference);
+    }
+
+    #[test]
+    fn batched_collect_bits_matches_per_bit() {
+        let mut per_bit = DhTrng::builder().seed(44).build();
+        let mut batched = per_bit.clone();
+        // 1000 exercises the 64-bit chunks and the 40-bit tail.
+        assert_eq!(
+            batched.collect_bits(1000),
+            reference_bits(&mut per_bit, 1000)
+        );
+    }
+
+    #[test]
+    fn unit_group_batched_paths_match_per_bit() {
+        for group in [
+            HybridUnitGroup::hybrid(12, 7),
+            HybridUnitGroup::nine_stage_ro(18, 8),
+        ] {
+            let mut per_bit = group.clone();
+            let mut batched = group;
+            let reference = reference_bits(&mut per_bit, 500);
+            assert_eq!(batched.collect_bits(500), reference);
+        }
+    }
+
+    #[test]
+    fn next_bits_boundary_sizes() {
+        let mut a = DhTrng::builder().seed(55).build();
+        let mut b = a.clone();
+        let one = a.next_bits(1);
+        assert_eq!(one & !1, 0, "a single bit fits in bit 0");
+        assert_eq!(one == 1, b.next_bit());
+        let word = a.next_bits(64);
+        let reference = reference_bits(&mut b, 64)
+            .iter()
+            .fold(0u64, |w, &bit| (w << 1) | u64::from(bit));
+        assert_eq!(word, reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "next_bits takes 1..=64")]
+    fn next_bits_rejects_oversized_requests() {
+        let _ = DhTrng::builder().seed(1).build().next_bits(65);
     }
 
     #[test]

@@ -63,6 +63,35 @@ impl NoiseRng {
         let p = p.clamp(0.0, 1.0);
         self.inner.gen::<f64>() < p
     }
+
+    /// Precomputes the integer acceptance threshold for [`bernoulli`]
+    /// with probability `p`, for use with [`bernoulli_fast`] in batched
+    /// hot loops.
+    ///
+    /// [`bernoulli`] compares a uniform 53-bit mantissa draw
+    /// `k * 2^-53 < p`. Both sides scale exactly by `2^53` (a power of
+    /// two, so no rounding), giving the integer test `k < ceil(p * 2^53)`
+    /// — bit-for-bit the same accept/reject decision without the
+    /// per-draw clamp, int→float conversion and float compare.
+    ///
+    /// [`bernoulli`]: NoiseRng::bernoulli
+    /// [`bernoulli_fast`]: NoiseRng::bernoulli_fast
+    pub fn bernoulli_threshold(p: f64) -> u64 {
+        const SCALE: f64 = (1u64 << 53) as f64;
+        (p.clamp(0.0, 1.0) * SCALE).ceil() as u64
+    }
+
+    /// Draws a Bernoulli sample against a threshold precomputed by
+    /// [`bernoulli_threshold`](NoiseRng::bernoulli_threshold).
+    ///
+    /// Consumes exactly one `u64` draw and returns exactly what
+    /// [`bernoulli`](NoiseRng::bernoulli) would have returned for the
+    /// probability the threshold was computed from (the equivalence is
+    /// pinned by this module's tests).
+    #[inline]
+    pub fn bernoulli_fast(&mut self, threshold: u64) -> bool {
+        (self.inner.next_u64() >> 11) < threshold
+    }
 }
 
 impl RngCore for NoiseRng {
@@ -161,6 +190,57 @@ mod tests {
         let ones = (0..n).filter(|_| rng.bernoulli(0.3)).count();
         let mean = ones as f64 / n as f64;
         assert!((mean - 0.3).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn threshold_bernoulli_matches_float_bernoulli() {
+        // The batched generators rely on bernoulli_fast(threshold(p))
+        // being indistinguishable from bernoulli(p): same decisions, same
+        // number of draws, across edge and mid-range probabilities.
+        let probabilities = [
+            0.0,
+            1.0,
+            -0.5,
+            2.0,
+            0.5,
+            0.25,
+            1.0 - 1e-16,
+            f64::MIN_POSITIVE,
+            1e-18,
+            0.3,
+            0.999_999,
+            7.2e-5,
+        ];
+        for &p in &probabilities {
+            let threshold = NoiseRng::bernoulli_threshold(p);
+            let mut float_rng = NoiseRng::seed_from_u64(0xFEED);
+            let mut int_rng = NoiseRng::seed_from_u64(0xFEED);
+            for draw in 0..20_000 {
+                assert_eq!(
+                    float_rng.bernoulli(p),
+                    int_rng.bernoulli_fast(threshold),
+                    "p = {p}, draw {draw}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_bernoulli_matches_on_random_probabilities() {
+        let mut p_source = NoiseRng::seed_from_u64(77);
+        for case in 0..200 {
+            let p = p_source.uniform();
+            let threshold = NoiseRng::bernoulli_threshold(p);
+            let mut float_rng = NoiseRng::seed_from_u64(1000 + case);
+            let mut int_rng = NoiseRng::seed_from_u64(1000 + case);
+            for _ in 0..500 {
+                assert_eq!(
+                    float_rng.bernoulli(p),
+                    int_rng.bernoulli_fast(threshold),
+                    "p = {p}"
+                );
+            }
+        }
     }
 
     #[test]

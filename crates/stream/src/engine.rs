@@ -1,0 +1,558 @@
+//! The sharded streaming engine: builder, merge loop, statistics.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use dhtrng_core::{DhTrng, DhTrngConfig};
+use dhtrng_fpga::Placement;
+
+use crate::shard::{HealthConfig, ShardMessage, ShardWorker};
+
+/// Horizontal slice pitch between neighbouring shard placement regions
+/// (the 8-slice core packs into a 3x3 bounding box; pitch 4 leaves a
+/// routing channel between instances, as the paper's Fig. 5 layout does).
+const PLACEMENT_PITCH: u32 = 4;
+
+/// Streaming failure surfaced to the consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// A shard exhausted its consecutive-restart budget and retired.
+    ShardFailed {
+        /// Index of the failed shard.
+        shard: usize,
+        /// Restart attempts consumed before giving up.
+        consecutive_restarts: u32,
+    },
+    /// A shard worker vanished without reporting (panicked).
+    ShardDisconnected {
+        /// Index of the lost shard.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShardFailed {
+                shard,
+                consecutive_restarts,
+            } => write!(
+                f,
+                "shard {shard} failed health tests through {consecutive_restarts} consecutive restarts"
+            ),
+            Self::ShardDisconnected { shard } => write!(f, "shard {shard} worker disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Configures and builds an [`EntropyStream`].
+///
+/// Obtained via [`EntropyStream::builder`]; every knob has a production
+/// default (4 shards, 64 KiB chunks, a 4-chunk buffer per shard, the
+/// SP 800-90B health cutoffs).
+#[derive(Debug, Clone)]
+pub struct EntropyStreamBuilder {
+    config: DhTrngConfig,
+    shards: usize,
+    seed: u64,
+    shard_seeds: Option<Vec<u64>>,
+    chunk_bytes: usize,
+    queue_chunks: usize,
+    health: HealthConfig,
+    max_consecutive_restarts: u32,
+}
+
+impl Default for EntropyStreamBuilder {
+    fn default() -> Self {
+        Self {
+            config: DhTrngConfig::default(),
+            shards: 4,
+            seed: 0,
+            shard_seeds: None,
+            chunk_bytes: 64 * 1024,
+            queue_chunks: 4,
+            health: HealthConfig::default(),
+            max_consecutive_restarts: 16,
+        }
+    }
+}
+
+impl EntropyStreamBuilder {
+    /// Number of parallel DH-TRNG instances (1..=64).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Master seed; each shard derives an independent instance seed from
+    /// it (same golden-ratio schedule as
+    /// [`DhTrngArray::new`](dhtrng_core::DhTrngArray::new)).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Explicit per-shard seed schedule, overriding the derivation from
+    /// [`seed`](Self::seed). Length must equal the shard count at
+    /// [`build`](Self::build) time.
+    #[must_use]
+    pub fn shard_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.shard_seeds = Some(seeds);
+        self
+    }
+
+    /// Base instance configuration (device, corner, coupling/feedback,
+    /// sampling clock); the per-shard seed overrides its `seed` field.
+    #[must_use]
+    pub fn config(mut self, config: DhTrngConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Bytes per produced chunk (the merge granularity).
+    #[must_use]
+    pub fn chunk_bytes(mut self, bytes: usize) -> Self {
+        self.chunk_bytes = bytes;
+        self
+    }
+
+    /// Chunks buffered per shard before its worker blocks
+    /// (backpressure).
+    #[must_use]
+    pub fn queue_chunks(mut self, chunks: usize) -> Self {
+        self.queue_chunks = chunks;
+        self
+    }
+
+    /// Health-test cutoffs applied per shard.
+    #[must_use]
+    pub fn health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Consecutive restarts a shard may burn on one chunk before it
+    /// reports [`StreamError::ShardFailed`].
+    #[must_use]
+    pub fn max_consecutive_restarts(mut self, restarts: u32) -> Self {
+        self.max_consecutive_restarts = restarts;
+        self
+    }
+
+    /// Spawns the shard workers and returns the merged stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard count is outside `1..=64`, `chunk_bytes` or
+    /// `queue_chunks` is zero, an explicit seed schedule has the wrong
+    /// length, or a worker thread cannot be spawned.
+    pub fn build(self) -> EntropyStream {
+        assert!(
+            (1..=64).contains(&self.shards),
+            "shard count must be 1..=64, got {}",
+            self.shards
+        );
+        assert!(self.chunk_bytes > 0, "chunk_bytes must be positive");
+        assert!(self.queue_chunks > 0, "queue_chunks must be positive");
+        let seeds: Vec<u64> = match &self.shard_seeds {
+            Some(seeds) => {
+                assert_eq!(
+                    seeds.len(),
+                    self.shards,
+                    "seed schedule length must equal the shard count"
+                );
+                seeds.clone()
+            }
+            None => (0..self.shards as u64)
+                .map(|i| {
+                    self.seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i)
+                })
+                .collect(),
+        };
+
+        let mut receivers = Vec::with_capacity(self.shards);
+        let mut workers = Vec::with_capacity(self.shards);
+        let mut restarts = Vec::with_capacity(self.shards);
+        let mut placements = Vec::with_capacity(self.shards);
+        let mut modeled_mbps = 0.0;
+        for (shard, &seed) in seeds.iter().enumerate() {
+            let mut cfg = self.config.clone();
+            cfg.seed = seed;
+            let trng = DhTrng::new(cfg);
+            // Each instance occupies its own placement region, as in the
+            // paper's parallel deployment: disjoint compact squares along
+            // a row of the fabric.
+            placements.push(trng.placement((shard as u32 * PLACEMENT_PITCH, 0)));
+            modeled_mbps += trng.throughput_mbps();
+            let counter = Arc::new(AtomicU64::new(0));
+            restarts.push(Arc::clone(&counter));
+            let (tx, rx) = sync_channel::<ShardMessage>(self.queue_chunks);
+            let worker = ShardWorker {
+                shard,
+                trng,
+                health: self.health,
+                chunk_bytes: self.chunk_bytes,
+                max_consecutive_restarts: self.max_consecutive_restarts,
+                restarts: counter,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("dhtrng-shard-{shard}"))
+                .spawn(move || worker.run(tx))
+                .expect("spawn shard worker thread");
+            receivers.push(rx);
+            workers.push(handle);
+        }
+
+        EntropyStream {
+            receivers,
+            workers,
+            cursor: 0,
+            current: Vec::new(),
+            offset: 0,
+            restarts,
+            placements,
+            modeled_mbps,
+            bytes_delivered: 0,
+            chunk_bytes: self.chunk_bytes,
+            failed: None,
+        }
+    }
+}
+
+/// A consumer-facing merged entropy stream over N parallel DH-TRNG
+/// shards.
+///
+/// Shards produce fixed-size chunks on worker threads into bounded
+/// queues; the consumer drains them **round-robin in shard order**, so
+/// the merged byte stream is a pure function of the shard seed schedule
+/// — independent of thread scheduling. Chunk `k` of the stream is chunk
+/// `k / N` of shard `k % N`.
+///
+/// # Example
+///
+/// ```
+/// use dhtrng_stream::EntropyStream;
+///
+/// let mut stream = EntropyStream::builder()
+///     .shards(2)
+///     .seed(7)
+///     .chunk_bytes(1024)
+///     .build();
+/// let mut buf = [0u8; 4096];
+/// stream.read(&mut buf).expect("healthy stream");
+/// assert_eq!(stream.bytes_delivered(), 4096);
+/// assert!(stream.throughput_mbps() > 1000.0); // 2 x ~620 Mbps modeled
+/// ```
+#[derive(Debug)]
+pub struct EntropyStream {
+    receivers: Vec<Receiver<ShardMessage>>,
+    workers: Vec<JoinHandle<()>>,
+    cursor: usize,
+    current: Vec<u8>,
+    offset: usize,
+    restarts: Vec<Arc<AtomicU64>>,
+    placements: Vec<Placement>,
+    modeled_mbps: f64,
+    bytes_delivered: u64,
+    chunk_bytes: usize,
+    failed: Option<StreamError>,
+}
+
+impl EntropyStream {
+    /// Starts configuring a stream.
+    pub fn builder() -> EntropyStreamBuilder {
+        EntropyStreamBuilder::default()
+    }
+
+    /// Fills `out` with the next bytes of the merged stream.
+    ///
+    /// Blocks while every buffered chunk of the next shard in the
+    /// round-robin order is consumed and its worker is still generating.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shard's terminal error once a shard retires; the
+    /// stream stays failed from then on (bytes already delivered remain
+    /// valid).
+    pub fn read(&mut self, out: &mut [u8]) -> Result<(), StreamError> {
+        if let Some(error) = self.failed {
+            return Err(error);
+        }
+        let mut written = 0;
+        while written < out.len() {
+            if self.offset == self.current.len() {
+                if let Err(error) = self.refill() {
+                    self.failed = Some(error);
+                    return Err(error);
+                }
+            }
+            let take = (out.len() - written).min(self.current.len() - self.offset);
+            out[written..written + take]
+                .copy_from_slice(&self.current[self.offset..self.offset + take]);
+            self.offset += take;
+            written += take;
+            self.bytes_delivered += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Pops the next chunk, round-robin in shard order.
+    fn refill(&mut self) -> Result<(), StreamError> {
+        let shard = self.cursor;
+        match self.receivers[shard].recv() {
+            Ok(Ok(chunk)) => {
+                self.current = chunk;
+                self.offset = 0;
+                self.cursor = (self.cursor + 1) % self.receivers.len();
+                Ok(())
+            }
+            Ok(Err(failure)) => Err(StreamError::ShardFailed {
+                shard: failure.shard,
+                consecutive_restarts: failure.consecutive_restarts,
+            }),
+            Err(_) => Err(StreamError::ShardDisconnected { shard }),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.receivers.len()
+    }
+
+    /// Chunk size (the merge granularity) in bytes.
+    pub fn chunk_bytes(&self) -> usize {
+        self.chunk_bytes
+    }
+
+    /// Total bytes handed to consumers so far.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_delivered
+    }
+
+    /// Total shard restarts triggered by health-test failures.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Restarts of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_restarts(&self, shard: usize) -> u64 {
+        self.restarts[shard].load(Ordering::Relaxed)
+    }
+
+    /// The modeled aggregate hardware throughput: the sum of every
+    /// shard's sampling clock (one bit per cycle), i.e. `N x` the
+    /// paper's per-instance 620/670 Mbps — the linear multi-instance
+    /// scaling the deployment relies on.
+    pub fn throughput_mbps(&self) -> f64 {
+        self.modeled_mbps
+    }
+
+    /// Per-shard placement regions (disjoint compact squares).
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Whether the stream has failed terminally.
+    pub fn failed(&self) -> Option<StreamError> {
+        self.failed
+    }
+
+    /// Drains any chunk already buffered without blocking (used by
+    /// shutdown paths and tests; consumers normally just `read`).
+    pub fn try_refill(&mut self) -> Result<bool, StreamError> {
+        if let Some(error) = self.failed {
+            return Err(error);
+        }
+        if self.offset < self.current.len() {
+            return Ok(true);
+        }
+        let error = match self.receivers[self.cursor].try_recv() {
+            Ok(Ok(chunk)) => {
+                self.current = chunk;
+                self.offset = 0;
+                self.cursor = (self.cursor + 1) % self.receivers.len();
+                return Ok(true);
+            }
+            Err(TryRecvError::Empty) => return Ok(false),
+            Ok(Err(failure)) => StreamError::ShardFailed {
+                shard: failure.shard,
+                consecutive_restarts: failure.consecutive_restarts,
+            },
+            Err(TryRecvError::Disconnected) => {
+                StreamError::ShardDisconnected { shard: self.cursor }
+            }
+        };
+        // Latch: this path may consume the shard's one obituary message,
+        // so later reads must keep reporting the true cause.
+        self.failed = Some(error);
+        Err(error)
+    }
+}
+
+impl Drop for EntropyStream {
+    fn drop(&mut self) {
+        // Hang up first: workers blocked on a full queue observe the
+        // send error and exit; then reap the threads.
+        self.receivers.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhtrng_core::Trng;
+
+    fn small_stream(shards: usize, seed: u64) -> EntropyStream {
+        EntropyStream::builder()
+            .shards(shards)
+            .seed(seed)
+            .chunk_bytes(512)
+            .build()
+    }
+
+    #[test]
+    fn merge_is_deterministic_across_runs() {
+        let mut a = small_stream(4, 9);
+        let mut b = small_stream(4, 9);
+        let mut buf_a = vec![0u8; 8192];
+        let mut buf_b = vec![0u8; 8192];
+        a.read(&mut buf_a).unwrap();
+        b.read(&mut buf_b).unwrap();
+        assert_eq!(buf_a, buf_b, "same seeds, same merged stream");
+        let mut c = small_stream(4, 10);
+        let mut buf_c = vec![0u8; 8192];
+        c.read(&mut buf_c).unwrap();
+        assert_ne!(buf_a, buf_c, "different master seed, different stream");
+    }
+
+    #[test]
+    fn merge_interleaves_shard_streams_round_robin() {
+        let seeds = vec![101, 202, 303];
+        let chunk = 256usize;
+        let mut stream = EntropyStream::builder()
+            .shards(3)
+            .shard_seeds(seeds.clone())
+            .chunk_bytes(chunk)
+            .build();
+        let mut merged = vec![0u8; chunk * 6];
+        stream.read(&mut merged).unwrap();
+
+        // Reference: each shard is a plain DhTrng on its schedule seed;
+        // chunk k of the merge is chunk k/3 of shard k%3.
+        let mut reference = Vec::new();
+        let mut shard_trngs: Vec<DhTrng> = seeds
+            .iter()
+            .map(|&seed| {
+                DhTrng::new(DhTrngConfig {
+                    seed,
+                    ..DhTrngConfig::default()
+                })
+            })
+            .collect();
+        for k in 0..6 {
+            let mut part = vec![0u8; chunk];
+            shard_trngs[k % 3].fill_bytes(&mut part);
+            reference.extend_from_slice(&part);
+        }
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn unaligned_reads_see_the_same_stream() {
+        let mut aligned = small_stream(2, 5);
+        let mut unaligned = small_stream(2, 5);
+        let mut whole = vec![0u8; 3000];
+        aligned.read(&mut whole).unwrap();
+        let mut pieces = Vec::new();
+        for size in [1usize, 7, 300, 513, 2179] {
+            let mut piece = vec![0u8; size];
+            unaligned.read(&mut piece).unwrap();
+            pieces.extend_from_slice(&piece);
+        }
+        assert_eq!(pieces, whole);
+        assert_eq!(unaligned.bytes_delivered(), 3000);
+    }
+
+    #[test]
+    fn impossible_health_cutoffs_fail_the_stream_gracefully() {
+        // RCT cutoff 2 trips on any repeated bit, i.e. on every chunk:
+        // the shard burns its restart budget and retires; read errors.
+        let mut stream = EntropyStream::builder()
+            .shards(2)
+            .seed(1)
+            .chunk_bytes(256)
+            .health(HealthConfig {
+                rct_cutoff: 2,
+                apt_window: 64,
+                apt_cutoff: 64,
+            })
+            .max_consecutive_restarts(3)
+            .build();
+        let mut buf = vec![0u8; 1024];
+        let err = stream.read(&mut buf).unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::ShardFailed {
+                shard: 0,
+                consecutive_restarts: 3
+            }
+        );
+        // The failure is sticky.
+        assert_eq!(stream.read(&mut buf).unwrap_err(), err);
+        assert_eq!(stream.failed(), Some(err));
+        assert!(stream.restarts() >= 3);
+    }
+
+    #[test]
+    fn modeled_throughput_scales_linearly() {
+        let one = small_stream(1, 3);
+        let four = small_stream(4, 3);
+        assert!((four.throughput_mbps() / one.throughput_mbps() - 4.0).abs() < 1e-9);
+        assert_eq!(four.shards(), 4);
+    }
+
+    #[test]
+    fn placements_are_disjoint_regions() {
+        let stream = small_stream(4, 8);
+        let placements = stream.placements();
+        assert_eq!(placements.len(), 4);
+        for pair in placements.windows(2) {
+            let (a, b) = (pair[0].origin(), pair[1].origin());
+            assert!(b.x >= a.x + 4, "regions overlap: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seed schedule length")]
+    fn mismatched_seed_schedule_panics() {
+        let _ = EntropyStream::builder()
+            .shards(3)
+            .shard_seeds(vec![1, 2])
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn zero_shards_panics() {
+        let _ = EntropyStream::builder().shards(0).build();
+    }
+}

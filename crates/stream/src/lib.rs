@@ -1,0 +1,45 @@
+//! Sharded streaming engine for the DH-TRNG reproduction.
+//!
+//! The paper deploys DH-TRNG by replicating its 8-slice core: each
+//! instance contributes its full 620/670 Mbps, and aggregate throughput
+//! scales linearly because instances share nothing but the fabric. This
+//! crate is the software mirror of that deployment, built for serving
+//! entropy at production scale:
+//!
+//! * **N shards** — independently-seeded [`DhTrng`](dhtrng_core::DhTrng)
+//!   instances, each assigned its own placement region on the modeled
+//!   device, each generating through the batched
+//!   [`Trng`](dhtrng_core::Trng) fast path on its own worker thread;
+//! * **deterministic merge** — shards produce fixed-size chunks into
+//!   bounded queues (chunked buffering with backpressure); the consumer
+//!   drains them round-robin in shard order, so the merged stream is a
+//!   pure function of the seed schedule, never of thread timing;
+//! * **graceful degradation** — every shard runs the SP 800-90B
+//!   continuous health tests over its output; a failing chunk is
+//!   discarded and the shard restarts (the paper's §4.2 power-cycle)
+//!   without disturbing the other shards, and a shard that cannot
+//!   recover retires with a typed [`StreamError`].
+//!
+//! The `dh_trng` facade wraps [`EntropyStream`] in a `rand`-compatible
+//! adapter (`StreamRng`) for the `rand` ecosystem.
+//!
+//! # Example
+//!
+//! ```
+//! use dhtrng_stream::EntropyStream;
+//!
+//! let mut stream = EntropyStream::builder().shards(4).seed(1).chunk_bytes(2048).build();
+//! let mut key = [0u8; 64];
+//! stream.read(&mut key).expect("shards healthy");
+//! assert!(key.iter().any(|&b| b != 0));
+//! assert!(stream.throughput_mbps() > 2000.0); // 4 x ~620 Mbps modeled
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod shard;
+
+pub use engine::{EntropyStream, EntropyStreamBuilder, StreamError};
+pub use shard::{HealthConfig, ShardFailure};

@@ -1,0 +1,179 @@
+//! Shard workers: one DH-TRNG instance per thread, producing
+//! health-tested chunks.
+//!
+//! Each worker owns a [`DhTrng`] and a continuous [`HealthMonitor`]
+//! (SP 800-90B §4.4 RCT + APT) over the bits it delivers. A chunk whose
+//! bits trip the monitor is **discarded whole**, the instance is
+//! power-cycled via [`DhTrng::restart`] (fresh metastable startup state,
+//! as in the paper's §4.2 restart test), the monitor is reset, and the
+//! chunk is regenerated — the consumer never sees unhealthy bytes and
+//! never sees a gap. A shard that cannot produce a healthy chunk within
+//! the configured number of consecutive restarts reports a
+//! [`ShardFailure`] and retires instead of flooding restarts forever.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+
+use dhtrng_core::{DhTrng, HealthMonitor, HealthStatus, Trng};
+
+/// Cutoffs for the per-shard continuous health tests.
+///
+/// The defaults are the SP 800-90B §4.4 values [`HealthMonitor::new`]
+/// uses (`alpha = 2^-30`, `H = 0.99`): a healthy DH-TRNG essentially
+/// never trips them. Tighter cutoffs are useful to exercise the restart
+/// machinery deterministically in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Repetition Count Test cutoff (must exceed 1).
+    pub rct_cutoff: u32,
+    /// Adaptive Proportion Test window size.
+    pub apt_window: u32,
+    /// Adaptive Proportion Test cutoff (at most the window).
+    pub apt_cutoff: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            rct_cutoff: 32,
+            apt_window: 1024,
+            apt_cutoff: 624,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Builds a monitor with these cutoffs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid cutoffs (see [`HealthMonitor::with_cutoffs`]).
+    pub fn monitor(&self) -> HealthMonitor {
+        HealthMonitor::with_cutoffs(self.rct_cutoff, self.apt_window, self.apt_cutoff)
+    }
+}
+
+/// Terminal failure of one shard: the entropy source kept tripping the
+/// health tests through the allowed consecutive restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Index of the failed shard.
+    pub shard: usize,
+    /// Consecutive restart attempts consumed before giving up.
+    pub consecutive_restarts: u32,
+}
+
+/// What a shard sends down its channel: a healthy chunk, or its own
+/// obituary.
+pub(crate) type ShardMessage = Result<Vec<u8>, ShardFailure>;
+
+/// The state a shard worker thread runs with.
+pub(crate) struct ShardWorker {
+    pub(crate) shard: usize,
+    pub(crate) trng: DhTrng,
+    pub(crate) health: HealthConfig,
+    pub(crate) chunk_bytes: usize,
+    pub(crate) max_consecutive_restarts: u32,
+    /// Shared restart counter (read by the engine's statistics).
+    pub(crate) restarts: Arc<AtomicU64>,
+}
+
+impl ShardWorker {
+    /// Produces chunks until the consumer hangs up or the shard dies.
+    pub(crate) fn run(mut self, tx: SyncSender<ShardMessage>) {
+        let mut monitor = self.health.monitor();
+        loop {
+            match self.next_healthy_chunk(&mut monitor) {
+                Ok(chunk) => {
+                    if tx.send(Ok(chunk)).is_err() {
+                        // Consumer dropped the stream: orderly shutdown.
+                        return;
+                    }
+                }
+                Err(failure) => {
+                    // Best effort: the consumer may already be gone.
+                    let _ = tx.send(Err(failure));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Generates chunks (restarting the instance on health failure)
+    /// until one passes, or the restart budget is exhausted.
+    fn next_healthy_chunk(&mut self, monitor: &mut HealthMonitor) -> Result<Vec<u8>, ShardFailure> {
+        let mut restarts_performed = 0u32;
+        loop {
+            let mut chunk = vec![0u8; self.chunk_bytes];
+            self.trng.fill_bytes(&mut chunk);
+            if chunk_is_healthy(monitor, &chunk) {
+                return Ok(chunk);
+            }
+            // The chunk is tainted and always discarded; whether another
+            // power-cycle is worth it depends on the remaining budget.
+            if restarts_performed >= self.max_consecutive_restarts {
+                return Err(ShardFailure {
+                    shard: self.shard,
+                    consecutive_restarts: restarts_performed,
+                });
+            }
+            // Graceful restart: power-cycle the instance and start the
+            // monitor over on the fresh source. The shared counter
+            // counts restarts actually performed.
+            restarts_performed += 1;
+            self.restarts.fetch_add(1, Ordering::Relaxed);
+            self.trng.restart();
+            *monitor = self.health.monitor();
+        }
+    }
+}
+
+/// Feeds a chunk through the monitor; `false` as soon as any bit trips.
+fn chunk_is_healthy(monitor: &mut HealthMonitor, chunk: &[u8]) -> bool {
+    chunk.iter().all(|&byte| {
+        (0..8)
+            .rev()
+            .all(|i| monitor.feed((byte >> i) & 1 == 1) == HealthStatus::Ok)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cutoffs_match_health_monitor_defaults() {
+        // Keep HealthConfig::default() in lockstep with
+        // HealthMonitor::new(): same trip behaviour on a stuck source.
+        let mut from_config = HealthConfig::default().monitor();
+        let mut from_new = HealthMonitor::new();
+        let mut config_trip = None;
+        let mut new_trip = None;
+        for i in 0..2048 {
+            if from_config.feed(true) != HealthStatus::Ok && config_trip.is_none() {
+                config_trip = Some(i);
+            }
+            if from_new.feed(true) != HealthStatus::Ok && new_trip.is_none() {
+                new_trip = Some(i);
+            }
+        }
+        assert_eq!(config_trip, new_trip);
+        assert!(config_trip.is_some());
+    }
+
+    #[test]
+    fn healthy_chunks_pass_default_cutoffs() {
+        let mut trng = DhTrng::builder().seed(42).build();
+        let mut chunk = vec![0u8; 8192];
+        trng.fill_bytes(&mut chunk);
+        let mut monitor = HealthConfig::default().monitor();
+        assert!(chunk_is_healthy(&mut monitor, &chunk));
+    }
+
+    #[test]
+    fn stuck_chunk_trips() {
+        let mut monitor = HealthConfig::default().monitor();
+        assert!(!chunk_is_healthy(&mut monitor, &[0xFF; 16]));
+    }
+}

@@ -10,7 +10,10 @@
 //! * [`sim`] — the event-driven gate-level simulator;
 //! * [`fpga`] — device, packing, placement, timing and power models;
 //! * [`baselines`] — the Table 6 comparison architectures;
-//! * [`stattests`] — NIST SP 800-22 / SP 800-90B / AIS-31 batteries.
+//! * [`stattests`] — NIST SP 800-22 / SP 800-90B / AIS-31 batteries;
+//! * [`stream`] — the sharded streaming engine (parallel instances
+//!   merged into one entropy stream), wrapped here by the
+//!   `rand`-compatible [`StreamRng`] adapter.
 //!
 //! # Quickstart
 //!
@@ -39,6 +42,7 @@ pub use dhtrng_fpga as fpga;
 pub use dhtrng_noise as noise;
 pub use dhtrng_sim as sim;
 pub use dhtrng_stattests as stattests;
+pub use dhtrng_stream as stream;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
@@ -50,6 +54,98 @@ pub mod prelude {
     pub use dhtrng_noise::{NoiseRng, PvtCorner};
     pub use dhtrng_stattests::sp800_90b::{min_entropy_mcv, non_iid_battery};
     pub use dhtrng_stattests::BitBuffer;
+    pub use dhtrng_stream::{EntropyStream, EntropyStreamBuilder, StreamError};
+
+    pub use crate::StreamRng;
+}
+
+/// `rand`-compatible adapter over the sharded streaming engine: plugs a
+/// multi-instance DH-TRNG deployment into anything that consumes
+/// [`rand::RngCore`] (distributions, shuffles, key generation, other
+/// generators' seeds).
+///
+/// Byte order matches the single-instance
+/// [`DhTrng`](dhtrng_core::DhTrng) `RngCore` impl: words are built from
+/// the stream MSB-first.
+///
+/// # Panics
+///
+/// The infallible [`rand::RngCore`] methods panic if the underlying
+/// stream fails terminally (a shard retired; see
+/// [`StreamError`](dhtrng_stream::StreamError)). Use
+/// [`try_fill_bytes`](rand::RngCore::try_fill_bytes) — or inspect
+/// [`stream`](Self::stream) — for a non-panicking path.
+///
+/// # Example
+///
+/// ```
+/// use dh_trng::prelude::*;
+/// use rand::Rng;
+///
+/// let mut rng = StreamRng::with_shards(4, 42);
+/// let die: u8 = rng.gen_range(1..=6);
+/// assert!((1..=6).contains(&die));
+/// ```
+#[derive(Debug)]
+pub struct StreamRng {
+    stream: dhtrng_stream::EntropyStream,
+}
+
+impl StreamRng {
+    /// Wraps an already-configured stream.
+    pub fn new(stream: dhtrng_stream::EntropyStream) -> Self {
+        Self { stream }
+    }
+
+    /// A stream of `shards` parallel instances at the default
+    /// configuration (Artix-7, nominal corner, 64 KiB chunks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is outside `1..=64`.
+    pub fn with_shards(shards: usize, seed: u64) -> Self {
+        Self::new(
+            dhtrng_stream::EntropyStream::builder()
+                .shards(shards)
+                .seed(seed)
+                .build(),
+        )
+    }
+
+    /// The engine behind the adapter (shard count, restart statistics,
+    /// modeled throughput, placements).
+    pub fn stream(&self) -> &dhtrng_stream::EntropyStream {
+        &self.stream
+    }
+
+    /// Unwraps the adapter.
+    pub fn into_inner(self) -> dhtrng_stream::EntropyStream {
+        self.stream
+    }
+}
+
+impl rand::RngCore for StreamRng {
+    fn next_u32(&mut self) -> u32 {
+        let mut bytes = [0u8; 4];
+        self.fill_bytes(&mut bytes);
+        u32::from_be_bytes(bytes)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut bytes = [0u8; 8];
+        self.fill_bytes(&mut bytes);
+        u64::from_be_bytes(bytes)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.stream
+            .read(dest)
+            .expect("entropy stream failed terminally");
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.stream.read(dest).map_err(rand::Error::new)
+    }
 }
 
 #[cfg(test)]
@@ -62,5 +158,42 @@ mod tests {
         let bits: BitBuffer = (0..10_000).map(|_| trng.next_bit()).collect();
         assert_eq!(bits.len(), 10_000);
         assert!(min_entropy_mcv(&bits) > 0.9);
+    }
+
+    #[test]
+    fn stream_rng_adapter_drives_the_rand_ecosystem() {
+        use rand::{Rng, RngCore};
+        let mut rng = StreamRng::new(
+            EntropyStream::builder()
+                .shards(2)
+                .seed(11)
+                .chunk_bytes(1024)
+                .build(),
+        );
+        let mut key = [0u8; 32];
+        rng.fill_bytes(&mut key);
+        assert!(key.iter().any(|&b| b != 0));
+        let sample: u64 = rng.gen_range(0..1000);
+        assert!(sample < 1000);
+        assert!(rng.try_fill_bytes(&mut key).is_ok());
+        assert_eq!(rng.stream().shards(), 2);
+        assert_eq!(rng.stream().bytes_delivered(), 32 + 32 + 8);
+    }
+
+    #[test]
+    fn stream_rng_words_match_raw_stream_bytes() {
+        use rand::RngCore;
+        let mut words = StreamRng::with_shards(2, 21);
+        let mut raw = EntropyStream::builder().shards(2).seed(21).build();
+        let mut bytes = [0u8; 12];
+        raw.read(&mut bytes).unwrap();
+        assert_eq!(
+            words.next_u64(),
+            u64::from_be_bytes(bytes[..8].try_into().unwrap())
+        );
+        assert_eq!(
+            words.next_u32(),
+            u32::from_be_bytes(bytes[8..].try_into().unwrap())
+        );
     }
 }

@@ -1,0 +1,130 @@
+//! Batching equivalence: for a fixed seed, the batched `Trng` paths
+//! (`next_word` / `next_bits` / `fill_bytes` / `collect_bits`) must
+//! produce **bit-identical** streams to repeated `next_bit`, across the
+//! DH-TRNG core model and the baseline architectures.
+//!
+//! These are the acceptance tests for ISSUE 2's layer-1 change: every
+//! calibrated table in the repository depends on the exact stream, so
+//! the fast path is only admissible if it is indistinguishable.
+
+use dh_trng::baselines::{
+    DualModePufTrng, JitterLatchTrng, LatchedRoTrng, MetastableCmTrng, MultiphaseTrng, RoXorTrng,
+    TeroTrng, TerotTrng,
+};
+use dh_trng::prelude::*;
+
+/// Bits through the per-bit reference path only.
+fn per_bit<T: Trng>(trng: &mut T, n: usize) -> Vec<bool> {
+    (0..n).map(|_| trng.next_bit()).collect()
+}
+
+/// Asserts every batched entry point reproduces the per-bit stream.
+/// `make` must build identical generator states on every call.
+fn assert_batching_equivalent<T: Trng>(name: &str, make: impl Fn() -> T) {
+    const BITS: usize = 1000; // not a multiple of 64: tails run too
+    let reference = per_bit(&mut make(), BITS);
+
+    // collect_bits (words + tail).
+    assert_eq!(make().collect_bits(BITS), reference, "{name}: collect_bits");
+
+    // next_word, bit by bit.
+    let mut by_word = Vec::new();
+    let mut gen = make();
+    for _ in 0..BITS / 64 {
+        let word = gen.next_word();
+        by_word.extend((0..64).rev().map(|i| (word >> i) & 1 == 1));
+    }
+    assert_eq!(
+        by_word[..],
+        reference[..BITS / 64 * 64],
+        "{name}: next_word"
+    );
+
+    // next_bits at awkward sizes, consumed in sequence.
+    let mut by_chunks = Vec::new();
+    let mut gen = make();
+    for &chunk in [1u32, 63, 64, 7, 33, 64, 64].iter().cycle() {
+        if by_chunks.len() + chunk as usize > BITS {
+            break;
+        }
+        let word = gen.next_bits(chunk);
+        by_chunks.extend((0..chunk).rev().map(|i| (word >> i) & 1 == 1));
+    }
+    assert_eq!(
+        by_chunks[..],
+        reference[..by_chunks.len()],
+        "{name}: next_bits chunks"
+    );
+
+    // fill_bytes (8-byte blocks + byte tail).
+    let n_bytes = BITS / 8; // 125: 15 whole words + 5 tail bytes
+    let mut buf = vec![0u8; n_bytes];
+    make().fill_bytes(&mut buf);
+    let reference_bytes: Vec<u8> = reference[..n_bytes * 8]
+        .chunks(8)
+        .map(|bits| bits.iter().fold(0u8, |b, &bit| (b << 1) | u8::from(bit)))
+        .collect();
+    assert_eq!(buf, reference_bytes, "{name}: fill_bytes");
+}
+
+#[test]
+fn dh_trng_batched_paths_match_per_bit() {
+    assert_batching_equivalent("DhTrng", || DhTrng::builder().seed(0xABCD).build());
+}
+
+#[test]
+fn dh_trng_ablations_batched_paths_match_per_bit() {
+    assert_batching_equivalent("DhTrng/no-feedback", || {
+        DhTrng::builder().seed(7).feedback(false).build()
+    });
+    assert_batching_equivalent("DhTrng/no-coupling", || {
+        DhTrng::builder().seed(7).coupling(false).build()
+    });
+}
+
+#[test]
+fn dh_trng_virtex6_batched_paths_match_per_bit() {
+    assert_batching_equivalent("DhTrng/V6", || {
+        DhTrng::builder().device(Device::virtex6()).seed(9).build()
+    });
+}
+
+#[test]
+fn hybrid_unit_group_batched_paths_match_per_bit() {
+    assert_batching_equivalent("HybridUnitGroup/hybrid-12", || {
+        HybridUnitGroup::hybrid(12, 3)
+    });
+    assert_batching_equivalent("HybridUnitGroup/9stage-18", || {
+        HybridUnitGroup::nine_stage_ro(18, 4)
+    });
+}
+
+#[test]
+fn baseline_batched_paths_match_per_bit() {
+    assert_batching_equivalent("RoXorTrng", || RoXorTrng::table1(9, 5));
+    assert_batching_equivalent("MultiphaseTrng", || MultiphaseTrng::new(6));
+    assert_batching_equivalent("JitterLatchTrng", || JitterLatchTrng::new(7));
+    assert_batching_equivalent("TeroTrng", || TeroTrng::new(8));
+    assert_batching_equivalent("LatchedRoTrng", || LatchedRoTrng::new(9));
+    assert_batching_equivalent("TerotTrng", || TerotTrng::new(10));
+    assert_batching_equivalent("MetastableCmTrng", || MetastableCmTrng::new(11));
+    assert_batching_equivalent("DualModePufTrng", || DualModePufTrng::new(12));
+}
+
+#[test]
+fn batched_and_per_bit_generators_stay_in_lockstep() {
+    // Interleaving batched and per-bit calls on the same instance walks
+    // the same stream: the kernel writes complete state back.
+    let mut mixed = DhTrng::builder().seed(0x1DEA).build();
+    let mut reference = DhTrng::builder().seed(0x1DEA).build();
+    let mut mixed_bits = Vec::new();
+    for round in 0..5 {
+        if round % 2 == 0 {
+            let word = mixed.next_word();
+            mixed_bits.extend((0..64).rev().map(|i| (word >> i) & 1 == 1));
+        } else {
+            mixed_bits.extend(per_bit(&mut mixed, 64));
+        }
+    }
+    assert_eq!(mixed_bits, per_bit(&mut reference, 5 * 64));
+}

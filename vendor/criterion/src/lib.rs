@@ -15,6 +15,11 @@
 //! baselines. That is enough to compare hot paths across commits from
 //! the terminal; swap the workspace `path` dependency for a crates.io
 //! `version` to get the real statistics machinery.
+//!
+//! Like the real crate, `--quick` (as a bench argument:
+//! `cargo bench -- --quick`) or the `CRITERION_QUICK` environment
+//! variable shrinks the warm-up and measurement budgets — CI smoke jobs
+//! use it to keep bench runs to a few seconds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -88,18 +93,29 @@ pub struct Bencher {
     mean_ns: f64,
 }
 
+/// Whether quick mode is active (`--quick` bench argument or
+/// `CRITERION_QUICK` in the environment).
+fn quick_mode() -> bool {
+    static QUICK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *QUICK.get_or_init(|| {
+        std::env::args().any(|a| a == "--quick") || std::env::var_os("CRITERION_QUICK").is_some()
+    })
+}
+
 impl Bencher {
     /// Calls `routine` repeatedly and records its mean wall-clock time.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up: also sizes the timed batch so one run costs ~100 ms.
+        // Warm-up: also sizes the timed batch so one run costs ~100 ms
+        // (~10 ms in quick mode).
+        let (warmup_ms, measure_s) = if quick_mode() { (5, 0.01) } else { (30, 0.1) };
         let warmup_start = Instant::now();
         let mut warmup_iters: u64 = 0;
-        while warmup_start.elapsed() < Duration::from_millis(30) {
+        while warmup_start.elapsed() < Duration::from_millis(warmup_ms) {
             black_box(routine());
             warmup_iters += 1;
         }
         let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
-        let timed_iters = ((0.1 / per_iter) as u64).clamp(1, 1_000_000);
+        let timed_iters = ((measure_s / per_iter) as u64).clamp(1, 1_000_000);
 
         let start = Instant::now();
         for _ in 0..timed_iters {

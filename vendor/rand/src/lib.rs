@@ -19,15 +19,31 @@ use std::fmt;
 
 /// Error type for fallible RNG operations (never produced by [`rngs::StdRng`]).
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    inner: Box<dyn std::error::Error + Send + Sync>,
+}
 
-impl fmt::Display for Error {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("random number generator failure")
+impl Error {
+    /// Wraps a source error — the real crate's `Error::new` (std builds).
+    pub fn new<E>(err: E) -> Self
+    where
+        E: Into<Box<dyn std::error::Error + Send + Sync>>,
+    {
+        Self { inner: err.into() }
     }
 }
 
-impl std::error::Error for Error {}
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "random number generator failure: {}", self.inner)
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.inner.as_ref())
+    }
+}
 
 /// The core of a random number generator: a stream of `u32`/`u64` words.
 pub trait RngCore {
