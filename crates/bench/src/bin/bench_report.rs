@@ -1,7 +1,7 @@
-//! Machine-readable performance report: `BENCH_2.json`.
+//! Machine-readable performance report: `BENCH_3.json`.
 //!
-//! Measures the two throughput numbers this repository's CI tracks
-//! per-PR (see ISSUE 2 and `DESIGN.md` §"Streaming engine"):
+//! Measures the throughput numbers this repository's CI tracks per-PR
+//! (see ISSUE 2 / ISSUE 4 and `DESIGN.md` §5–§6):
 //!
 //! 1. **batching speedup** — the batched `Trng::fill_bytes` fast path
 //!    against the per-bit `next_bit` path on the behavioural DH-TRNG
@@ -11,17 +11,24 @@
 //!    single shard, both as wall-clock simulation throughput (which
 //!    depends on the host's cores) and as the modeled hardware
 //!    throughput (one sampling clock per instance: linear in the shard
-//!    count, the paper's multi-instance deployment claim).
+//!    count, the paper's multi-instance deployment claim);
+//! 3. **pipeline tiers** — post-conditioning throughput of the three
+//!    output tiers (`raw` / `conditioned` / `drbg`) of the SP 800-90C
+//!    pipeline over the same 4-shard deployment, so the cost of the
+//!    conditioning stage and the expansion of the DRBG stage are
+//!    tracked alongside the raw numbers (TuRaN and QUAC-TRNG both
+//!    report throughput *after* conditioning — so do we).
 //!
 //! Usage: `bench_report [--quick] [--out PATH]` (default
-//! `BENCH_2.json` in the working directory; CI uploads it as a
+//! `BENCH_3.json` in the working directory; CI uploads it as a
 //! workflow artifact).
 
 use std::time::Instant;
 
 use dhtrng_bench::args;
+use dhtrng_core::drbg::DrbgConfig;
 use dhtrng_core::{DhTrng, Trng};
-use dhtrng_stream::EntropyStream;
+use dhtrng_stream::{ConditionerSpec, EntropyStream, PipelineBuilder, Tier};
 
 /// Times `routine` adaptively: one warm-up call sizes a batch that runs
 /// for roughly `budget_s`, and the mean seconds per call is returned.
@@ -38,12 +45,35 @@ fn time_mean_s<F: FnMut()>(mut routine: F, budget_s: f64) -> f64 {
     start.elapsed().as_secs_f64() / reps as f64
 }
 
+/// One pipeline tier over a 4-shard deployment: (simulated Mbps,
+/// modeled Mbps).
+fn measure_tier(tier: Tier, read_bytes: usize, budget_s: f64) -> (f64, f64) {
+    let mut stream = PipelineBuilder::new()
+        .shards(4)
+        .seed(1)
+        .chunk_bytes(64 * 1024)
+        .build(tier);
+    let modeled = stream.throughput_mbps();
+    let mut buf = vec![0u8; read_bytes];
+    let seconds = time_mean_s(
+        || {
+            stream.read(&mut buf).expect("healthy pipeline");
+            std::hint::black_box(buf[0]);
+        },
+        budget_s,
+    );
+    (read_bytes as f64 * 8.0 / seconds / 1e6, modeled)
+}
+
 fn main() {
     let quick = args::switch("--quick");
-    let out_path: String = args::flag("--out", "BENCH_2.json".to_string());
+    let out_path: String = args::flag("--out", "BENCH_3.json".to_string());
     let budget_s = if quick { 0.05 } else { 0.5 };
     let bits = if quick { 1 << 18 } else { 1 << 21 };
     let stream_bytes: usize = if quick { 1 << 18 } else { 1 << 22 };
+    // The conditioned tier pays the compression ratio in wall-clock
+    // too, so read a fraction of the raw volume per iteration.
+    let tier_bytes: usize = if quick { 1 << 16 } else { 1 << 20 };
 
     // 1. Per-bit vs batched on the same generator/seed.
     let mut per_bit_trng = DhTrng::builder().seed(1).build();
@@ -93,6 +123,15 @@ fn main() {
     let wallclock_scaling = wallclock_mbps[1] / wallclock_mbps[0];
     let modeled_scaling = modeled_mbps[1] / modeled_mbps[0];
 
+    // 3. Pipeline tiers over the 4-shard deployment (stage defaults:
+    // 2:1 CRC conditioning, 1 Mbit DRBG reseed interval).
+    // Stage metadata is derived from the defaults the measured streams
+    // actually run, so a changed default can never be mislabeled.
+    let conditioner = format!("{:?}", ConditionerSpec::default());
+    let (raw_sim, raw_model) = measure_tier(Tier::Raw, tier_bytes, budget_s);
+    let (cond_sim, cond_model) = measure_tier(Tier::Conditioned, tier_bytes, budget_s);
+    let (drbg_sim, drbg_model) = measure_tier(Tier::Drbg, tier_bytes, budget_s);
+
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -100,7 +139,7 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "schema": "dhtrng-bench-report/2",
+  "schema": "dhtrng-bench-report/3",
   "quick": {quick},
   "host_cpus": {cpus},
   "batching": {{
@@ -118,9 +157,21 @@ fn main() {
     "four_shard_modeled_mbps": {m4:.3},
     "modeled_scaling": {mscale:.3}
   }},
+  "pipeline": {{
+    "read_bytes_per_iteration": {tier_bytes},
+    "shards": 4,
+    "conditioner": "{conditioner}",
+    "drbg_reseed_interval_bits": {reseed_bits},
+    "raw_simulated_mbps": {raw_sim:.3},
+    "conditioned_simulated_mbps": {cond_sim:.3},
+    "drbg_simulated_mbps": {drbg_sim:.3},
+    "raw_modeled_mbps": {raw_model:.3},
+    "conditioned_modeled_mbps": {cond_model:.3},
+    "drbg_modeled_mbps": {drbg_model:.3}
+  }},
   "paper_anchor": {{
     "per_instance_modeled_mbps": {anchor:.3},
-    "note": "modeled Mbps = sampling clock x 1 bit/cycle; the paper reports 620 (Artix-7) / 670 (Virtex-6) per instance and linear multi-instance scaling, which modeled_scaling reproduces exactly. Simulated Mbps measure how fast this software model runs on the host and bound experiment runtimes."
+    "note": "modeled Mbps = sampling clock x 1 bit/cycle; the paper reports 620 (Artix-7) / 670 (Virtex-6) per instance and linear multi-instance scaling, which modeled_scaling reproduces exactly. Simulated Mbps measure how fast this software model runs on the host and bound experiment runtimes. Pipeline tiers report post-conditioning throughput: conditioned = raw / compression ratio, drbg = conditioned x expansion factor (see DESIGN.md section 6)."
   }}
 }}
 "#,
@@ -137,11 +188,20 @@ fn main() {
         m1 = modeled_mbps[0],
         m4 = modeled_mbps[1],
         mscale = modeled_scaling,
+        tier_bytes = tier_bytes,
+        conditioner = conditioner,
+        reseed_bits = DrbgConfig::default().reseed_interval_bits,
+        raw_sim = raw_sim,
+        cond_sim = cond_sim,
+        drbg_sim = drbg_sim,
+        raw_model = raw_model,
+        cond_model = cond_model,
+        drbg_model = drbg_model,
         anchor = single.throughput_mbps(),
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     print!("{json}");
     eprintln!(
-        "wrote {out_path} (batch speedup {batch_speedup:.2}x, modeled scaling {modeled_scaling:.2}x, wall-clock scaling {wallclock_scaling:.2}x on {cpus} cpu(s))"
+        "wrote {out_path} (batch speedup {batch_speedup:.2}x, modeled scaling {modeled_scaling:.2}x, wall-clock scaling {wallclock_scaling:.2}x on {cpus} cpu(s); tiers raw/conditioned/drbg = {raw_sim:.0}/{cond_sim:.0}/{drbg_sim:.0} simulated Mbps)"
     );
 }

@@ -1,0 +1,591 @@
+//! Composable conditioning components — the SP 800-90C "conditioner"
+//! box between the raw entropy source and the DRBG.
+//!
+//! The paper's headline is that DH-TRNG passes the batteries *raw*; a
+//! production entropy service still deploys a conditioning stage, both
+//! as defence in depth (a degraded source keeps full-entropy output at
+//! a reduced rate) and because SP 800-90C requires one between the
+//! noise source and the DRBG. This module supplies that stage as small
+//! composable state machines:
+//!
+//! * [`Conditioner`] — the trait: a bit-serial state machine that
+//!   consumes raw bits and occasionally emits conditioned bits, with a
+//!   declared expected compression ratio (raw bits in per conditioned
+//!   bit out);
+//! * [`VonNeumannConditioner`] — exact debiasing of an independent
+//!   source at an expected 4x+ rate cost;
+//! * [`XorFold`] — XOR of `k` raw bits per output bit (piling-up
+//!   lemma: residual bias `2^(k-1) * e^k` for input bias `e`);
+//! * [`CrcWhitener`] — a CRC-16/CCITT register fed bit-serially with a
+//!   **configurable compression ratio**: every `ratio` raw bits, the
+//!   register's low bit is emitted. `ratio = 1` whitens at full rate;
+//!   `ratio >= 2` compresses, folding `16 + ratio` raw bits of history
+//!   into every output bit;
+//! * [`LfsrConditioner`] — the legacy rate-preserving 16-bit Fibonacci
+//!   LFSR whitener (behind [`LfsrWhitener`](crate::postproc::LfsrWhitener));
+//! * [`Chain`] — sequential composition via [`Conditioner::then`];
+//! * [`Conditioned`] — the adaptor that mounts any [`Conditioner`] on
+//!   any [`Trng`], pulling raw bits through the batched
+//!   [`next_word`](Trng::next_word) fast path and keeping
+//!   consumed/emitted throughput ledgers.
+//!
+//! The wrappers in [`postproc`](crate::postproc) are thin shells over
+//! these primitives, so the throughput-cost demonstrations and the
+//! production conditioning layer share one implementation. The
+//! stream-level pipeline (`dhtrng-stream`) mounts the same machines on
+//! the sharded merged stream.
+//!
+//! Conditioned output is a **pure function of the raw bit stream**: no
+//! conditioner draws randomness of its own, so for a seeded source the
+//! conditioned stream is as reproducible as the raw one, however the
+//! raw bits are batched.
+//!
+//! # Example
+//!
+//! ```
+//! use dhtrng_core::conditioning::{Conditioned, Conditioner, CrcWhitener};
+//! use dhtrng_core::{DhTrng, Trng};
+//!
+//! // 2:1 CRC compression over a DH-TRNG instance.
+//! let raw = DhTrng::builder().seed(7).build();
+//! let mut conditioned = Conditioned::new(raw, CrcWhitener::new(2));
+//! let mut key = [0u8; 32];
+//! conditioned.fill_bytes(&mut key);
+//! assert_eq!(conditioned.expected_ratio(), 2.0);
+//! assert_eq!(conditioned.consumed(), 2 * conditioned.emitted());
+//! ```
+
+use crate::trng::Trng;
+
+/// A bit-serial conditioning state machine.
+///
+/// Raw bits go in one at a time through [`push`](Self::push); zero or
+/// one conditioned bits come out per push. Implementations are pure
+/// state machines — deterministic in the raw stream, no internal
+/// randomness — so conditioning never *adds* entropy, it only
+/// concentrates what the source supplies.
+pub trait Conditioner {
+    /// Feeds one raw bit; returns a conditioned output bit when the
+    /// machine emits on this push.
+    fn push(&mut self, raw: bool) -> Option<bool>;
+
+    /// Expected raw bits consumed per conditioned bit emitted
+    /// (`>= 1.0`). Exact for fixed-rate conditioners; the long-run
+    /// expectation on an unbiased source for variable-rate ones
+    /// (Von Neumann).
+    fn expected_ratio(&self) -> f64;
+
+    /// Clears the machine back to its initial state (discarding any
+    /// partially accumulated input).
+    fn reset(&mut self);
+
+    /// Chains another conditioner after this one: raw bits feed `self`,
+    /// its output feeds `next`, and `next`'s output is the chain's.
+    ///
+    /// ```
+    /// use dhtrng_core::conditioning::{Conditioner, CrcWhitener, XorFold};
+    ///
+    /// // XOR-fold by 2, then whiten: 2x compression overall.
+    /// let chain = XorFold::new(2).then(CrcWhitener::new(1));
+    /// assert_eq!(chain.expected_ratio(), 2.0);
+    /// ```
+    fn then<B: Conditioner>(self, next: B) -> Chain<Self, B>
+    where
+        Self: Sized,
+    {
+        Chain {
+            first: self,
+            second: next,
+        }
+    }
+}
+
+/// Von Neumann debiaser: consumes raw bits in pairs; an unequal pair
+/// emits its second bit, an equal pair is discarded.
+///
+/// Removes *all* bias from an independent source; costs `2 / (2pq)` raw
+/// bits per output bit (4.0 when unbiased, worse when biased).
+#[derive(Debug, Clone, Default)]
+pub struct VonNeumannConditioner {
+    held: Option<bool>,
+}
+
+impl VonNeumannConditioner {
+    /// A fresh debiaser (no bit held).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Conditioner for VonNeumannConditioner {
+    fn push(&mut self, raw: bool) -> Option<bool> {
+        match self.held.take() {
+            None => {
+                self.held = Some(raw);
+                None
+            }
+            Some(first) => (first != raw).then_some(raw),
+        }
+    }
+
+    fn expected_ratio(&self) -> f64 {
+        4.0
+    }
+
+    fn reset(&mut self) {
+        self.held = None;
+    }
+}
+
+/// XOR decimator: each output bit is the XOR of `factor` raw bits.
+///
+/// By the piling-up lemma (paper Eq. 4), input bias `e` becomes output
+/// bias `2^(factor - 1) * e^factor` at a linear `factor : 1` rate cost.
+#[derive(Debug, Clone)]
+pub struct XorFold {
+    factor: u32,
+    acc: bool,
+    fed: u32,
+}
+
+impl XorFold {
+    /// A fold over `factor` raw bits per output bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn new(factor: u32) -> Self {
+        assert!(factor > 0, "decimation factor must be positive");
+        Self {
+            factor,
+            acc: false,
+            fed: 0,
+        }
+    }
+
+    /// The fold factor (= raw bits per output bit).
+    pub fn factor(&self) -> u32 {
+        self.factor
+    }
+}
+
+impl Conditioner for XorFold {
+    fn push(&mut self, raw: bool) -> Option<bool> {
+        self.acc ^= raw;
+        self.fed += 1;
+        if self.fed == self.factor {
+            let out = self.acc;
+            self.acc = false;
+            self.fed = 0;
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    fn expected_ratio(&self) -> f64 {
+        f64::from(self.factor)
+    }
+
+    fn reset(&mut self) {
+        self.acc = false;
+        self.fed = 0;
+    }
+}
+
+/// CRC-16/CCITT polynomial (x^16 + x^12 + x^5 + 1).
+const CRC_POLY: u16 = 0x1021;
+/// CRC-16/CCITT initial register value.
+const CRC_INIT: u16 = 0xFFFF;
+
+/// CRC-based whitener with a configurable compression ratio.
+///
+/// Raw bits shift serially into a CRC-16/CCITT register; every `ratio`
+/// raw bits the register's low bit is emitted. Each output bit
+/// therefore mixes the full 16-bit register history plus the `ratio`
+/// fresh bits — unlike a plain XOR fold, local raw structure is spread
+/// across many output bits.
+///
+/// * `ratio = 1`: rate-preserving whitening (cosmetic — no entropy is
+///   added, exactly like the classic LFSR whitener);
+/// * `ratio >= 2`: a genuine conditioner, concentrating `ratio` raw
+///   bits into each output bit.
+#[derive(Debug, Clone)]
+pub struct CrcWhitener {
+    ratio: u32,
+    crc: u16,
+    fed: u32,
+}
+
+impl CrcWhitener {
+    /// A whitener emitting one bit per `ratio` raw bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio == 0`.
+    pub fn new(ratio: u32) -> Self {
+        assert!(ratio > 0, "compression ratio must be positive");
+        Self {
+            ratio,
+            crc: CRC_INIT,
+            fed: 0,
+        }
+    }
+
+    /// The compression ratio (= raw bits per output bit).
+    pub fn ratio(&self) -> u32 {
+        self.ratio
+    }
+}
+
+impl Conditioner for CrcWhitener {
+    fn push(&mut self, raw: bool) -> Option<bool> {
+        // Bit-serial CRC step: feed the raw bit at the register's top.
+        let fed_back = (self.crc >> 15) ^ u16::from(raw);
+        self.crc <<= 1;
+        if fed_back == 1 {
+            self.crc ^= CRC_POLY;
+        }
+        self.fed += 1;
+        if self.fed == self.ratio {
+            self.fed = 0;
+            // Emit the register's low bit. NOT the register parity: the
+            // parity of a CRC register is a degenerate linear output —
+            // each push flips it iff the raw bit is 1, so a
+            // parity-emitting "whitener" collapses to a running XOR
+            // accumulator and a stuck source yields constant output.
+            // The low bit is a full mix of the register history.
+            Some(self.crc & 1 == 1)
+        } else {
+            None
+        }
+    }
+
+    fn expected_ratio(&self) -> f64 {
+        f64::from(self.ratio)
+    }
+
+    fn reset(&mut self) {
+        self.crc = CRC_INIT;
+        self.fed = 0;
+    }
+}
+
+/// The legacy 16-bit Fibonacci LFSR whitener (x^16 + x^14 + x^13 +
+/// x^11 + 1), rate-preserving: the raw bit is injected into the
+/// feedback and the register's low bit is emitted every push.
+///
+/// This is the exact machine behind
+/// [`LfsrWhitener`](crate::postproc::LfsrWhitener); kept distinct from
+/// [`CrcWhitener`] so the historical stream stays bit-for-bit stable.
+#[derive(Debug, Clone)]
+pub struct LfsrConditioner {
+    state: u16,
+}
+
+impl LfsrConditioner {
+    /// Non-zero initial register.
+    const SEED: u16 = 0xACE1;
+
+    /// A fresh whitener.
+    pub fn new() -> Self {
+        Self { state: Self::SEED }
+    }
+}
+
+impl Default for LfsrConditioner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Conditioner for LfsrConditioner {
+    fn push(&mut self, raw: bool) -> Option<bool> {
+        let fb = (self.state ^ (self.state >> 2) ^ (self.state >> 3) ^ (self.state >> 5)) & 1;
+        self.state = (self.state >> 1) | ((fb ^ u16::from(raw)) << 15);
+        Some(self.state & 1 == 1)
+    }
+
+    fn expected_ratio(&self) -> f64 {
+        1.0
+    }
+
+    fn reset(&mut self) {
+        self.state = Self::SEED;
+    }
+}
+
+/// Two conditioners in sequence (built by [`Conditioner::then`]): raw
+/// bits feed the first; its emissions feed the second; the second's
+/// emissions are the chain's output.
+#[derive(Debug, Clone)]
+pub struct Chain<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: Conditioner, B: Conditioner> Conditioner for Chain<A, B> {
+    fn push(&mut self, raw: bool) -> Option<bool> {
+        self.first.push(raw).and_then(|mid| self.second.push(mid))
+    }
+
+    fn expected_ratio(&self) -> f64 {
+        self.first.expected_ratio() * self.second.expected_ratio()
+    }
+
+    fn reset(&mut self) {
+        self.first.reset();
+        self.second.reset();
+    }
+}
+
+/// A [`Trng`] whose output is another `Trng` run through a
+/// [`Conditioner`] — the single-instance form of the pipeline's
+/// conditioned tier.
+///
+/// Raw bits are pulled 64 at a time through the inner generator's
+/// batched [`next_word`](Trng::next_word) fast path and fed through the
+/// conditioner bit-serially; the conditioned stream is identical to a
+/// per-bit pull (conditioning is a pure function of the raw stream),
+/// just cheaper per raw bit.
+///
+/// The adaptor keeps a throughput ledger: [`consumed`](Self::consumed)
+/// raw bits vs [`emitted`](Self::emitted) conditioned bits, with
+/// [`measured_ratio`](Self::measured_ratio) as their quotient.
+///
+/// # Liveness
+///
+/// [`next_bit`](Trng::next_bit) pulls raw bits until the conditioner
+/// emits; a conditioner that never emits on the given source spins
+/// forever — the canonical case is [`VonNeumannConditioner`] over a
+/// stuck source, which discards every (equal) pair. Run health tests
+/// upstream of the conditioner, as the stream pipeline does: a source
+/// degenerate enough to starve a conditioner is one the SP 800-90B
+/// continuous tests retire first.
+#[derive(Debug, Clone)]
+pub struct Conditioned<T, C> {
+    inner: T,
+    conditioner: C,
+    raw_word: u64,
+    raw_left: u32,
+    consumed: u64,
+    emitted: u64,
+}
+
+impl<T: Trng, C: Conditioner> Conditioned<T, C> {
+    /// Mounts `conditioner` on `inner`.
+    pub fn new(inner: T, conditioner: C) -> Self {
+        Self {
+            inner,
+            conditioner,
+            raw_word: 0,
+            raw_left: 0,
+            consumed: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Raw bits fed to the conditioner so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Conditioned bits emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Measured raw-bits-per-output-bit (infinite until the first
+    /// emission).
+    pub fn measured_ratio(&self) -> f64 {
+        if self.emitted == 0 {
+            f64::INFINITY
+        } else {
+            self.consumed as f64 / self.emitted as f64
+        }
+    }
+
+    /// The conditioner's declared expected ratio.
+    pub fn expected_ratio(&self) -> f64 {
+        self.conditioner.expected_ratio()
+    }
+
+    /// The mounted conditioner.
+    pub fn conditioner(&self) -> &C {
+        &self.conditioner
+    }
+
+    /// Unwraps the raw source.
+    ///
+    /// The source may sit up to 63 bits past the last conditioned bit:
+    /// raw bits are pulled in 64-bit words, and a partially drained
+    /// word is dropped here.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Trng, C: Conditioner> Trng for Conditioned<T, C> {
+    fn next_bit(&mut self) -> bool {
+        loop {
+            if self.raw_left == 0 {
+                self.raw_word = self.inner.next_word();
+                self.raw_left = 64;
+            }
+            self.raw_left -= 1;
+            let raw = (self.raw_word >> self.raw_left) & 1 == 1;
+            self.consumed += 1;
+            if let Some(bit) = self.conditioner.push(raw) {
+                self.emitted += 1;
+                return bit;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhtrng_noise::NoiseRng;
+
+    /// A tunable biased source.
+    struct Biased {
+        rng: NoiseRng,
+        p_one: f64,
+    }
+
+    impl Trng for Biased {
+        fn next_bit(&mut self) -> bool {
+            self.rng.bernoulli(self.p_one)
+        }
+    }
+
+    fn biased(p: f64, seed: u64) -> Biased {
+        Biased {
+            rng: NoiseRng::seed_from_u64(seed),
+            p_one: p,
+        }
+    }
+
+    fn ones_fraction<T: Trng>(t: &mut T, n: usize) -> f64 {
+        (0..n).filter(|_| t.next_bit()).count() as f64 / n as f64
+    }
+
+    /// Runs `bits` through a conditioner, collecting the emissions.
+    fn run<C: Conditioner>(cond: &mut C, bits: impl IntoIterator<Item = bool>) -> Vec<bool> {
+        bits.into_iter().filter_map(|b| cond.push(b)).collect()
+    }
+
+    #[test]
+    fn von_neumann_machine_implements_the_pair_rule() {
+        let mut vn = VonNeumannConditioner::new();
+        // 00 -> nothing, 01 -> 1, 10 -> 0, 11 -> nothing.
+        assert_eq!(
+            run(
+                &mut vn,
+                [false, false, false, true, true, false, true, true]
+            ),
+            vec![true, false]
+        );
+    }
+
+    #[test]
+    fn xor_fold_emits_every_factor_bits() {
+        let mut fold = XorFold::new(3);
+        let out = run(&mut fold, [true, true, false, true, false, false]);
+        assert_eq!(out, vec![false, true]);
+        assert_eq!(fold.factor(), 3);
+        // Factor 1 is the identity.
+        let mut id = XorFold::new(1);
+        let bits = [true, false, true, true];
+        assert_eq!(run(&mut id, bits), bits.to_vec());
+    }
+
+    #[test]
+    fn crc_whitener_respects_ratio_and_resets() {
+        for ratio in [1u32, 2, 7, 64] {
+            let mut crc = CrcWhitener::new(ratio);
+            let n = 5 * ratio as usize + (ratio as usize / 2);
+            let out = run(&mut crc, (0..n).map(|i| i % 3 == 0));
+            assert_eq!(out.len(), n / ratio as usize, "ratio = {ratio}");
+        }
+        // reset() discards both the register and the partial count.
+        let mut crc = CrcWhitener::new(4);
+        let _ = run(&mut crc, [true, false, true]);
+        crc.reset();
+        let mut fresh = CrcWhitener::new(4);
+        let input: Vec<bool> = (0..32).map(|i| i % 5 == 0).collect();
+        assert_eq!(run(&mut crc, input.clone()), run(&mut fresh, input));
+    }
+
+    #[test]
+    fn crc_whitener_balances_biased_input() {
+        let mut source = biased(0.7, 11);
+        let mut crc = CrcWhitener::new(2);
+        let out = run(&mut crc, (0..200_000).map(|_| source.next_bit()));
+        let frac = out.iter().filter(|&&b| b).count() as f64 / out.len() as f64;
+        assert!((frac - 0.5).abs() < 0.005, "frac = {frac}");
+    }
+
+    #[test]
+    fn chain_composes_ratios_and_streams() {
+        let mut chain = XorFold::new(2).then(XorFold::new(3));
+        assert_eq!(chain.expected_ratio(), 6.0);
+        // XOR of 2 then XOR of 3 == XOR of 6.
+        let mut flat = XorFold::new(6);
+        let input: Vec<bool> = (0..120).map(|i| (i * 7) % 11 < 5).collect();
+        assert_eq!(run(&mut chain, input.clone()), run(&mut flat, input));
+    }
+
+    #[test]
+    fn conditioned_adaptor_keeps_ledgers() {
+        let mut c = Conditioned::new(biased(0.5, 3), XorFold::new(4));
+        let _ = c.collect_bits(1000);
+        assert_eq!(c.emitted(), 1000);
+        assert_eq!(c.consumed(), 4000);
+        assert_eq!(c.measured_ratio(), 4.0);
+        assert_eq!(c.expected_ratio(), 4.0);
+        assert_eq!(c.conditioner().factor(), 4);
+    }
+
+    #[test]
+    fn conditioned_stream_is_a_pure_function_of_the_raw_stream() {
+        // Same seed, different pull patterns: identical conditioned bits.
+        let make = || Conditioned::new(biased(0.5, 9), CrcWhitener::new(3));
+        let mut per_bit = make();
+        let reference: Vec<bool> = (0..500).map(|_| per_bit.next_bit()).collect();
+        let mut batched = make();
+        assert_eq!(batched.collect_bits(500), reference);
+    }
+
+    #[test]
+    fn von_neumann_adaptor_debiases_completely() {
+        let mut vn = Conditioned::new(biased(0.7, 1), VonNeumannConditioner::new());
+        let frac = ones_fraction(&mut vn, 100_000);
+        assert!((frac - 0.5).abs() < 0.006, "frac = {frac}");
+        // Cost near the 2/(2pq) = 4.76 theory value.
+        assert!((vn.measured_ratio() - 4.76).abs() < 0.15);
+    }
+
+    #[test]
+    fn empty_input_emits_nothing() {
+        // Zero pushes -> zero emissions, ledgers stay zeroed, ratio is
+        // the defined infinity.
+        let c = Conditioned::new(biased(0.5, 1), VonNeumannConditioner::new());
+        assert_eq!(c.consumed(), 0);
+        assert_eq!(c.emitted(), 0);
+        assert!(c.measured_ratio().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "decimation factor")]
+    fn zero_fold_factor_panics() {
+        let _ = XorFold::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "compression ratio")]
+    fn zero_crc_ratio_panics() {
+        let _ = CrcWhitener::new(0);
+    }
+}

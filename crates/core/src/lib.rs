@@ -15,6 +15,11 @@
 //!   calibrated against the paper's silicon measurements; this is what
 //!   produces the megabit bitstreams the evaluation batteries consume.
 //!
+//! Around the generator sit the SP 800-90C output stages: continuous
+//! [`health`] tests, the composable [`conditioning`] layer, and the
+//! [`drbg`] output stage — see `DESIGN.md` §6 for how the boxes map
+//! onto the spec's source → health → conditioner → DRBG chain.
+//!
 //! See `DESIGN.md` at the workspace root for the calibration notes and
 //! the experiment index.
 //!
@@ -31,12 +36,14 @@
 //! assert!(trng.throughput_mbps() > 600.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod architecture;
 pub mod array;
 pub mod batch;
+pub mod conditioning;
+pub mod drbg;
 pub mod health;
 pub mod model;
 pub mod postproc;
@@ -44,6 +51,8 @@ pub mod trng;
 
 pub use architecture::{dh_trng_netlist, entropy_unit_netlist, EntropyUnitPorts, NetlistPorts};
 pub use array::DhTrngArray;
+pub use conditioning::{Conditioned, Conditioner, CrcWhitener, VonNeumannConditioner, XorFold};
+pub use drbg::{Drbg, DrbgConfig, HashDrbg};
 pub use health::{HealthMonitor, HealthStatus};
 pub use model::{
     eq3_xor_expectation, eq4_xor_expectation_n, eq5_randomness_coverage, RingCoverage,

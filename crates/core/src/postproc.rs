@@ -8,66 +8,60 @@
 //! source is rescued at a large throughput cost, and (b) running them on
 //! DH-TRNG output costs throughput while leaving the (already maximal)
 //! entropy unchanged — which is why the paper's design omits the stage.
+//!
+//! The wrappers here are thin shells over the composable machines in
+//! [`conditioning`](crate::conditioning) — one implementation serves
+//! both this demonstration role and the production conditioning tier of
+//! the streaming pipeline. Use [`Conditioned`] directly to mount any
+//! [`Conditioner`](crate::conditioning::Conditioner) (including the
+//! compressing [`CrcWhitener`](crate::conditioning::CrcWhitener)) on
+//! any source.
 
+use crate::conditioning::{Conditioned, LfsrConditioner, VonNeumannConditioner, XorFold};
 use crate::trng::Trng;
 
-/// Von Neumann corrector: consumes bit pairs, emits `01 -> 0`,
-/// `10 -> 1`, discards `00`/`11`. Removes all bias from an independent
-/// source at the cost of a 4x+ throughput reduction.
+/// Von Neumann corrector: consumes bit pairs, emits the second bit of
+/// an unequal pair, discards `00`/`11`. Removes all bias from an
+/// independent source at the cost of a 4x+ throughput reduction.
 #[derive(Debug, Clone)]
 pub struct VonNeumann<T> {
-    inner: T,
-    consumed: u64,
-    emitted: u64,
+    inner: Conditioned<T, VonNeumannConditioner>,
 }
 
 impl<T: Trng> VonNeumann<T> {
     /// Wraps a source.
     pub fn new(inner: T) -> Self {
         Self {
-            inner,
-            consumed: 0,
-            emitted: 0,
+            inner: Conditioned::new(inner, VonNeumannConditioner::new()),
         }
     }
 
     /// Raw bits consumed so far.
     pub fn consumed(&self) -> u64 {
-        self.consumed
+        self.inner.consumed()
     }
 
     /// Corrected bits emitted so far.
     pub fn emitted(&self) -> u64 {
-        self.emitted
+        self.inner.emitted()
     }
 
     /// Measured throughput cost: raw bits consumed per output bit
     /// (4.0 for an unbiased independent source, worse when biased).
     pub fn cost(&self) -> f64 {
-        if self.emitted == 0 {
-            f64::INFINITY
-        } else {
-            self.consumed as f64 / self.emitted as f64
-        }
+        self.inner.measured_ratio()
     }
 
-    /// Unwraps the inner source.
+    /// Unwraps the inner source (see
+    /// [`Conditioned::into_inner`] for the word-granularity caveat).
     pub fn into_inner(self) -> T {
-        self.inner
+        self.inner.into_inner()
     }
 }
 
 impl<T: Trng> Trng for VonNeumann<T> {
     fn next_bit(&mut self) -> bool {
-        loop {
-            let a = self.inner.next_bit();
-            let b = self.inner.next_bit();
-            self.consumed += 2;
-            if a != b {
-                self.emitted += 1;
-                return b;
-            }
-        }
+        self.inner.next_bit()
     }
 }
 
@@ -76,8 +70,7 @@ impl<T: Trng> Trng for VonNeumann<T> {
 /// throughput cost.
 #[derive(Debug, Clone)]
 pub struct XorDecimator<T> {
-    inner: T,
-    factor: u32,
+    inner: Conditioned<T, XorFold>,
 }
 
 impl<T: Trng> XorDecimator<T> {
@@ -87,28 +80,26 @@ impl<T: Trng> XorDecimator<T> {
     ///
     /// Panics if `factor == 0`.
     pub fn new(inner: T, factor: u32) -> Self {
-        assert!(factor > 0, "decimation factor must be positive");
-        Self { inner, factor }
+        Self {
+            inner: Conditioned::new(inner, XorFold::new(factor)),
+        }
     }
 
     /// The decimation factor (= raw bits per output bit).
     pub fn factor(&self) -> u32 {
-        self.factor
+        self.inner.conditioner().factor()
     }
 
-    /// Unwraps the inner source.
+    /// Unwraps the inner source (see
+    /// [`Conditioned::into_inner`] for the word-granularity caveat).
     pub fn into_inner(self) -> T {
-        self.inner
+        self.inner.into_inner()
     }
 }
 
 impl<T: Trng> Trng for XorDecimator<T> {
     fn next_bit(&mut self) -> bool {
-        let mut acc = false;
-        for _ in 0..self.factor {
-            acc ^= self.inner.next_bit();
-        }
-        acc
+        self.inner.next_bit()
     }
 }
 
@@ -119,33 +110,27 @@ impl<T: Trng> Trng for XorDecimator<T> {
 /// batteries in this workspace are run on *raw* output only).
 #[derive(Debug, Clone)]
 pub struct LfsrWhitener<T> {
-    inner: T,
-    state: u16,
+    inner: Conditioned<T, LfsrConditioner>,
 }
 
 impl<T: Trng> LfsrWhitener<T> {
     /// Wraps a source (non-zero initial register).
     pub fn new(inner: T) -> Self {
         Self {
-            inner,
-            state: 0xACE1,
+            inner: Conditioned::new(inner, LfsrConditioner::new()),
         }
     }
 
-    /// Unwraps the inner source.
+    /// Unwraps the inner source (see
+    /// [`Conditioned::into_inner`] for the word-granularity caveat).
     pub fn into_inner(self) -> T {
-        self.inner
+        self.inner.into_inner()
     }
 }
 
 impl<T: Trng> Trng for LfsrWhitener<T> {
     fn next_bit(&mut self) -> bool {
-        // Fibonacci LFSR step with the raw bit injected into the
-        // feedback, so the output remains entropy-preserving.
-        let fb = (self.state ^ (self.state >> 2) ^ (self.state >> 3) ^ (self.state >> 5)) & 1;
-        let raw = u16::from(self.inner.next_bit());
-        self.state = (self.state >> 1) | ((fb ^ raw) << 15);
-        self.state & 1 == 1
+        self.inner.next_bit()
     }
 }
 

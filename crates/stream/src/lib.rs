@@ -20,8 +20,13 @@
 //!   without disturbing the other shards, and a shard that cannot
 //!   recover retires with a typed [`StreamError`].
 //!
-//! The `dh_trng` facade wraps [`EntropyStream`] in a `rand`-compatible
-//! adapter (`StreamRng`) for the `rand` ecosystem.
+//! On top of the merged raw stream sits the typed output
+//! [`pipeline`]: `RawStream → ConditionedStream → DrbgPool`, the
+//! SP 800-90C source → health → conditioner → DRBG chain, selected per
+//! consumer as a quality [`Tier`] from one [`PipelineBuilder`]. The
+//! `dh_trng` facade wraps [`EntropyStream`] and [`TierStream`] in
+//! `rand`-compatible adapters (`StreamRng` / `PipelineRng`) for the
+//! `rand` ecosystem.
 //!
 //! # Example
 //!
@@ -34,12 +39,31 @@
 //! assert!(key.iter().any(|&b| b != 0));
 //! assert!(stream.throughput_mbps() > 2000.0); // 4 x ~620 Mbps modeled
 //! ```
+//!
+//! The same deployment behind the full pipeline, at the `drbg` tier:
+//!
+//! ```
+//! use dhtrng_stream::{PipelineBuilder, Tier};
+//!
+//! let mut pool = PipelineBuilder::new()
+//!     .shards(2)
+//!     .seed(1)
+//!     .chunk_bytes(2048)
+//!     .build(Tier::Drbg);
+//! let mut key = [0u8; 64];
+//! pool.read(&mut key).expect("shards healthy");
+//! assert_eq!(pool.tier(), Tier::Drbg);
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod pipeline;
 pub mod shard;
 
 pub use engine::{EntropyStream, EntropyStreamBuilder, StreamError};
+pub use pipeline::{
+    ConditionedStream, ConditionerSpec, DrbgPool, PipelineBuilder, RawStream, Tier, TierStream,
+};
 pub use shard::{HealthConfig, ShardFailure};

@@ -1,0 +1,821 @@
+//! The typed output pipeline: `RawStream → ConditionedStream →
+//! DrbgPool`, selected per consumer as a quality **tier**.
+//!
+//! The sharded engine ([`EntropyStream`]) delivers the merged raw
+//! source bits, already gated by the per-shard SP 800-90B continuous
+//! health tests. Production consumers pick how much post-processing
+//! sits between that raw stream and their bytes:
+//!
+//! * **raw** ([`Tier::Raw`]) — the merged source itself, full rate;
+//!   what the paper's evaluation batteries consume;
+//! * **conditioned** ([`Tier::Conditioned`]) — a [`Conditioner`] over
+//!   the merged stream (default: 2:1 [`CrcWhitener`]), trading rate
+//!   for defence-in-depth entropy concentration;
+//! * **drbg** ([`Tier::Drbg`]) — a [`HashDrbg`] keyed from the
+//!   conditioned stream and re-keyed on the configured interval: the
+//!   SP 800-90C source → health → conditioner → DRBG chain, and the
+//!   tier a key-serving service exposes.
+//!
+//! One [`PipelineBuilder`] configures all three; [`TierStream`] is the
+//! tier-erased handle the `dh_trng` facade wraps in its
+//! `rand`-compatible `PipelineRng`. Every stage is a pure function of
+//! the shard seed schedule, so all three tiers inherit the engine's
+//! reproducibility guarantee; every stage also propagates the typed
+//! [`StreamError`] (a retired shard surfaces identically at any tier).
+//!
+//! # Example
+//!
+//! ```
+//! use dhtrng_stream::pipeline::{PipelineBuilder, Tier};
+//!
+//! let mut pool = PipelineBuilder::new()
+//!     .shards(2)
+//!     .seed(9)
+//!     .chunk_bytes(2048)
+//!     .build_drbg();
+//! let mut key = [0u8; 64];
+//! pool.read(&mut key).expect("healthy pipeline");
+//! assert_eq!(pool.tier(), Tier::Drbg);
+//! ```
+
+use std::collections::VecDeque;
+
+use dhtrng_core::conditioning::{Conditioner, CrcWhitener, VonNeumannConditioner, XorFold};
+use dhtrng_core::drbg::{DrbgConfig, HashDrbg, BLOCK_BYTES};
+use dhtrng_core::DhTrngConfig;
+
+use crate::engine::{EntropyStream, EntropyStreamBuilder, StreamError};
+use crate::shard::HealthConfig;
+
+/// The merged sharded source — tier 0 of the pipeline. (A vocabulary
+/// alias: the engine type predates the pipeline.)
+pub type RawStream = EntropyStream;
+
+/// Raw bytes pulled from the engine per conditioning refill. The
+/// conditioned stream is a pure function of the raw stream, so this is
+/// a latency/amortisation knob only, invisible in the output.
+const PULL_BYTES: usize = 4096;
+
+/// Quality tier of a pipeline output stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The merged health-gated source stream, full rate.
+    Raw,
+    /// Conditioner output (rate divided by the compression ratio).
+    Conditioned,
+    /// DRBG output keyed from the conditioned stream.
+    Drbg,
+}
+
+/// Which conditioner the pipeline's conditioning stage runs.
+///
+/// A closed enum (rather than a user-supplied trait object) so the
+/// builder stays `Clone` and the choice is recordable in reports; the
+/// core [`Conditioned`](dhtrng_core::conditioning::Conditioned) adaptor
+/// accepts arbitrary [`Conditioner`] implementations for custom stacks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConditionerSpec {
+    /// Von Neumann debiasing (expected 4:1 on an unbiased source).
+    VonNeumann,
+    /// XOR of `factor` raw bits per output bit.
+    XorFold(
+        /// The fold factor (raw bits per output bit, `>= 1`).
+        u32,
+    ),
+    /// CRC-16 whitener emitting one bit per `ratio` raw bits.
+    Crc {
+        /// Raw bits per output bit (`>= 1`).
+        ratio: u32,
+    },
+}
+
+impl Default for ConditionerSpec {
+    /// The pipeline default: 2:1 CRC conditioning.
+    fn default() -> Self {
+        Self::Crc { ratio: 2 }
+    }
+}
+
+impl ConditionerSpec {
+    /// Expected raw bits per conditioned bit for this choice, as
+    /// declared by the machine itself (single source of truth).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero fold factor or compression ratio.
+    pub fn expected_ratio(&self) -> f64 {
+        self.build().expected_ratio()
+    }
+
+    /// Instantiates the chosen machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero fold factor or compression ratio.
+    fn build(&self) -> Box<dyn Conditioner + Send> {
+        match *self {
+            Self::VonNeumann => Box::new(VonNeumannConditioner::new()),
+            Self::XorFold(factor) => Box::new(XorFold::new(factor)),
+            Self::Crc { ratio } => Box::new(CrcWhitener::new(ratio)),
+        }
+    }
+}
+
+/// Configures all three tiers behind one API; finish with
+/// [`build_raw`](Self::build_raw) /
+/// [`build_conditioned`](Self::build_conditioned) /
+/// [`build_drbg`](Self::build_drbg) for a typed stage, or
+/// [`build`](Self::build) for the tier-erased [`TierStream`].
+///
+/// Engine knobs (shards, seeds, chunking, health cutoffs) delegate to
+/// [`EntropyStreamBuilder`]; the conditioning and DRBG stages add
+/// [`conditioner`](Self::conditioner) and
+/// [`drbg_config`](Self::drbg_config).
+#[derive(Debug, Clone, Default)]
+pub struct PipelineBuilder {
+    stream: EntropyStreamBuilder,
+    conditioner: ConditionerSpec,
+    drbg: DrbgConfig,
+}
+
+impl PipelineBuilder {
+    /// Starts from the engine and stage defaults (4 shards, 64 KiB
+    /// chunks, 2:1 CRC conditioning, 1 Mbit DRBG reseed interval).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of parallel DH-TRNG instances (1..=64).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.stream = self.stream.shards(shards);
+        self
+    }
+
+    /// Master seed for the shard seed schedule.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.stream = self.stream.seed(seed);
+        self
+    }
+
+    /// Explicit per-shard seed schedule (length must equal the shard
+    /// count at build time).
+    #[must_use]
+    pub fn shard_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.stream = self.stream.shard_seeds(seeds);
+        self
+    }
+
+    /// Base instance configuration for every shard.
+    #[must_use]
+    pub fn config(mut self, config: DhTrngConfig) -> Self {
+        self.stream = self.stream.config(config);
+        self
+    }
+
+    /// Bytes per produced chunk (the engine's merge granularity).
+    #[must_use]
+    pub fn chunk_bytes(mut self, bytes: usize) -> Self {
+        self.stream = self.stream.chunk_bytes(bytes);
+        self
+    }
+
+    /// Chunks buffered per shard before its worker blocks.
+    #[must_use]
+    pub fn queue_chunks(mut self, chunks: usize) -> Self {
+        self.stream = self.stream.queue_chunks(chunks);
+        self
+    }
+
+    /// Health-test cutoffs applied per shard.
+    #[must_use]
+    pub fn health(mut self, health: HealthConfig) -> Self {
+        self.stream = self.stream.health(health);
+        self
+    }
+
+    /// Consecutive restarts a shard may burn on one chunk before it
+    /// retires.
+    #[must_use]
+    pub fn max_consecutive_restarts(mut self, restarts: u32) -> Self {
+        self.stream = self.stream.max_consecutive_restarts(restarts);
+        self
+    }
+
+    /// Conditioner for the conditioned and drbg tiers.
+    #[must_use]
+    pub fn conditioner(mut self, spec: ConditionerSpec) -> Self {
+        self.conditioner = spec;
+        self
+    }
+
+    /// DRBG policy (reseed interval, seed width, prediction
+    /// resistance) for the drbg tier.
+    #[must_use]
+    pub fn drbg_config(mut self, config: DrbgConfig) -> Self {
+        self.drbg = config;
+        self
+    }
+
+    /// Builds the raw tier: the sharded engine itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid engine configuration (see
+    /// [`EntropyStreamBuilder::build`]).
+    pub fn build_raw(self) -> RawStream {
+        self.stream.build()
+    }
+
+    /// Builds the conditioned tier.
+    ///
+    /// # Panics
+    ///
+    /// As [`build_raw`](Self::build_raw), plus on a zero conditioner
+    /// ratio/factor.
+    pub fn build_conditioned(self) -> ConditionedStream {
+        ConditionedStream {
+            conditioner: self.conditioner.build(),
+            spec: self.conditioner,
+            raw: self.stream.build(),
+            ready: VecDeque::new(),
+            acc: 0,
+            acc_len: 0,
+            consumed_bits: 0,
+            emitted_bits: 0,
+            bytes_delivered: 0,
+        }
+    }
+
+    /// Builds the drbg tier (DRBG instantiation is lazy: the first
+    /// [`read`](DrbgPool::read) harvests the instantiate material, so
+    /// building never blocks on the source).
+    ///
+    /// # Panics
+    ///
+    /// As [`build_conditioned`](Self::build_conditioned), plus on
+    /// `drbg_config.seed_bytes == 0`.
+    pub fn build_drbg(self) -> DrbgPool {
+        assert!(self.drbg.seed_bytes > 0, "seed_bytes must be positive");
+        let config = self.drbg;
+        DrbgPool {
+            conditioned: self.build_conditioned(),
+            config,
+            drbg: None,
+            block: [0u8; BLOCK_BYTES],
+            cursor: BLOCK_BYTES,
+            bytes_delivered: 0,
+        }
+    }
+
+    /// Builds the requested tier behind the tier-erased handle.
+    ///
+    /// # Panics
+    ///
+    /// As the typed builders for the chosen tier.
+    pub fn build(self, tier: Tier) -> TierStream {
+        match tier {
+            Tier::Raw => TierStream::Raw(self.build_raw()),
+            Tier::Conditioned => TierStream::Conditioned(self.build_conditioned()),
+            Tier::Drbg => TierStream::Drbg(self.build_drbg()),
+        }
+    }
+}
+
+/// The conditioned tier: the merged raw stream run bit-serially
+/// through the configured conditioner.
+///
+/// Like the raw tier, the output is a pure function of the shard seed
+/// schedule. Rate is the raw rate divided by the conditioner's
+/// compression ratio; [`measured_ratio`](Self::measured_ratio) tracks
+/// the realised cost (which exceeds the expected ratio for Von Neumann
+/// on a biased source).
+pub struct ConditionedStream {
+    raw: RawStream,
+    conditioner: Box<dyn Conditioner + Send>,
+    spec: ConditionerSpec,
+    /// Conditioned bytes ready to serve.
+    ready: VecDeque<u8>,
+    /// Partial output byte under construction (MSB first).
+    acc: u8,
+    acc_len: u32,
+    consumed_bits: u64,
+    emitted_bits: u64,
+    bytes_delivered: u64,
+}
+
+impl std::fmt::Debug for ConditionedStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConditionedStream")
+            .field("spec", &self.spec)
+            .field("consumed_bits", &self.consumed_bits)
+            .field("emitted_bits", &self.emitted_bits)
+            .field("bytes_delivered", &self.bytes_delivered)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ConditionedStream {
+    /// Fills `out` with conditioned bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the raw stream's terminal [`StreamError`]. A failed
+    /// read consumes nothing: conditioned bytes already copied into
+    /// `out` are pushed back onto the internal buffer, so a consumer
+    /// that retries with smaller reads still sees every healthy byte
+    /// exactly once before the error surfaces for good.
+    pub fn read(&mut self, out: &mut [u8]) -> Result<(), StreamError> {
+        for i in 0..out.len() {
+            while self.ready.is_empty() {
+                if let Err(e) = self.refill() {
+                    // Roll back: healthy bytes already written go back
+                    // to the queue front, in order, unconsumed.
+                    for &byte in out[..i].iter().rev() {
+                        self.ready.push_front(byte);
+                    }
+                    self.bytes_delivered -= i as u64;
+                    return Err(e);
+                }
+            }
+            out[i] = self.ready.pop_front().expect("refill produced a byte");
+            self.bytes_delivered += 1;
+        }
+        Ok(())
+    }
+
+    /// Pulls one raw block through the conditioner.
+    fn refill(&mut self) -> Result<(), StreamError> {
+        let mut raw = [0u8; PULL_BYTES];
+        self.raw.read(&mut raw)?;
+        for byte in raw {
+            for i in (0..8).rev() {
+                self.consumed_bits += 1;
+                if let Some(bit) = self.conditioner.push((byte >> i) & 1 == 1) {
+                    self.emitted_bits += 1;
+                    self.acc = (self.acc << 1) | u8::from(bit);
+                    self.acc_len += 1;
+                    if self.acc_len == 8 {
+                        self.ready.push_back(self.acc);
+                        self.acc = 0;
+                        self.acc_len = 0;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The conditioner choice this stage runs.
+    pub fn spec(&self) -> ConditionerSpec {
+        self.spec
+    }
+
+    /// Raw bits fed to the conditioner so far.
+    pub fn consumed_bits(&self) -> u64 {
+        self.consumed_bits
+    }
+
+    /// Conditioned bits emitted so far.
+    pub fn emitted_bits(&self) -> u64 {
+        self.emitted_bits
+    }
+
+    /// Measured raw-bits-per-output-bit (infinite before the first
+    /// emission).
+    pub fn measured_ratio(&self) -> f64 {
+        if self.emitted_bits == 0 {
+            f64::INFINITY
+        } else {
+            self.consumed_bits as f64 / self.emitted_bits as f64
+        }
+    }
+
+    /// Conditioned bytes handed to consumers so far.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_delivered
+    }
+
+    /// Modeled sustained output rate: the engine's modeled hardware
+    /// throughput divided by the conditioner's expected ratio.
+    pub fn throughput_mbps(&self) -> f64 {
+        self.raw.throughput_mbps() / self.spec.expected_ratio()
+    }
+
+    /// The raw engine behind this stage (shards, restarts, placements).
+    pub fn raw(&self) -> &RawStream {
+        &self.raw
+    }
+}
+
+/// The drbg tier: a [`HashDrbg`] keyed (and re-keyed per policy) from
+/// the conditioned stream — the full SP 800-90C chain as one handle.
+///
+/// Instantiation is lazy: the first [`read`](Self::read) harvests the
+/// instantiate material through the conditioner, so a dead source
+/// surfaces as the read's [`StreamError`] rather than a build panic.
+#[derive(Debug)]
+pub struct DrbgPool {
+    conditioned: ConditionedStream,
+    config: DrbgConfig,
+    drbg: Option<HashDrbg>,
+    block: [u8; BLOCK_BYTES],
+    /// Byte cursor into `block`; `BLOCK_BYTES` means exhausted.
+    cursor: usize,
+    bytes_delivered: u64,
+}
+
+impl DrbgPool {
+    /// Fills `out` with DRBG output bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the raw stream's terminal [`StreamError`] when a seed
+    /// harvest (instantiate or reseed) hits a failed source. Between
+    /// reseeds, reads touch only DRBG state and cannot fail.
+    ///
+    /// On error the current output block is rewound by the bytes
+    /// already copied into `out` (up to the one block the pool holds),
+    /// so a consumer reading at most [`BLOCK_BYTES`] per call sees
+    /// every generated byte exactly once across retries — the same
+    /// contract as [`ConditionedStream::read`]. Bytes from blocks
+    /// completed earlier within one oversized failed read cannot be
+    /// rewound and are lost with the failed call.
+    pub fn read(&mut self, out: &mut [u8]) -> Result<(), StreamError> {
+        let mut written = 0;
+        while written < out.len() {
+            if self.cursor == BLOCK_BYTES {
+                if let Err(e) = self.refill() {
+                    // Roll back what the current block can restore: its
+                    // tail is exactly the last bytes copied out (refill
+                    // fails before `generate`, so the block is intact).
+                    let rewind = written.min(BLOCK_BYTES);
+                    self.cursor -= rewind;
+                    self.bytes_delivered -= rewind as u64;
+                    return Err(e);
+                }
+            }
+            let take = (out.len() - written).min(BLOCK_BYTES - self.cursor);
+            out[written..written + take]
+                .copy_from_slice(&self.block[self.cursor..self.cursor + take]);
+            self.cursor += take;
+            written += take;
+            self.bytes_delivered += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Produces the next output block, harvesting seed material first
+    /// when the policy requires it. The material buffer is allocated
+    /// only at instantiate/reseed boundaries — between reseeds a refill
+    /// touches DRBG state alone (at the default interval that is 2047
+    /// of every 2048 refills).
+    fn refill(&mut self) -> Result<(), StreamError> {
+        if self.drbg.is_none() {
+            let mut material = vec![0u8; self.config.seed_bytes];
+            self.conditioned.read(&mut material)?;
+            self.drbg = Some(HashDrbg::instantiate(&material, self.config));
+        }
+        let drbg = self.drbg.as_mut().expect("instantiated above");
+        if drbg.needs_reseed() {
+            let mut material = vec![0u8; self.config.seed_bytes];
+            self.conditioned.read(&mut material)?;
+            drbg.reseed(&material);
+        }
+        drbg.generate(&mut self.block)
+            .expect("reseed just satisfied the interval");
+        self.cursor = 0;
+        Ok(())
+    }
+
+    /// Reseeds performed so far (the lazy instantiation not counted).
+    pub fn reseeds(&self) -> u64 {
+        self.drbg.as_ref().map_or(0, HashDrbg::reseeds)
+    }
+
+    /// DRBG bytes handed to consumers so far.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_delivered
+    }
+
+    /// The DRBG policy in force.
+    pub fn config(&self) -> &DrbgConfig {
+        &self.config
+    }
+
+    /// Modeled sustained output rate: the conditioned tier's modeled
+    /// rate times the policy's expansion factor (output bits per
+    /// harvested seed bit). The realised software rate is CPU-bound and
+    /// reported by `bench_report` instead.
+    pub fn throughput_mbps(&self) -> f64 {
+        self.conditioned.throughput_mbps() * self.config.expansion_factor()
+    }
+
+    /// The conditioning stage feeding this pool.
+    pub fn conditioned(&self) -> &ConditionedStream {
+        &self.conditioned
+    }
+
+    /// Always [`Tier::Drbg`] (mirrors [`TierStream::tier`] for generic
+    /// reporting code).
+    pub fn tier(&self) -> Tier {
+        Tier::Drbg
+    }
+}
+
+/// A pipeline output stream of any tier — what
+/// [`PipelineBuilder::build`] returns and the facade's `PipelineRng`
+/// wraps.
+#[derive(Debug)]
+pub enum TierStream {
+    /// The raw tier.
+    Raw(RawStream),
+    /// The conditioned tier.
+    Conditioned(ConditionedStream),
+    /// The drbg tier.
+    Drbg(DrbgPool),
+}
+
+impl TierStream {
+    /// Starts configuring a pipeline.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::new()
+    }
+
+    /// Which tier this stream serves.
+    pub fn tier(&self) -> Tier {
+        match self {
+            Self::Raw(_) => Tier::Raw,
+            Self::Conditioned(_) => Tier::Conditioned,
+            Self::Drbg(_) => Tier::Drbg,
+        }
+    }
+
+    /// Fills `out` from this tier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's terminal [`StreamError`] (every tier
+    /// surfaces the same typed failure).
+    pub fn read(&mut self, out: &mut [u8]) -> Result<(), StreamError> {
+        match self {
+            Self::Raw(stream) => stream.read(out),
+            Self::Conditioned(stream) => stream.read(out),
+            Self::Drbg(pool) => pool.read(out),
+        }
+    }
+
+    /// Modeled sustained throughput of this tier (see the per-tier
+    /// docs for what each models).
+    pub fn throughput_mbps(&self) -> f64 {
+        match self {
+            Self::Raw(stream) => stream.throughput_mbps(),
+            Self::Conditioned(stream) => stream.throughput_mbps(),
+            Self::Drbg(pool) => pool.throughput_mbps(),
+        }
+    }
+
+    /// The raw engine at the bottom of this tier.
+    pub fn raw(&self) -> &RawStream {
+        match self {
+            Self::Raw(stream) => stream,
+            Self::Conditioned(stream) => stream.raw(),
+            Self::Drbg(pool) => pool.conditioned().raw(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhtrng_core::conditioning::Conditioned;
+    use dhtrng_core::{DhTrng, Trng};
+
+    fn builder(seed: u64) -> PipelineBuilder {
+        PipelineBuilder::new()
+            .shards(2)
+            .seed(seed)
+            .chunk_bytes(1024)
+    }
+
+    #[test]
+    fn conditioned_tier_matches_core_adaptor_over_the_merged_stream() {
+        // The stream-level conditioning stage must produce exactly what
+        // the core `Conditioned` adaptor produces over the same merged
+        // raw bytes: one conditioning implementation, two mounts.
+        let mut tier = builder(5)
+            .conditioner(ConditionerSpec::Crc { ratio: 2 })
+            .build_conditioned();
+        let mut got = vec![0u8; 2048];
+        tier.read(&mut got).expect("healthy");
+
+        // Reference: raw merged stream through the same machine.
+        let mut raw = builder(5).build_raw();
+        let mut raw_bytes = vec![0u8; 8192];
+        raw.read(&mut raw_bytes).expect("healthy");
+        let mut cond = CrcWhitener::new(2);
+        let mut reference = Vec::new();
+        let mut acc = 0u8;
+        let mut acc_len = 0;
+        'outer: for byte in raw_bytes {
+            for i in (0..8).rev() {
+                if let Some(bit) = cond.push((byte >> i) & 1 == 1) {
+                    acc = (acc << 1) | u8::from(bit);
+                    acc_len += 1;
+                    if acc_len == 8 {
+                        reference.push(acc);
+                        acc = 0;
+                        acc_len = 0;
+                        if reference.len() == got.len() {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(got, reference);
+        assert_eq!(tier.measured_ratio(), 2.0);
+    }
+
+    #[test]
+    fn drbg_tier_is_deterministic_and_reseeds_on_interval() {
+        let config = DrbgConfig {
+            reseed_interval_bits: 2048,
+            seed_bytes: 16,
+            prediction_resistance: false,
+        };
+        let make = || builder(7).drbg_config(config).build_drbg();
+        let mut a = make();
+        let mut buf_a = vec![0u8; 2048];
+        a.read(&mut buf_a).expect("healthy");
+        // 16384 bits over 2048-bit intervals: 8 intervals, 7 reseeds.
+        assert_eq!(a.reseeds(), 7);
+        let mut b = make();
+        let mut buf_b = vec![0u8; 2048];
+        b.read(&mut buf_b).expect("healthy");
+        assert_eq!(buf_a, buf_b, "same schedule, same DRBG stream");
+        let mut c = builder(8).drbg_config(config).build_drbg();
+        let mut buf_c = vec![0u8; 2048];
+        c.read(&mut buf_c).expect("healthy");
+        assert_ne!(buf_a, buf_c, "different master seed, different stream");
+    }
+
+    #[test]
+    fn tier_streams_are_balanced() {
+        for tier in [Tier::Raw, Tier::Conditioned, Tier::Drbg] {
+            let mut stream = builder(3).build(tier);
+            assert_eq!(stream.tier(), tier);
+            let mut buf = vec![0u8; 1 << 16];
+            stream.read(&mut buf).expect("healthy");
+            let ones: u64 = buf.iter().map(|b| u64::from(b.count_ones())).sum();
+            let frac = ones as f64 / (buf.len() as f64 * 8.0);
+            assert!((frac - 0.5).abs() < 0.01, "{tier:?}: ones fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn modeled_throughput_ladder_matches_the_policy_math() {
+        let raw = builder(1).build_raw();
+        let conditioned = builder(1)
+            .conditioner(ConditionerSpec::XorFold(4))
+            .build_conditioned();
+        assert!(
+            (conditioned.throughput_mbps() - raw.throughput_mbps() / 4.0).abs() < 1e-9,
+            "conditioned rate = raw / ratio"
+        );
+        let pool = builder(1).build_drbg();
+        let expected = pool.conditioned().throughput_mbps() * pool.config().expansion_factor();
+        assert!((pool.throughput_mbps() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shard_failure_surfaces_through_every_tier() {
+        for tier in [Tier::Raw, Tier::Conditioned, Tier::Drbg] {
+            let mut stream = PipelineBuilder::new()
+                .shards(2)
+                .seed(1)
+                .chunk_bytes(256)
+                .health(HealthConfig {
+                    rct_cutoff: 2,
+                    apt_window: 64,
+                    apt_cutoff: 64,
+                })
+                .max_consecutive_restarts(2)
+                .build(tier);
+            let mut buf = [0u8; 64];
+            let err = stream.read(&mut buf).unwrap_err();
+            assert!(
+                matches!(err, StreamError::ShardFailed { shard: 0, .. }),
+                "{tier:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn core_and_stream_drbg_share_one_state_machine() {
+        // A DrbgPool over a 1-shard raw stream and a core Drbg over the
+        // equivalent Conditioned<DhTrng> walk the same seed material,
+        // hence the same output stream.
+        let config = DrbgConfig {
+            reseed_interval_bits: 1024,
+            seed_bytes: 8,
+            prediction_resistance: false,
+        };
+        let mut pool = PipelineBuilder::new()
+            .shards(1)
+            .shard_seeds(vec![42])
+            .chunk_bytes(1024)
+            .conditioner(ConditionerSpec::Crc { ratio: 2 })
+            .drbg_config(config)
+            .build_drbg();
+        let mut pool_bytes = vec![0u8; 512];
+        pool.read(&mut pool_bytes).expect("healthy");
+
+        let source = Conditioned::new(DhTrng::builder().seed(42).build(), CrcWhitener::new(2));
+        let mut adaptor = dhtrng_core::drbg::Drbg::new(source, config);
+        let mut adaptor_bytes = vec![0u8; 512];
+        Trng::fill_bytes(&mut adaptor, &mut adaptor_bytes);
+        assert_eq!(pool_bytes, adaptor_bytes);
+    }
+
+    #[test]
+    fn conditioned_read_rolls_back_on_error() {
+        // A failed read must consume nothing: buffered healthy bytes
+        // stay queued and are still drainable exactly once by smaller
+        // retries.
+        let mut tier = PipelineBuilder::new()
+            .shards(1)
+            .seed(1)
+            .chunk_bytes(256)
+            .health(HealthConfig {
+                rct_cutoff: 2,
+                apt_window: 64,
+                apt_cutoff: 64,
+            })
+            .max_consecutive_restarts(1)
+            .build_conditioned();
+        // Simulate healthy bytes buffered before the source died.
+        tier.ready.extend([0xAA, 0xBB, 0xCC]);
+        let mut big = [0u8; 16];
+        assert!(tier.read(&mut big).is_err());
+        assert_eq!(tier.ready.len(), 3, "rolled back, nothing consumed");
+        assert_eq!(tier.bytes_delivered(), 0);
+        // Smaller reads drain the healthy bytes exactly once...
+        let mut small = [0u8; 3];
+        tier.read(&mut small).expect("served from the buffer");
+        assert_eq!(small, [0xAA, 0xBB, 0xCC]);
+        assert_eq!(tier.bytes_delivered(), 3);
+        // ...after which the terminal error surfaces for good.
+        assert!(tier.read(&mut small).is_err());
+        assert_eq!(tier.bytes_delivered(), 3);
+    }
+
+    #[test]
+    fn drbg_pool_read_rewinds_current_block_on_error() {
+        // Mirror of the conditioned rollback contract at DRBG block
+        // granularity: a failed oversized read rewinds the current
+        // block, so block-sized retries see its bytes exactly once.
+        let config = DrbgConfig {
+            reseed_interval_bits: 512, // one block per reseed
+            seed_bytes: 8,
+            prediction_resistance: false,
+        };
+        let doomed = PipelineBuilder::new()
+            .shards(1)
+            .seed(1)
+            .chunk_bytes(256)
+            .health(HealthConfig {
+                rct_cutoff: 2,
+                apt_window: 64,
+                apt_cutoff: 64,
+            })
+            .max_consecutive_restarts(1)
+            .build_conditioned();
+        let mut drbg = HashDrbg::instantiate(&[1, 2, 3, 4, 5, 6, 7, 8], config);
+        let mut block = [0u8; BLOCK_BYTES];
+        drbg.generate(&mut block).expect("fresh interval");
+        let mut pool = DrbgPool {
+            conditioned: doomed,
+            config,
+            drbg: Some(drbg),
+            block,
+            cursor: 0,
+            bytes_delivered: 0,
+        };
+        // Oversized read: the block serves 64 bytes, then the reseed
+        // harvest hits the dead source.
+        let mut out = [0u8; 100];
+        assert!(pool.read(&mut out).is_err());
+        assert_eq!(pool.bytes_delivered(), 0, "block rewound, nothing consumed");
+        // A block-sized retry drains those bytes exactly once...
+        let mut small = [0u8; 64];
+        pool.read(&mut small)
+            .expect("served from the rewound block");
+        assert_eq!(small[..], out[..64]);
+        assert_eq!(pool.bytes_delivered(), 64);
+        // ...then the terminal error surfaces for good.
+        assert!(pool.read(&mut [0u8; 1]).is_err());
+        assert_eq!(pool.bytes_delivered(), 64);
+    }
+}

@@ -1,6 +1,7 @@
 //! Streaming: serve entropy from four parallel DH-TRNG shards through
 //! the `rand`-compatible adapter — the paper's multi-instance
-//! deployment as a consumer API.
+//! deployment as a consumer API — and handle a terminal shard failure
+//! gracefully instead of unwrapping.
 //!
 //! Run with: `cargo run --release --example streaming`
 
@@ -36,10 +37,16 @@ fn main() {
         );
     }
 
-    // Fill 1 MiB through the rand::RngCore adapter.
+    // Fill 1 MiB through the rand::RngCore adapter. A production
+    // consumer uses the fallible path: a stream whose shards keep
+    // failing health tests retires with a typed error instead of
+    // silently serving suspect bits — handle it, don't unwrap it.
     let start = std::time::Instant::now();
     let mut payload = vec![0u8; PAYLOAD];
-    rng.fill_bytes(&mut payload);
+    if let Err(e) = rng.try_fill_bytes(&mut payload) {
+        eprintln!("entropy stream failed terminally: {e}");
+        std::process::exit(1);
+    }
     let elapsed = start.elapsed().as_secs_f64();
     println!(
         "\n  filled {} KiB in {:.1} ms ({:.1} simulated Mbps)",
@@ -64,4 +71,46 @@ fn main() {
     );
     // 1 MiB payload + the 8 bytes behind the die roll's u64 draw.
     assert_eq!(rng.stream().bytes_delivered(), PAYLOAD as u64 + 8);
+
+    // --- Graceful degradation under shard failure -------------------
+    //
+    // Force the failure path: health cutoffs no real source can
+    // satisfy (a repetition-count cutoff of 2 trips on any repeated
+    // bit) retire shard 0 after its restart budget. The consumer sees
+    // a typed `StreamError::ShardFailed` — at any pipeline tier — and
+    // can fail over instead of panicking.
+    println!("\nInduced shard failure (impossible health cutoffs):");
+    let mut doomed = PipelineBuilder::new()
+        .shards(2)
+        .seed(0x5eed)
+        .chunk_bytes(4 * 1024)
+        .health(HealthConfig {
+            rct_cutoff: 2,
+            apt_window: 64,
+            apt_cutoff: 64,
+        })
+        .max_consecutive_restarts(2)
+        .build(Tier::Drbg);
+    let mut key = [0u8; 32];
+    match doomed.read(&mut key) {
+        Ok(()) => unreachable!("cutoffs above cannot be satisfied"),
+        Err(StreamError::ShardFailed {
+            shard,
+            consecutive_restarts,
+        }) => {
+            println!(
+                "  shard {shard} retired after {consecutive_restarts} consecutive restarts \
+                 — failing over to the healthy deployment"
+            );
+            // Graceful recovery: serve the request from the healthy
+            // stream instead of crashing the service.
+            rng.try_fill_bytes(&mut key)
+                .expect("healthy deployment still serves");
+            println!("  fail-over key head: {:02x}{:02x}..", key[0], key[1]);
+        }
+        Err(e) => {
+            eprintln!("  unexpected stream error: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -5,15 +5,16 @@
 //! write `use dh_trng::prelude::*;` and reach every layer:
 //!
 //! * [`core`] — the DH-TRNG architecture itself
-//!   ([`DhTrng`](dhtrng_core::DhTrng));
+//!   ([`DhTrng`](dhtrng_core::DhTrng)), plus the SP 800-90C output
+//!   stages (health tests, composable conditioning, the DRBG);
 //! * [`noise`] — the stochastic substrate (jitter, metastability, PVT);
 //! * [`sim`] — the event-driven gate-level simulator;
 //! * [`fpga`] — device, packing, placement, timing and power models;
 //! * [`baselines`] — the Table 6 comparison architectures;
 //! * [`stattests`] — NIST SP 800-22 / SP 800-90B / AIS-31 batteries;
-//! * [`stream`] — the sharded streaming engine (parallel instances
-//!   merged into one entropy stream), wrapped here by the
-//!   `rand`-compatible [`StreamRng`] adapter.
+//! * [`stream`] — the sharded streaming engine and the typed output
+//!   pipeline (raw / conditioned / drbg tiers), wrapped here by the
+//!   `rand`-compatible [`StreamRng`] and [`PipelineRng`] adapters.
 //!
 //! # Quickstart
 //!
@@ -30,10 +31,29 @@
 //! assert!(h > 0.98, "h = {h}");
 //! ```
 //!
+//! # Quality tiers
+//!
+//! A production deployment picks one of three output tiers from the
+//! same builder — raw source bits, conditioned bits, or DRBG output
+//! (see `README.md` § "Which tier do I want?"):
+//!
+//! ```
+//! use dh_trng::prelude::*;
+//!
+//! let mut rng = PipelineRng::builder()
+//!     .shards(2)
+//!     .seed(1)
+//!     .chunk_bytes(2048)
+//!     .build(Tier::Drbg);
+//! let mut key = [0u8; 32];
+//! rand::RngCore::fill_bytes(&mut rng, &mut key);
+//! assert_eq!(rng.stream().tier(), Tier::Drbg);
+//! ```
+//!
 //! See `README.md` for the repository tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction methodology and results.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub use dhtrng_baselines as baselines;
@@ -47,6 +67,10 @@ pub use dhtrng_stream as stream;
 /// The most commonly used items across the workspace.
 pub mod prelude {
     pub use dhtrng_baselines::{Architecture, RoXorTrng};
+    pub use dhtrng_core::conditioning::{
+        Conditioned, Conditioner, CrcWhitener, VonNeumannConditioner, XorFold,
+    };
+    pub use dhtrng_core::drbg::{Drbg, DrbgConfig, HashDrbg};
     pub use dhtrng_core::{
         DhTrng, DhTrngArray, DhTrngBuilder, HealthMonitor, HealthStatus, HybridUnitGroup, Trng,
     };
@@ -54,9 +78,12 @@ pub mod prelude {
     pub use dhtrng_noise::{NoiseRng, PvtCorner};
     pub use dhtrng_stattests::sp800_90b::{min_entropy_mcv, non_iid_battery};
     pub use dhtrng_stattests::BitBuffer;
-    pub use dhtrng_stream::{EntropyStream, EntropyStreamBuilder, StreamError};
+    pub use dhtrng_stream::{
+        ConditionedStream, ConditionerSpec, DrbgPool, EntropyStream, EntropyStreamBuilder,
+        HealthConfig, PipelineBuilder, StreamError, Tier, TierStream,
+    };
 
-    pub use crate::StreamRng;
+    pub use crate::{PipelineRng, StreamRng};
 }
 
 /// `rand`-compatible adapter over the sharded streaming engine: plugs a
@@ -67,6 +94,10 @@ pub mod prelude {
 /// Byte order matches the single-instance
 /// [`DhTrng`](dhtrng_core::DhTrng) `RngCore` impl: words are built from
 /// the stream MSB-first.
+///
+/// This adapter serves the **raw tier**; [`PipelineRng`] serves any
+/// tier of the conditioning/DRBG pipeline behind the same `RngCore`
+/// surface.
 ///
 /// # Panics
 ///
@@ -148,6 +179,178 @@ impl rand::RngCore for StreamRng {
     }
 }
 
+/// `rand`-compatible adapter over the typed output pipeline: one
+/// `RngCore` surface for all three quality tiers
+/// ([`Tier`](dhtrng_stream::Tier)) of a sharded DH-TRNG deployment —
+/// `raw` source bits, `conditioned` bits, or SP 800-90C-style `drbg`
+/// output.
+///
+/// Byte and word order match [`StreamRng`] (words built MSB-first from
+/// the tier's byte stream).
+///
+/// # Panics
+///
+/// As [`StreamRng`]: the infallible [`rand::RngCore`] methods panic if
+/// the underlying engine fails terminally (every tier propagates the
+/// same typed [`StreamError`](dhtrng_stream::StreamError)); use
+/// [`try_fill_bytes`](rand::RngCore::try_fill_bytes) for a
+/// non-panicking path.
+///
+/// # Example
+///
+/// ```
+/// use dh_trng::prelude::*;
+/// use rand::Rng;
+///
+/// let mut rng = PipelineRng::builder()
+///     .shards(2)
+///     .seed(7)
+///     .chunk_bytes(2048)
+///     .build(Tier::Conditioned);
+/// let die: u8 = rng.gen_range(1..=6);
+/// assert!((1..=6).contains(&die));
+/// ```
+#[derive(Debug)]
+pub struct PipelineRng {
+    stream: dhtrng_stream::TierStream,
+}
+
+impl PipelineRng {
+    /// Wraps an already-built tier stream.
+    pub fn new(stream: dhtrng_stream::TierStream) -> Self {
+        Self { stream }
+    }
+
+    /// Starts configuring a pipeline; finish with
+    /// [`PipelineBuilder::build`](dhtrng_stream::PipelineBuilder::build)
+    /// and wrap the result via [`new`](Self::new) — or use
+    /// [`with_tier`](Self::with_tier) for the defaults.
+    pub fn builder() -> PipelineRngBuilder {
+        PipelineRngBuilder {
+            inner: dhtrng_stream::PipelineBuilder::new(),
+        }
+    }
+
+    /// A `shards`-wide pipeline at the stage defaults, serving `tier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is outside `1..=64`.
+    pub fn with_tier(shards: usize, seed: u64, tier: dhtrng_stream::Tier) -> Self {
+        Self::new(
+            dhtrng_stream::PipelineBuilder::new()
+                .shards(shards)
+                .seed(seed)
+                .build(tier),
+        )
+    }
+
+    /// The tier stream behind the adapter (tier, modeled throughput,
+    /// stage statistics, the raw engine).
+    pub fn stream(&self) -> &dhtrng_stream::TierStream {
+        &self.stream
+    }
+
+    /// Unwraps the adapter.
+    pub fn into_inner(self) -> dhtrng_stream::TierStream {
+        self.stream
+    }
+}
+
+/// Builder returned by [`PipelineRng::builder`]: the pipeline builder
+/// with a [`build`](Self::build) that wraps the chosen tier in the
+/// `rand` adapter directly.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineRngBuilder {
+    inner: dhtrng_stream::PipelineBuilder,
+}
+
+impl PipelineRngBuilder {
+    /// Number of parallel DH-TRNG instances (1..=64).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.inner = self.inner.shards(shards);
+        self
+    }
+
+    /// Master seed for the shard seed schedule.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner = self.inner.seed(seed);
+        self
+    }
+
+    /// Bytes per produced chunk (the engine's merge granularity).
+    #[must_use]
+    pub fn chunk_bytes(mut self, bytes: usize) -> Self {
+        self.inner = self.inner.chunk_bytes(bytes);
+        self
+    }
+
+    /// Conditioner for the conditioned and drbg tiers.
+    #[must_use]
+    pub fn conditioner(mut self, spec: dhtrng_stream::ConditionerSpec) -> Self {
+        self.inner = self.inner.conditioner(spec);
+        self
+    }
+
+    /// DRBG policy for the drbg tier.
+    #[must_use]
+    pub fn drbg_config(mut self, config: dhtrng_core::drbg::DrbgConfig) -> Self {
+        self.inner = self.inner.drbg_config(config);
+        self
+    }
+
+    /// Every other engine knob (shard seed schedules, health cutoffs,
+    /// restart budgets, device config): the underlying
+    /// [`PipelineBuilder`](dhtrng_stream::PipelineBuilder).
+    #[must_use]
+    pub fn pipeline(self) -> dhtrng_stream::PipelineBuilder {
+        self.inner
+    }
+
+    /// Builds the chosen tier behind the `rand` adapter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration (see
+    /// [`PipelineBuilder::build`](dhtrng_stream::PipelineBuilder::build)).
+    pub fn build(self, tier: dhtrng_stream::Tier) -> PipelineRng {
+        PipelineRng::new(self.inner.build(tier))
+    }
+}
+
+impl rand::RngCore for PipelineRng {
+    fn next_u32(&mut self) -> u32 {
+        let mut bytes = [0u8; 4];
+        self.fill_bytes(&mut bytes);
+        u32::from_be_bytes(bytes)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut bytes = [0u8; 8];
+        self.fill_bytes(&mut bytes);
+        u64::from_be_bytes(bytes)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.stream
+            .read(dest)
+            .expect("entropy pipeline failed terminally");
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.stream.read(dest).map_err(rand::Error::new)
+    }
+}
+
+/// The README's code blocks, compiled and run as doctests so the
+/// quickstart can never drift from the real API (CI's doc job runs
+/// `cargo test --doc --workspace`).
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -195,5 +398,55 @@ mod tests {
             words.next_u32(),
             u32::from_be_bytes(bytes[8..].try_into().unwrap())
         );
+    }
+
+    #[test]
+    fn pipeline_rng_serves_all_three_tiers() {
+        use rand::{Rng, RngCore};
+        for tier in [Tier::Raw, Tier::Conditioned, Tier::Drbg] {
+            let mut rng = PipelineRng::builder()
+                .shards(2)
+                .seed(13)
+                .chunk_bytes(1024)
+                .build(tier);
+            assert_eq!(rng.stream().tier(), tier);
+            let mut key = [0u8; 32];
+            rng.fill_bytes(&mut key);
+            assert!(key.iter().any(|&b| b != 0), "{tier:?}");
+            let die: u8 = rng.gen_range(1..=6);
+            assert!((1..=6).contains(&die));
+        }
+    }
+
+    #[test]
+    fn pipeline_raw_tier_matches_stream_rng() {
+        use rand::RngCore;
+        let mut pipeline = PipelineRng::with_tier(2, 21, Tier::Raw);
+        let mut direct = StreamRng::with_shards(2, 21);
+        let mut a = [0u8; 64];
+        let mut b = [0u8; 64];
+        pipeline.fill_bytes(&mut a);
+        direct.fill_bytes(&mut b);
+        assert_eq!(a, b, "raw tier is the engine stream itself");
+    }
+
+    #[test]
+    fn pipeline_rng_surfaces_tier_errors_through_try_fill() {
+        use rand::RngCore;
+        let mut rng = PipelineRng::new(
+            PipelineBuilder::new()
+                .shards(1)
+                .seed(3)
+                .chunk_bytes(256)
+                .health(crate::stream::HealthConfig {
+                    rct_cutoff: 2,
+                    apt_window: 64,
+                    apt_cutoff: 64,
+                })
+                .max_consecutive_restarts(2)
+                .build(Tier::Drbg),
+        );
+        let mut buf = [0u8; 16];
+        assert!(rng.try_fill_bytes(&mut buf).is_err());
     }
 }

@@ -12,6 +12,22 @@ fn stream(seed: u64, nbits: usize) -> BitBuffer {
     (0..nbits).map(|_| trng.next_bit()).collect()
 }
 
+/// `nbits` of drbg-tier output from the full sharded pipeline
+/// (source → health tests → conditioner → DRBG) at master seed `seed`.
+fn drbg_tier_stream(seed: u64, nbits: usize) -> BitBuffer {
+    let mut pool = PipelineBuilder::new()
+        .shards(2)
+        .seed(seed)
+        .chunk_bytes(4096)
+        .build_drbg();
+    let mut bytes = vec![0u8; nbits / 8];
+    pool.read(&mut bytes).expect("healthy pipeline");
+    bytes
+        .iter()
+        .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
+        .collect()
+}
+
 #[test]
 fn sp800_22_core_tests_pass_on_multiple_sequences() {
     // Fixed seeds make this deterministic; the base is chosen so the
@@ -39,6 +55,41 @@ fn sp800_22_core_tests_pass_on_multiple_sequences() {
         // noisier than the suite itself (one expected failure per ~12
         // test-sequences at alpha = 0.01), so allow a single miss while
         // requiring cross-sequence uniformity.
+        assert!(
+            row.uniformity_p > 1e-4 && row.passed + 1 >= row.applicable,
+            "{}: P = {:.4}, prop {}",
+            row.test,
+            row.uniformity_p,
+            row.proportion()
+        );
+    }
+}
+
+#[test]
+fn sp800_22_core_tests_pass_on_drbg_tier_output() {
+    // The pipeline-level acceptance run: the same seed bases and test
+    // subset as the raw-path run above, but on the full SP 800-90C
+    // chain's drbg tier — the stream a production consumer would see.
+    // Whatever the conditioning/DRBG stages do, they must not introduce
+    // structure the battery can detect.
+    let seqs: Vec<BitBuffer> = (0..8).map(|i| drbg_tier_stream(300 + i, 1 << 19)).collect();
+    let quick = [
+        TestId::Frequency,
+        TestId::BlockFrequency,
+        TestId::CumulativeSums,
+        TestId::Runs,
+        TestId::LongestRun,
+        TestId::Rank,
+        TestId::Fft,
+        TestId::OverlappingTemplate,
+        TestId::ApproximateEntropy,
+        TestId::Serial,
+        TestId::LinearComplexity,
+    ];
+    let report = run_suite_subset(&seqs, &quick);
+    for row in &report.rows {
+        // Same acceptance shape as the raw-path run: cross-sequence
+        // uniformity plus at most one proportion miss per test.
         assert!(
             row.uniformity_p > 1e-4 && row.passed + 1 >= row.applicable,
             "{}: P = {:.4}, prop {}",
