@@ -146,4 +146,21 @@ mod tests {
     fn invalid_p_rand_panics() {
         let _ = BehaviouralSource::new(1.5, 0.0, &[1.0], 1.0, 1);
     }
+
+    #[test]
+    fn baselines_are_block_sources() {
+        // Every baseline is a stage-graph source through the blanket
+        // `BlockSource` impl, walking exactly the batched byte stream —
+        // what lets the streaming executor shard any of them.
+        use dhtrng_core::kernel::{BitBlock, BlockSource};
+        let mut reference = BehaviouralSource::new(0.7, 1e-4, &[2.9, 4.4], 1.6, 7);
+        let mut expect = vec![0u8; 64];
+        Trng::fill_bytes(&mut reference, &mut expect);
+
+        let mut source = BehaviouralSource::new(0.7, 1e-4, &[2.9, 4.4], 1.6, 7);
+        let mut buf = vec![0u8; 64];
+        let mut block = BitBlock::empty(&mut buf);
+        source.fill_block(&mut block);
+        assert_eq!(block.as_bytes(), &expect[..]);
+    }
 }

@@ -7,7 +7,7 @@
 //! Wall-clock scaling across shards depends on available cores (the
 //! modeled hardware throughput always scales linearly — one sampling
 //! clock per instance); `bench_report` records both views in
-//! `BENCH_3.json`, alongside the per-tier post-conditioning rates.
+//! `BENCH_4.json`, alongside the per-tier post-conditioning rates.
 
 use criterion::measurement::WallTime;
 use criterion::{

@@ -47,7 +47,7 @@ fn throughput_benches(c: &mut Criterion) {
     group.throughput(Throughput::Elements(BITS as u64));
 
     // Per-bit vs batched on the same generators: the ratio is the
-    // acceptance number `bench_report` tracks in BENCH_3.json.
+    // acceptance number `bench_report` tracks in BENCH_4.json.
     bench_generator(&mut group, "DH-TRNG", DhTrng::builder().seed(1).build());
     bench_batched(
         &mut group,

@@ -1,7 +1,7 @@
-//! Machine-readable performance report: `BENCH_3.json`.
+//! Machine-readable performance report: `BENCH_4.json`.
 //!
 //! Measures the throughput numbers this repository's CI tracks per-PR
-//! (see ISSUE 2 / ISSUE 4 and `DESIGN.md` §5–§6):
+//! (see ISSUE 2 / ISSUE 4 / ISSUE 5 and `DESIGN.md` §5–§7):
 //!
 //! 1. **batching speedup** — the batched `Trng::fill_bytes` fast path
 //!    against the per-bit `next_bit` path on the behavioural DH-TRNG
@@ -17,18 +17,66 @@
 //!    pipeline over the same 4-shard deployment, so the cost of the
 //!    conditioning stage and the expansion of the DRBG stage are
 //!    tracked alongside the raw numbers (TuRaN and QUAC-TRNG both
-//!    report throughput *after* conditioning — so do we).
+//!    report throughput *after* conditioning — so do we);
+//! 4. **allocation count** — heap allocations per steady-state
+//!    raw-tier chunk read, measured process-wide under a counting
+//!    global allocator. The stage-graph executor's recycled buffer
+//!    pool makes this exactly 0 (also pinned by `tests/zero_alloc.rs`);
+//!    any regression shows up here as a non-zero `allocs_per_read`.
 //!
 //! Usage: `bench_report [--quick] [--out PATH]` (default
-//! `BENCH_3.json` in the working directory; CI uploads it as a
-//! workflow artifact).
+//! `BENCH_4.json` in the working directory; CI uploads it as a
+//! workflow artifact and warns — non-fatally — when the batching
+//! speedup or the raw-tier simulated Mbps regress >20% against the
+//! committed snapshot).
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use dhtrng_bench::args;
 use dhtrng_core::drbg::DrbgConfig;
 use dhtrng_core::{DhTrng, Trng};
 use dhtrng_stream::{ConditionerSpec, EntropyStream, PipelineBuilder, Tier};
+
+/// `System`, plus a global count of allocation events (alloc,
+/// alloc_zeroed, and realloc all count; frees don't). Active for the
+/// whole binary; the one counter increment is noise next to the work
+/// the timed sections do.
+///
+/// Deliberately duplicated in `tests/zero_alloc.rs` (which pins the
+/// same invariant this binary reports): a `#[global_allocator]` must
+/// live in each final binary, and the shared crates forbid unsafe
+/// code. Keep the counting rules of the two copies in sync.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation verbatim to `System`; the counter
+// bump has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 /// Times `routine` adaptively: one warm-up call sizes a batch that runs
 /// for roughly `budget_s`, and the mean seconds per call is returned.
@@ -65,15 +113,43 @@ fn measure_tier(tier: Tier, read_bytes: usize, budget_s: f64) -> (f64, f64) {
     (read_bytes as f64 * 8.0 / seconds / 1e6, modeled)
 }
 
+/// Allocations per steady-state raw-tier chunk read (process-wide, so
+/// worker threads count too). The executor's recycled pool makes this
+/// exactly zero; see `DESIGN.md` §7.
+fn measure_steady_state_allocs(reads: usize) -> (f64, usize) {
+    let shards = 4;
+    let queue_chunks = 4;
+    let chunk = 64 * 1024;
+    let mut stream = EntropyStream::builder()
+        .shards(shards)
+        .seed(1)
+        .chunk_bytes(chunk)
+        .queue_chunks(queue_chunks)
+        .build();
+    let mut buf = vec![0u8; chunk];
+    // Prime the pool: cycle every buffer through the recycle loop.
+    for _ in 0..shards * (queue_chunks + 2) * 3 {
+        stream.read(&mut buf).expect("healthy stream");
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..reads {
+        stream.read(&mut buf).expect("healthy stream");
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    std::hint::black_box(buf[0]);
+    ((after - before) as f64 / reads as f64, reads)
+}
+
 fn main() {
     let quick = args::switch("--quick");
-    let out_path: String = args::flag("--out", "BENCH_3.json".to_string());
+    let out_path: String = args::flag("--out", "BENCH_4.json".to_string());
     let budget_s = if quick { 0.05 } else { 0.5 };
     let bits = if quick { 1 << 18 } else { 1 << 21 };
     let stream_bytes: usize = if quick { 1 << 18 } else { 1 << 22 };
     // The conditioned tier pays the compression ratio in wall-clock
     // too, so read a fraction of the raw volume per iteration.
     let tier_bytes: usize = if quick { 1 << 16 } else { 1 << 20 };
+    let alloc_reads: usize = if quick { 48 } else { 192 };
 
     // 1. Per-bit vs batched on the same generator/seed.
     let mut per_bit_trng = DhTrng::builder().seed(1).build();
@@ -132,6 +208,9 @@ fn main() {
     let (cond_sim, cond_model) = measure_tier(Tier::Conditioned, tier_bytes, budget_s);
     let (drbg_sim, drbg_model) = measure_tier(Tier::Drbg, tier_bytes, budget_s);
 
+    // 4. Steady-state allocation count on the raw-tier read path.
+    let (allocs_per_read, alloc_reads_measured) = measure_steady_state_allocs(alloc_reads);
+
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -139,7 +218,7 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "schema": "dhtrng-bench-report/3",
+  "schema": "dhtrng-bench-report/4",
   "quick": {quick},
   "host_cpus": {cpus},
   "batching": {{
@@ -169,9 +248,14 @@ fn main() {
     "conditioned_modeled_mbps": {cond_model:.3},
     "drbg_modeled_mbps": {drbg_model:.3}
   }},
+  "allocation": {{
+    "steady_state_reads_measured": {alloc_reads_measured},
+    "allocs_per_read": {allocs_per_read:.3},
+    "note": "process-wide heap allocations per steady-state raw-tier 64 KiB chunk read (workers included), after priming the recycled buffer pool. The stage-graph executor keeps this at exactly 0; tests/zero_alloc.rs pins the same invariant."
+  }},
   "paper_anchor": {{
     "per_instance_modeled_mbps": {anchor:.3},
-    "note": "modeled Mbps = sampling clock x 1 bit/cycle; the paper reports 620 (Artix-7) / 670 (Virtex-6) per instance and linear multi-instance scaling, which modeled_scaling reproduces exactly. Simulated Mbps measure how fast this software model runs on the host and bound experiment runtimes. Pipeline tiers report post-conditioning throughput: conditioned = raw / compression ratio, drbg = conditioned x expansion factor (see DESIGN.md section 6)."
+    "note": "modeled Mbps = sampling clock x 1 bit/cycle; the paper reports 620 (Artix-7) / 670 (Virtex-6) per instance and linear multi-instance scaling, which modeled_scaling reproduces exactly. Simulated Mbps measure how fast this software model runs on the host and bound experiment runtimes. Pipeline tiers report post-conditioning throughput: conditioned = raw / compression ratio, drbg = conditioned x expansion factor (see DESIGN.md sections 6-7)."
   }}
 }}
 "#,
@@ -197,11 +281,13 @@ fn main() {
         raw_model = raw_model,
         cond_model = cond_model,
         drbg_model = drbg_model,
+        alloc_reads_measured = alloc_reads_measured,
+        allocs_per_read = allocs_per_read,
         anchor = single.throughput_mbps(),
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     print!("{json}");
     eprintln!(
-        "wrote {out_path} (batch speedup {batch_speedup:.2}x, modeled scaling {modeled_scaling:.2}x, wall-clock scaling {wallclock_scaling:.2}x on {cpus} cpu(s); tiers raw/conditioned/drbg = {raw_sim:.0}/{cond_sim:.0}/{drbg_sim:.0} simulated Mbps)"
+        "wrote {out_path} (batch speedup {batch_speedup:.2}x, modeled scaling {modeled_scaling:.2}x, wall-clock scaling {wallclock_scaling:.2}x on {cpus} cpu(s); tiers raw/conditioned/drbg = {raw_sim:.0}/{cond_sim:.0}/{drbg_sim:.0} simulated Mbps; {allocs_per_read:.2} allocs/read steady-state)"
     );
 }

@@ -21,7 +21,7 @@
 //!
 //! Plus `bench_report`, which is not a paper artefact: it measures the
 //! batched-generation speedup and the shard-scaling of the streaming
-//! engine and emits the `BENCH_3.json` that CI uploads per-PR.
+//! engine and emits the `BENCH_4.json` that CI uploads per-PR (with the steady-state allocation-count metric).
 //!
 //! Every binary prints paper-reported values next to the measured ones.
 //! Dataset sizes default to the paper's where runtime allows and accept

@@ -100,6 +100,24 @@ pub trait Conditioner {
     }
 }
 
+/// Boxed conditioners condition like their contents, so heterogeneous
+/// stacks (e.g. the pipeline's runtime-selected machine) mount anywhere
+/// a generic [`Conditioner`] is expected — notably behind
+/// [`ConditionerStage`](crate::kernel::ConditionerStage).
+impl<C: Conditioner + ?Sized> Conditioner for Box<C> {
+    fn push(&mut self, raw: bool) -> Option<bool> {
+        (**self).push(raw)
+    }
+
+    fn expected_ratio(&self) -> f64 {
+        (**self).expected_ratio()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
 /// Von Neumann debiaser: consumes raw bits in pairs; an unequal pair
 /// emits its second bit, an equal pair is discarded.
 ///

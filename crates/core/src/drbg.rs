@@ -261,6 +261,9 @@ pub struct Drbg<S> {
     block: [u8; BLOCK_BYTES],
     /// Bit cursor into `block`; `BLOCK_BITS` means exhausted.
     cursor_bits: usize,
+    /// Persistent seed-material buffer, reused across reseeds so the
+    /// steady-state harvest path performs no heap allocation.
+    material: Vec<u8>,
 }
 
 impl<S: Trng> Drbg<S> {
@@ -279,6 +282,7 @@ impl<S: Trng> Drbg<S> {
             drbg,
             block: [0u8; BLOCK_BYTES],
             cursor_bits: BLOCK_BITS as usize,
+            material,
         }
     }
 
@@ -306,9 +310,11 @@ impl<S: Trng> Drbg<S> {
     /// folding in seed material first when the policy requires it.
     fn refill(&mut self) {
         if self.drbg.needs_reseed() {
-            let mut material = vec![0u8; self.drbg.config().seed_bytes];
-            self.source.fill_bytes(&mut material);
-            self.drbg.reseed(&material);
+            // Harvest into the persistent buffer: reseeds are free of
+            // heap traffic after instantiation.
+            self.material.resize(self.drbg.config().seed_bytes, 0);
+            self.source.fill_bytes(&mut self.material);
+            self.drbg.reseed(&self.material);
         }
         self.drbg
             .generate(&mut self.block)

@@ -18,7 +18,11 @@
 //! Around the generator sit the SP 800-90C output stages: continuous
 //! [`health`] tests, the composable [`conditioning`] layer, and the
 //! [`drbg`] output stage — see `DESIGN.md` §6 for how the boxes map
-//! onto the spec's source → health → conditioner → DRBG chain.
+//! onto the spec's source → health → conditioner → DRBG chain. The
+//! [`kernel`] module supplies the stage-graph vocabulary
+//! ([`BlockSource`] / [`Stage`] over borrowed [`BitBlock`]s) that lets
+//! the streaming engine drive those stages over recycled buffers with
+//! no intermediate re-buffering (`DESIGN.md` §7).
 //!
 //! See `DESIGN.md` at the workspace root for the calibration notes and
 //! the experiment index.
@@ -45,6 +49,7 @@ pub mod batch;
 pub mod conditioning;
 pub mod drbg;
 pub mod health;
+pub mod kernel;
 pub mod model;
 pub mod postproc;
 pub mod trng;
@@ -54,6 +59,7 @@ pub use array::DhTrngArray;
 pub use conditioning::{Conditioned, Conditioner, CrcWhitener, VonNeumannConditioner, XorFold};
 pub use drbg::{Drbg, DrbgConfig, HashDrbg};
 pub use health::{HealthMonitor, HealthStatus};
+pub use kernel::{BitBlock, BlockSource, ConditionerStage, Stage};
 pub use model::{
     eq3_xor_expectation, eq4_xor_expectation_n, eq5_randomness_coverage, RingCoverage,
 };

@@ -1,20 +1,25 @@
-//! The sharded streaming engine: builder, merge loop, statistics.
+//! The sharded streaming engine: builder, executor-backed merged
+//! stream, statistics.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TryRecvError};
+use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use dhtrng_core::{DhTrng, DhTrngConfig};
 use dhtrng_fpga::Placement;
 
+use crate::exec::{Executor, ShardLink};
 use crate::shard::{HealthConfig, ShardMessage, ShardWorker};
 
 /// Horizontal slice pitch between neighbouring shard placement regions
 /// (the 8-slice core packs into a 3x3 bounding box; pitch 4 leaves a
 /// routing channel between instances, as the paper's Fig. 5 layout does).
 const PLACEMENT_PITCH: u32 = 4;
+
+/// Pool buffers per shard beyond the queue depth: one being filled by
+/// the worker, one being drained by the consumer.
+const POOL_SLACK: usize = 2;
 
 /// Streaming failure surfaced to the consumer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,12 +41,15 @@ pub enum StreamError {
 impl fmt::Display for StreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            // Retirement has two causes (an exhausted health-restart
+            // budget, or an injected fault reporting zero restarts), so
+            // the message claims only what the payload actually records.
             Self::ShardFailed {
                 shard,
                 consecutive_restarts,
             } => write!(
                 f,
-                "shard {shard} failed health tests through {consecutive_restarts} consecutive restarts"
+                "shard {shard} retired after {consecutive_restarts} consecutive restarts"
             ),
             Self::ShardDisconnected { shard } => write!(f, "shard {shard} worker disconnected"),
         }
@@ -65,6 +73,7 @@ pub struct EntropyStreamBuilder {
     queue_chunks: usize,
     health: HealthConfig,
     max_consecutive_restarts: u32,
+    injected_failures: Vec<(usize, u64)>,
 }
 
 impl Default for EntropyStreamBuilder {
@@ -78,6 +87,7 @@ impl Default for EntropyStreamBuilder {
             queue_chunks: 4,
             health: HealthConfig::default(),
             max_consecutive_restarts: 16,
+            injected_failures: Vec::new(),
         }
     }
 }
@@ -124,7 +134,8 @@ impl EntropyStreamBuilder {
     }
 
     /// Chunks buffered per shard before its worker blocks
-    /// (backpressure).
+    /// (backpressure). Each shard's buffer pool holds this many chunks
+    /// plus two (one in flight at the worker, one at the consumer).
     #[must_use]
     pub fn queue_chunks(mut self, chunks: usize) -> Self {
         self.queue_chunks = chunks;
@@ -146,13 +157,29 @@ impl EntropyStreamBuilder {
         self
     }
 
+    /// Deterministic fault injection: `shard` retires (reports
+    /// [`StreamError::ShardFailed`] with zero restarts) after producing
+    /// exactly `chunks` healthy chunks.
+    ///
+    /// The retirement is a pure function of the chunk count, never of
+    /// thread timing, so tests and fail-over drills can pin the exact
+    /// merged prefix the consumer sees before the error — see the
+    /// shard-retirement contract on [`EntropyStream::read`]. Calling
+    /// this for the same shard twice keeps the smaller budget.
+    #[must_use]
+    pub fn inject_shard_failure(mut self, shard: usize, chunks: u64) -> Self {
+        self.injected_failures.push((shard, chunks));
+        self
+    }
+
     /// Spawns the shard workers and returns the merged stream.
     ///
     /// # Panics
     ///
     /// Panics if the shard count is outside `1..=64`, `chunk_bytes` or
     /// `queue_chunks` is zero, an explicit seed schedule has the wrong
-    /// length, or a worker thread cannot be spawned.
+    /// length, an injected failure names an out-of-range shard, or a
+    /// worker thread cannot be spawned.
     pub fn build(self) -> EntropyStream {
         assert!(
             (1..=64).contains(&self.shards),
@@ -161,6 +188,13 @@ impl EntropyStreamBuilder {
         );
         assert!(self.chunk_bytes > 0, "chunk_bytes must be positive");
         assert!(self.queue_chunks > 0, "queue_chunks must be positive");
+        for &(shard, _) in &self.injected_failures {
+            assert!(
+                shard < self.shards,
+                "injected failure names shard {shard} of {}",
+                self.shards
+            );
+        }
         let seeds: Vec<u64> = match &self.shard_seeds {
             Some(seeds) => {
                 assert_eq!(
@@ -179,7 +213,8 @@ impl EntropyStreamBuilder {
                 .collect(),
         };
 
-        let mut receivers = Vec::with_capacity(self.shards);
+        let buffers_per_shard = self.queue_chunks + POOL_SLACK;
+        let mut links = Vec::with_capacity(self.shards);
         let mut workers = Vec::with_capacity(self.shards);
         let mut restarts = Vec::with_capacity(self.shards);
         let mut placements = Vec::with_capacity(self.shards);
@@ -196,6 +231,20 @@ impl EntropyStreamBuilder {
             let counter = Arc::new(AtomicU64::new(0));
             restarts.push(Arc::clone(&counter));
             let (tx, rx) = sync_channel::<ShardMessage>(self.queue_chunks);
+            // The shard's buffer pool: created once, recycled forever.
+            // Capacity covers every buffer, so returning one never blocks.
+            let (pool_tx, pool_rx) = sync_channel::<Vec<u8>>(buffers_per_shard);
+            for _ in 0..buffers_per_shard {
+                pool_tx
+                    .send(Vec::with_capacity(self.chunk_bytes))
+                    .expect("pool channel sized for every buffer");
+            }
+            let fail_after_chunks = self
+                .injected_failures
+                .iter()
+                .filter(|&&(s, _)| s == shard)
+                .map(|&(_, chunks)| chunks)
+                .min();
             let worker = ShardWorker {
                 shard,
                 trng,
@@ -203,27 +252,26 @@ impl EntropyStreamBuilder {
                 chunk_bytes: self.chunk_bytes,
                 max_consecutive_restarts: self.max_consecutive_restarts,
                 restarts: counter,
+                pool: pool_rx,
+                fail_after_chunks,
             };
             let handle = std::thread::Builder::new()
                 .name(format!("dhtrng-shard-{shard}"))
                 .spawn(move || worker.run(tx))
                 .expect("spawn shard worker thread");
-            receivers.push(rx);
+            links.push(ShardLink {
+                data: rx,
+                pool: pool_tx,
+            });
             workers.push(handle);
         }
 
         EntropyStream {
-            receivers,
-            workers,
-            cursor: 0,
-            current: Vec::new(),
-            offset: 0,
+            exec: Executor::new(links, workers, self.shards * buffers_per_shard),
             restarts,
             placements,
             modeled_mbps,
-            bytes_delivered: 0,
             chunk_bytes: self.chunk_bytes,
-            failed: None,
         }
     }
 }
@@ -232,10 +280,12 @@ impl EntropyStreamBuilder {
 /// shards.
 ///
 /// Shards produce fixed-size chunks on worker threads into bounded
-/// queues; the consumer drains them **round-robin in shard order**, so
-/// the merged byte stream is a pure function of the shard seed schedule
-/// — independent of thread scheduling. Chunk `k` of the stream is chunk
-/// `k / N` of shard `k % N`.
+/// queues — each chunk in a buffer recycled through a per-shard pool,
+/// so the steady-state read path performs no heap allocation (see
+/// `DESIGN.md` §7). The consumer drains chunks **round-robin in shard
+/// order**, so the merged byte stream is a pure function of the shard
+/// seed schedule — independent of thread scheduling. Chunk `k` of the
+/// stream is chunk `k / N` of shard `k % N`.
 ///
 /// # Example
 ///
@@ -254,17 +304,11 @@ impl EntropyStreamBuilder {
 /// ```
 #[derive(Debug)]
 pub struct EntropyStream {
-    receivers: Vec<Receiver<ShardMessage>>,
-    workers: Vec<JoinHandle<()>>,
-    cursor: usize,
-    current: Vec<u8>,
-    offset: usize,
+    exec: Executor,
     restarts: Vec<Arc<AtomicU64>>,
     placements: Vec<Placement>,
     modeled_mbps: f64,
-    bytes_delivered: u64,
     chunk_bytes: usize,
-    failed: Option<StreamError>,
 }
 
 impl EntropyStream {
@@ -273,10 +317,24 @@ impl EntropyStream {
         EntropyStreamBuilder::default()
     }
 
-    /// Fills `out` with the next bytes of the merged stream.
+    /// Fills `out` with the next bytes of the merged stream — the
+    /// pooled zero-copy read path: bytes move pool chunk → `out`, with
+    /// no intermediate buffer and no allocation.
     ///
     /// Blocks while every buffered chunk of the next shard in the
     /// round-robin order is consumed and its worker is still generating.
+    ///
+    /// # Shard retirement
+    ///
+    /// A retired shard's terminal error sits in its queue position: the
+    /// stream keeps delivering chunks from the other shards until the
+    /// round-robin cursor reaches the retired shard's slot, then
+    /// surfaces the error — so the merged prefix delivered before the
+    /// failure is deterministic in the seed schedule and the failing
+    /// shard's chunk count, never in thread timing. The raw tier does
+    /// not roll back the bytes a failing call already wrote into `out`
+    /// ([`ConditionedStream`](crate::pipeline::ConditionedStream) adds
+    /// that contract at the conditioned tier).
     ///
     /// # Errors
     ///
@@ -284,48 +342,28 @@ impl EntropyStream {
     /// stream stays failed from then on (bytes already delivered remain
     /// valid).
     pub fn read(&mut self, out: &mut [u8]) -> Result<(), StreamError> {
-        if let Some(error) = self.failed {
-            return Err(error);
-        }
-        let mut written = 0;
-        while written < out.len() {
-            if self.offset == self.current.len() {
-                if let Err(error) = self.refill() {
-                    self.failed = Some(error);
-                    return Err(error);
-                }
-            }
-            let take = (out.len() - written).min(self.current.len() - self.offset);
-            out[written..written + take]
-                .copy_from_slice(&self.current[self.offset..self.offset + take]);
-            self.offset += take;
-            written += take;
-            self.bytes_delivered += take as u64;
-        }
-        Ok(())
+        self.exec.read(out)
     }
 
-    /// Pops the next chunk, round-robin in shard order.
-    fn refill(&mut self) -> Result<(), StreamError> {
-        let shard = self.cursor;
-        match self.receivers[shard].recv() {
-            Ok(Ok(chunk)) => {
-                self.current = chunk;
-                self.offset = 0;
-                self.cursor = (self.cursor + 1) % self.receivers.len();
-                Ok(())
-            }
-            Ok(Err(failure)) => Err(StreamError::ShardFailed {
-                shard: failure.shard,
-                consecutive_restarts: failure.consecutive_restarts,
-            }),
-            Err(_) => Err(StreamError::ShardDisconnected { shard }),
-        }
+    /// Hands the unconsumed remainder of the next chunk to `f` for
+    /// in-place processing in its pool buffer, then recycles the
+    /// buffer. The remainder counts as delivered in full.
+    ///
+    /// This is the zero-copy hook the conditioning tier runs on: a
+    /// [`Stage`](dhtrng_core::kernel::Stage) transforms the chunk where
+    /// it sits instead of copying it out first.
+    ///
+    /// # Errors
+    ///
+    /// As [`read`](Self::read): the terminal [`StreamError`] once a
+    /// shard retires (in which case `f` is not called).
+    pub fn with_next_chunk<R>(&mut self, f: impl FnOnce(&mut [u8]) -> R) -> Result<R, StreamError> {
+        self.exec.with_chunk(f)
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.receivers.len()
+        self.exec.shards()
     }
 
     /// Chunk size (the merge granularity) in bytes.
@@ -335,7 +373,7 @@ impl EntropyStream {
 
     /// Total bytes handed to consumers so far.
     pub fn bytes_delivered(&self) -> u64 {
-        self.bytes_delivered
+        self.exec.bytes_delivered()
     }
 
     /// Total shard restarts triggered by health-test failures.
@@ -355,6 +393,14 @@ impl EntropyStream {
         self.restarts[shard].load(Ordering::Relaxed)
     }
 
+    /// Chunk buffers created for the recycled pool — a pure function of
+    /// the configuration (`shards x (queue_chunks + 2)`); the pool
+    /// never grows after build, which is what makes the steady-state
+    /// read path allocation-free.
+    pub fn pool_buffers(&self) -> usize {
+        self.exec.buffers_created()
+    }
+
     /// The modeled aggregate hardware throughput: the sum of every
     /// shard's sampling clock (one bit per cycle), i.e. `N x` the
     /// paper's per-instance 620/670 Mbps — the linear multi-instance
@@ -370,49 +416,18 @@ impl EntropyStream {
 
     /// Whether the stream has failed terminally.
     pub fn failed(&self) -> Option<StreamError> {
-        self.failed
+        self.exec.failed()
     }
 
     /// Drains any chunk already buffered without blocking (used by
     /// shutdown paths and tests; consumers normally just `read`).
+    ///
+    /// # Errors
+    ///
+    /// The terminal [`StreamError`] if the stream has failed (or fails
+    /// on this call).
     pub fn try_refill(&mut self) -> Result<bool, StreamError> {
-        if let Some(error) = self.failed {
-            return Err(error);
-        }
-        if self.offset < self.current.len() {
-            return Ok(true);
-        }
-        let error = match self.receivers[self.cursor].try_recv() {
-            Ok(Ok(chunk)) => {
-                self.current = chunk;
-                self.offset = 0;
-                self.cursor = (self.cursor + 1) % self.receivers.len();
-                return Ok(true);
-            }
-            Err(TryRecvError::Empty) => return Ok(false),
-            Ok(Err(failure)) => StreamError::ShardFailed {
-                shard: failure.shard,
-                consecutive_restarts: failure.consecutive_restarts,
-            },
-            Err(TryRecvError::Disconnected) => {
-                StreamError::ShardDisconnected { shard: self.cursor }
-            }
-        };
-        // Latch: this path may consume the shard's one obituary message,
-        // so later reads must keep reporting the true cause.
-        self.failed = Some(error);
-        Err(error)
-    }
-}
-
-impl Drop for EntropyStream {
-    fn drop(&mut self) {
-        // Hang up first: workers blocked on a full queue observe the
-        // send error and exit; then reap the threads.
-        self.receivers.clear();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.exec.try_buffer()
     }
 }
 
@@ -493,6 +508,31 @@ mod tests {
     }
 
     #[test]
+    fn with_next_chunk_walks_the_same_stream_as_read() {
+        let mut by_read = small_stream(2, 12);
+        let mut by_chunk = small_stream(2, 12);
+        let mut expect = vec![0u8; 512 * 4];
+        by_read.read(&mut expect).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            by_chunk
+                .with_next_chunk(|chunk| got.extend_from_slice(chunk))
+                .unwrap();
+        }
+        assert_eq!(got, expect);
+        assert_eq!(by_chunk.bytes_delivered(), 512 * 4);
+        // Mixing: a partial read, then the chunk remainder.
+        let mut mixed = small_stream(2, 12);
+        let mut head = vec![0u8; 100];
+        mixed.read(&mut head).unwrap();
+        assert_eq!(head[..], expect[..100]);
+        let rest = mixed
+            .with_next_chunk(|chunk| chunk.to_vec())
+            .expect("healthy");
+        assert_eq!(rest[..], expect[100..512]);
+    }
+
+    #[test]
     fn impossible_health_cutoffs_fail_the_stream_gracefully() {
         // RCT cutoff 2 trips on any repeated bit, i.e. on every chunk:
         // the shard burns its restart budget and retires; read errors.
@@ -520,6 +560,52 @@ mod tests {
         assert_eq!(stream.read(&mut buf).unwrap_err(), err);
         assert_eq!(stream.failed(), Some(err));
         assert!(stream.restarts() >= 3);
+    }
+
+    #[test]
+    fn injected_failure_retires_the_shard_deterministically() {
+        let make = || {
+            EntropyStream::builder()
+                .shards(2)
+                .seed(4)
+                .chunk_bytes(256)
+                .inject_shard_failure(1, 3)
+                .build()
+        };
+        // Shard 1 produces exactly 3 chunks; the merge delivers rounds
+        // 0..3 in full plus shard 0's chunk of round 3, then errors at
+        // shard 1's slot.
+        let mut stream = make();
+        let mut buf = vec![0u8; 7 * 256];
+        stream.read(&mut buf).expect("prefix is healthy");
+        let err = stream.read(&mut [0u8; 1]).unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::ShardFailed {
+                shard: 1,
+                consecutive_restarts: 0
+            }
+        );
+        // The prefix matches the healthy stream bit for bit.
+        let mut healthy = EntropyStream::builder()
+            .shards(2)
+            .seed(4)
+            .chunk_bytes(256)
+            .build();
+        let mut expect = vec![0u8; 7 * 256];
+        healthy.read(&mut expect).unwrap();
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn pool_is_sized_by_configuration() {
+        let stream = EntropyStream::builder()
+            .shards(3)
+            .seed(1)
+            .chunk_bytes(128)
+            .queue_chunks(2)
+            .build();
+        assert_eq!(stream.pool_buffers(), 3 * (2 + 2));
     }
 
     #[test]
@@ -554,5 +640,14 @@ mod tests {
     #[should_panic(expected = "shard count")]
     fn zero_shards_panics() {
         let _ = EntropyStream::builder().shards(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "injected failure")]
+    fn out_of_range_injection_panics() {
+        let _ = EntropyStream::builder()
+            .shards(2)
+            .inject_shard_failure(2, 1)
+            .build();
     }
 }

@@ -10,23 +10,35 @@
 //!   instances, each assigned its own placement region on the modeled
 //!   device, each generating through the batched
 //!   [`Trng`](dhtrng_core::Trng) fast path on its own worker thread;
-//! * **deterministic merge** — shards produce fixed-size chunks into
-//!   bounded queues (chunked buffering with backpressure); the consumer
-//!   drains them round-robin in shard order, so the merged stream is a
-//!   pure function of the seed schedule, never of thread timing;
+//! * **deterministic merge, zero-allocation steady state** — shards
+//!   produce fixed-size chunks into bounded queues (chunked buffering
+//!   with backpressure), every chunk in a buffer recycled through a
+//!   per-shard pool (drained buffers return to their worker over a
+//!   return channel, so the raw-tier read path never touches the heap
+//!   after build); the consumer drains chunks round-robin in shard
+//!   order, so the merged stream is a pure function of the seed
+//!   schedule, never of thread timing;
 //! * **graceful degradation** — every shard runs the SP 800-90B
 //!   continuous health tests over its output; a failing chunk is
 //!   discarded and the shard restarts (the paper's §4.2 power-cycle)
 //!   without disturbing the other shards, and a shard that cannot
-//!   recover retires with a typed [`StreamError`].
+//!   recover retires with a typed [`StreamError`] that surfaces
+//!   deterministically at its round-robin slot (see
+//!   [`EntropyStream::read`]).
 //!
 //! On top of the merged raw stream sits the typed output
 //! [`pipeline`]: `RawStream → ConditionedStream → DrbgPool`, the
 //! SP 800-90C source → health → conditioner → DRBG chain, selected per
-//! consumer as a quality [`Tier`] from one [`PipelineBuilder`]. The
-//! `dh_trng` facade wraps [`EntropyStream`] and [`TierStream`] in
-//! `rand`-compatible adapters (`StreamRng` / `PipelineRng`) for the
-//! `rand` ecosystem.
+//! consumer as a quality [`Tier`] from one [`PipelineBuilder`]. All
+//! tiers are thin shells over one stage-graph executor: the
+//! conditioning stage transforms each pooled chunk **in place** (a
+//! [`Stage`](dhtrng_core::kernel::Stage) over borrowed
+//! [`BitBlock`](dhtrng_core::kernel::BitBlock)s, via
+//! [`EntropyStream::with_next_chunk`]) and the DRBG stage pumps blocks
+//! out of borrowed state — no layer re-buffers the one below it
+//! (`DESIGN.md` §7). The `dh_trng` facade wraps [`EntropyStream`] and
+//! [`TierStream`] in `rand`-compatible adapters (`StreamRng` /
+//! `PipelineRng`) for the `rand` ecosystem.
 //!
 //! # Example
 //!
@@ -59,6 +71,7 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+mod exec;
 pub mod pipeline;
 pub mod shard;
 

@@ -16,6 +16,15 @@
 //!   SP 800-90C source → health → conditioner → DRBG chain, and the
 //!   tier a key-serving service exposes.
 //!
+//! All three tiers are thin shells over the engine's stage-graph
+//! executor: the conditioned tier mounts its machine as a
+//! [`ConditionerStage`] that transforms each pooled chunk **in place**
+//! (via [`EntropyStream::with_next_chunk`]) instead of re-buffering the
+//! raw bytes, and the drbg tier pumps 512-bit blocks out of borrowed
+//! state, harvesting seed material through the same path into one
+//! persistent buffer. See `DESIGN.md` §7 for the stage graph and
+//! buffer-pool lifecycle.
+//!
 //! One [`PipelineBuilder`] configures all three; [`TierStream`] is the
 //! tier-erased handle the `dh_trng` facade wraps in its
 //! `rand`-compatible `PipelineRng`. Every stage is a pure function of
@@ -42,6 +51,7 @@ use std::collections::VecDeque;
 
 use dhtrng_core::conditioning::{Conditioner, CrcWhitener, VonNeumannConditioner, XorFold};
 use dhtrng_core::drbg::{DrbgConfig, HashDrbg, BLOCK_BYTES};
+use dhtrng_core::kernel::{BitBlock, ConditionerStage, Stage};
 use dhtrng_core::DhTrngConfig;
 
 use crate::engine::{EntropyStream, EntropyStreamBuilder, StreamError};
@@ -50,11 +60,6 @@ use crate::shard::HealthConfig;
 /// The merged sharded source — tier 0 of the pipeline. (A vocabulary
 /// alias: the engine type predates the pipeline.)
 pub type RawStream = EntropyStream;
-
-/// Raw bytes pulled from the engine per conditioning refill. The
-/// conditioned stream is a pure function of the raw stream, so this is
-/// a latency/amortisation knob only, invisible in the output.
-const PULL_BYTES: usize = 4096;
 
 /// Quality tier of a pipeline output stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,6 +208,15 @@ impl PipelineBuilder {
         self
     }
 
+    /// Deterministic fault injection: `shard` retires after `chunks`
+    /// healthy chunks (see
+    /// [`EntropyStreamBuilder::inject_shard_failure`]).
+    #[must_use]
+    pub fn inject_shard_failure(mut self, shard: usize, chunks: u64) -> Self {
+        self.stream = self.stream.inject_shard_failure(shard, chunks);
+        self
+    }
+
     /// Conditioner for the conditioned and drbg tiers.
     #[must_use]
     pub fn conditioner(mut self, spec: ConditionerSpec) -> Self {
@@ -236,14 +250,10 @@ impl PipelineBuilder {
     /// ratio/factor.
     pub fn build_conditioned(self) -> ConditionedStream {
         ConditionedStream {
-            conditioner: self.conditioner.build(),
+            stage: ConditionerStage::new(self.conditioner.build()),
             spec: self.conditioner,
             raw: self.stream.build(),
             ready: VecDeque::new(),
-            acc: 0,
-            acc_len: 0,
-            consumed_bits: 0,
-            emitted_bits: 0,
             bytes_delivered: 0,
         }
     }
@@ -265,6 +275,7 @@ impl PipelineBuilder {
             drbg: None,
             block: [0u8; BLOCK_BYTES],
             cursor: BLOCK_BYTES,
+            material: vec![0u8; config.seed_bytes],
             bytes_delivered: 0,
         }
     }
@@ -283,25 +294,30 @@ impl PipelineBuilder {
     }
 }
 
-/// The conditioned tier: the merged raw stream run bit-serially
-/// through the configured conditioner.
+/// The conditioned tier: the merged raw stream run through the
+/// configured conditioner, **in place** in the engine's pooled chunk
+/// buffers.
 ///
-/// Like the raw tier, the output is a pure function of the shard seed
-/// schedule. Rate is the raw rate divided by the conditioner's
-/// compression ratio; [`measured_ratio`](Self::measured_ratio) tracks
-/// the realised cost (which exceeds the expected ratio for Von Neumann
-/// on a biased source).
+/// Each refill borrows the next raw chunk via
+/// [`EntropyStream::with_next_chunk`] and lets the
+/// [`ConditionerStage`] overwrite it with its own output — no scratch
+/// buffer, no byte-by-byte queueing; only the tail that does not fit
+/// the caller's buffer is carried over. Like the raw tier, the output
+/// is a pure function of the shard seed schedule. Rate is the raw rate
+/// divided by the conditioner's compression ratio;
+/// [`measured_ratio`](Self::measured_ratio) tracks the realised cost
+/// (which exceeds the expected ratio for Von Neumann on a biased
+/// source).
 pub struct ConditionedStream {
     raw: RawStream,
-    conditioner: Box<dyn Conditioner + Send>,
+    stage: ConditionerStage<Box<dyn Conditioner + Send>>,
     spec: ConditionerSpec,
-    /// Conditioned bytes ready to serve.
+    /// Conditioned bytes carried over: the part of a processed chunk
+    /// that did not fit the caller's buffer (at most one chunk's
+    /// conditioned output), plus — after a failed read — everything the
+    /// rollback contract restored, which can reach the failed read's
+    /// full length.
     ready: VecDeque<u8>,
-    /// Partial output byte under construction (MSB first).
-    acc: u8,
-    acc_len: u32,
-    consumed_bits: u64,
-    emitted_bits: u64,
     bytes_delivered: u64,
 }
 
@@ -309,8 +325,8 @@ impl std::fmt::Debug for ConditionedStream {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ConditionedStream")
             .field("spec", &self.spec)
-            .field("consumed_bits", &self.consumed_bits)
-            .field("emitted_bits", &self.emitted_bits)
+            .field("consumed_bits", &self.stage.consumed())
+            .field("emitted_bits", &self.stage.emitted())
             .field("bytes_delivered", &self.bytes_delivered)
             .finish_non_exhaustive()
     }
@@ -323,47 +339,51 @@ impl ConditionedStream {
     ///
     /// Propagates the raw stream's terminal [`StreamError`]. A failed
     /// read consumes nothing: conditioned bytes already copied into
-    /// `out` are pushed back onto the internal buffer, so a consumer
-    /// that retries with smaller reads still sees every healthy byte
-    /// exactly once before the error surfaces for good.
+    /// `out` are pushed back onto the internal carry buffer, so a
+    /// consumer that retries with smaller reads still sees every
+    /// healthy byte exactly once before the error surfaces for good.
     pub fn read(&mut self, out: &mut [u8]) -> Result<(), StreamError> {
-        for i in 0..out.len() {
-            while self.ready.is_empty() {
-                if let Err(e) = self.refill() {
+        let mut written = 0;
+        while written < out.len() {
+            // Serve carried-over bytes first.
+            while written < out.len() {
+                let Some(byte) = self.ready.pop_front() else {
+                    break;
+                };
+                out[written] = byte;
+                written += 1;
+            }
+            if written == out.len() {
+                break;
+            }
+            // Condition the next raw chunk in place in its pool buffer,
+            // copying straight into `out`; only the tail is carried.
+            let Self {
+                raw, stage, ready, ..
+            } = self;
+            let space = out.len() - written;
+            let dest = &mut out[written..];
+            match raw.with_next_chunk(|chunk| {
+                let mut block = BitBlock::full(chunk);
+                stage.process(&mut block);
+                let emitted = block.whole_bytes();
+                let take = emitted.min(space);
+                dest[..take].copy_from_slice(&chunk[..take]);
+                ready.extend(&chunk[take..emitted]);
+                take
+            }) {
+                Ok(take) => written += take,
+                Err(error) => {
                     // Roll back: healthy bytes already written go back
-                    // to the queue front, in order, unconsumed.
-                    for &byte in out[..i].iter().rev() {
+                    // to the carry buffer front, in order, unconsumed.
+                    for &byte in out[..written].iter().rev() {
                         self.ready.push_front(byte);
                     }
-                    self.bytes_delivered -= i as u64;
-                    return Err(e);
-                }
-            }
-            out[i] = self.ready.pop_front().expect("refill produced a byte");
-            self.bytes_delivered += 1;
-        }
-        Ok(())
-    }
-
-    /// Pulls one raw block through the conditioner.
-    fn refill(&mut self) -> Result<(), StreamError> {
-        let mut raw = [0u8; PULL_BYTES];
-        self.raw.read(&mut raw)?;
-        for byte in raw {
-            for i in (0..8).rev() {
-                self.consumed_bits += 1;
-                if let Some(bit) = self.conditioner.push((byte >> i) & 1 == 1) {
-                    self.emitted_bits += 1;
-                    self.acc = (self.acc << 1) | u8::from(bit);
-                    self.acc_len += 1;
-                    if self.acc_len == 8 {
-                        self.ready.push_back(self.acc);
-                        self.acc = 0;
-                        self.acc_len = 0;
-                    }
+                    return Err(error);
                 }
             }
         }
+        self.bytes_delivered += out.len() as u64;
         Ok(())
     }
 
@@ -374,22 +394,18 @@ impl ConditionedStream {
 
     /// Raw bits fed to the conditioner so far.
     pub fn consumed_bits(&self) -> u64 {
-        self.consumed_bits
+        self.stage.consumed()
     }
 
     /// Conditioned bits emitted so far.
     pub fn emitted_bits(&self) -> u64 {
-        self.emitted_bits
+        self.stage.emitted()
     }
 
     /// Measured raw-bits-per-output-bit (infinite before the first
     /// emission).
     pub fn measured_ratio(&self) -> f64 {
-        if self.emitted_bits == 0 {
-            f64::INFINITY
-        } else {
-            self.consumed_bits as f64 / self.emitted_bits as f64
-        }
+        self.stage.measured_ratio()
     }
 
     /// Conditioned bytes handed to consumers so far.
@@ -415,6 +431,9 @@ impl ConditionedStream {
 /// Instantiation is lazy: the first [`read`](Self::read) harvests the
 /// instantiate material through the conditioner, so a dead source
 /// surfaces as the read's [`StreamError`] rather than a build panic.
+/// Seed material is harvested into one persistent buffer, so the
+/// steady-state refill path — and even the reseed path — performs no
+/// heap allocation.
 #[derive(Debug)]
 pub struct DrbgPool {
     conditioned: ConditionedStream,
@@ -423,6 +442,8 @@ pub struct DrbgPool {
     block: [u8; BLOCK_BYTES],
     /// Byte cursor into `block`; `BLOCK_BYTES` means exhausted.
     cursor: usize,
+    /// Persistent seed-material buffer, reused across reseeds.
+    material: Vec<u8>,
     bytes_delivered: u64,
 }
 
@@ -467,21 +488,19 @@ impl DrbgPool {
     }
 
     /// Produces the next output block, harvesting seed material first
-    /// when the policy requires it. The material buffer is allocated
-    /// only at instantiate/reseed boundaries — between reseeds a refill
-    /// touches DRBG state alone (at the default interval that is 2047
-    /// of every 2048 refills).
+    /// when the policy requires it. The harvest lands in the pool's
+    /// persistent material buffer — instantiate, reseed, and refill all
+    /// run without heap allocation (at the default interval a reseed
+    /// happens on 1 of every 2048 refills anyway).
     fn refill(&mut self) -> Result<(), StreamError> {
         if self.drbg.is_none() {
-            let mut material = vec![0u8; self.config.seed_bytes];
-            self.conditioned.read(&mut material)?;
-            self.drbg = Some(HashDrbg::instantiate(&material, self.config));
+            self.conditioned.read(&mut self.material)?;
+            self.drbg = Some(HashDrbg::instantiate(&self.material, self.config));
         }
         let drbg = self.drbg.as_mut().expect("instantiated above");
         if drbg.needs_reseed() {
-            let mut material = vec![0u8; self.config.seed_bytes];
-            self.conditioned.read(&mut material)?;
-            drbg.reseed(&material);
+            self.conditioned.read(&mut self.material)?;
+            drbg.reseed(&self.material);
         }
         drbg.generate(&mut self.block)
             .expect("reseed just satisfied the interval");
@@ -527,6 +546,10 @@ impl DrbgPool {
 /// A pipeline output stream of any tier — what
 /// [`PipelineBuilder::build`] returns and the facade's `PipelineRng`
 /// wraps.
+// One long-lived handle per deployment, never stored in bulk: the
+// size spread between the raw engine and the drbg pool (which carries
+// its output block and persistent seed buffer inline) costs nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum TierStream {
     /// The raw tier.
@@ -713,6 +736,33 @@ mod tests {
     }
 
     #[test]
+    fn injected_failure_surfaces_through_every_tier() {
+        for tier in [Tier::Raw, Tier::Conditioned, Tier::Drbg] {
+            let mut stream = PipelineBuilder::new()
+                .shards(2)
+                .seed(1)
+                .chunk_bytes(256)
+                .inject_shard_failure(0, 2)
+                .build(tier);
+            let mut sink = [0u8; 64];
+            let err = loop {
+                match stream.read(&mut sink) {
+                    Ok(()) => continue,
+                    Err(e) => break e,
+                }
+            };
+            assert_eq!(
+                err,
+                StreamError::ShardFailed {
+                    shard: 0,
+                    consecutive_restarts: 0
+                },
+                "{tier:?}"
+            );
+        }
+    }
+
+    #[test]
     fn core_and_stream_drbg_share_one_state_machine() {
         // A DrbgPool over a 1-shard raw stream and a core Drbg over the
         // equivalent Conditioned<DhTrng> walk the same seed material,
@@ -801,6 +851,7 @@ mod tests {
             drbg: Some(drbg),
             block,
             cursor: 0,
+            material: vec![0u8; config.seed_bytes],
             bytes_delivered: 0,
         };
         // Oversized read: the block serves 64 bytes, then the reseed

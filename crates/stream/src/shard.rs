@@ -1,21 +1,25 @@
 //! Shard workers: one DH-TRNG instance per thread, producing
-//! health-tested chunks.
+//! health-tested chunks into recycled pool buffers.
 //!
-//! Each worker owns a [`DhTrng`] and a continuous [`HealthMonitor`]
-//! (SP 800-90B §4.4 RCT + APT) over the bits it delivers. A chunk whose
-//! bits trip the monitor is **discarded whole**, the instance is
-//! power-cycled via [`DhTrng::restart`] (fresh metastable startup state,
-//! as in the paper's §4.2 restart test), the monitor is reset, and the
-//! chunk is regenerated — the consumer never sees unhealthy bytes and
-//! never sees a gap. A shard that cannot produce a healthy chunk within
-//! the configured number of consecutive restarts reports a
-//! [`ShardFailure`] and retires instead of flooding restarts forever.
+//! Each worker owns a [`DhTrng`] (driven as a stage-graph
+//! [`BlockSource`]) and a continuous [`HealthMonitor`] (SP 800-90B §4.4
+//! RCT + APT) over the bits it delivers. Buffers arrive over the pool
+//! return channel — the worker never allocates a chunk; it regenerates
+//! into the same storage. A chunk whose bits trip the monitor is
+//! **discarded whole** (regenerated in place), the instance is
+//! power-cycled via [`DhTrng::restart`] (fresh metastable startup
+//! state, as in the paper's §4.2 restart test), the monitor is reset,
+//! and the chunk is regenerated — the consumer never sees unhealthy
+//! bytes and never sees a gap. A shard that cannot produce a healthy
+//! chunk within the configured number of consecutive restarts reports
+//! a [`ShardFailure`] and retires instead of flooding restarts forever.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::SyncSender;
+use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 
-use dhtrng_core::{DhTrng, HealthMonitor, HealthStatus, Trng};
+use dhtrng_core::kernel::{BitBlock, BlockSource};
+use dhtrng_core::{DhTrng, HealthMonitor, HealthStatus};
 
 /// Cutoffs for the per-shard continuous health tests.
 ///
@@ -55,17 +59,20 @@ impl HealthConfig {
 }
 
 /// Terminal failure of one shard: the entropy source kept tripping the
-/// health tests through the allowed consecutive restarts.
+/// health tests through the allowed consecutive restarts (or an
+/// injected retirement fired — see
+/// [`EntropyStreamBuilder::inject_shard_failure`](crate::engine::EntropyStreamBuilder::inject_shard_failure)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardFailure {
     /// Index of the failed shard.
     pub shard: usize,
-    /// Consecutive restart attempts consumed before giving up.
+    /// Consecutive restart attempts consumed before giving up (0 for an
+    /// injected retirement).
     pub consecutive_restarts: u32,
 }
 
-/// What a shard sends down its channel: a healthy chunk, or its own
-/// obituary.
+/// What a shard sends down its channel: a healthy chunk (in a pool
+/// buffer the consumer must eventually return), or its own obituary.
 pub(crate) type ShardMessage = Result<Vec<u8>, ShardFailure>;
 
 /// The state a shard worker thread runs with.
@@ -77,19 +84,42 @@ pub(crate) struct ShardWorker {
     pub(crate) max_consecutive_restarts: u32,
     /// Shared restart counter (read by the engine's statistics).
     pub(crate) restarts: Arc<AtomicU64>,
+    /// Recycled buffers come back from the consumer here.
+    pub(crate) pool: Receiver<Vec<u8>>,
+    /// Deterministic fault injection: retire after this many healthy
+    /// chunks (`None` = never).
+    pub(crate) fail_after_chunks: Option<u64>,
 }
 
 impl ShardWorker {
     /// Produces chunks until the consumer hangs up or the shard dies.
     pub(crate) fn run(mut self, tx: SyncSender<ShardMessage>) {
         let mut monitor = self.health.monitor();
+        let mut healthy_sent = 0u64;
         loop {
-            match self.next_healthy_chunk(&mut monitor) {
-                Ok(chunk) => {
-                    if tx.send(Ok(chunk)).is_err() {
+            if self.fail_after_chunks == Some(healthy_sent) {
+                // Injected retirement: deterministic in the chunk count,
+                // independent of thread timing.
+                let _ = tx.send(Err(ShardFailure {
+                    shard: self.shard,
+                    consecutive_restarts: 0,
+                }));
+                return;
+            }
+            // Zero-allocation steady state: wait for a recycled buffer
+            // instead of allocating. A closed return channel means the
+            // consumer dropped the stream: orderly shutdown.
+            let Ok(mut buffer) = self.pool.recv() else {
+                return;
+            };
+            buffer.resize(self.chunk_bytes, 0);
+            match self.next_healthy_chunk_into(&mut monitor, &mut buffer) {
+                Ok(()) => {
+                    if tx.send(Ok(buffer)).is_err() {
                         // Consumer dropped the stream: orderly shutdown.
                         return;
                     }
+                    healthy_sent += 1;
                 }
                 Err(failure) => {
                     // Best effort: the consumer may already be gone.
@@ -100,18 +130,24 @@ impl ShardWorker {
         }
     }
 
-    /// Generates chunks (restarting the instance on health failure)
-    /// until one passes, or the restart budget is exhausted.
-    fn next_healthy_chunk(&mut self, monitor: &mut HealthMonitor) -> Result<Vec<u8>, ShardFailure> {
+    /// Regenerates `buffer` in place (restarting the instance on health
+    /// failure) until its contents pass, or the restart budget is
+    /// exhausted.
+    fn next_healthy_chunk_into(
+        &mut self,
+        monitor: &mut HealthMonitor,
+        buffer: &mut [u8],
+    ) -> Result<(), ShardFailure> {
         let mut restarts_performed = 0u32;
         loop {
-            let mut chunk = vec![0u8; self.chunk_bytes];
-            self.trng.fill_bytes(&mut chunk);
-            if chunk_is_healthy(monitor, &chunk) {
-                return Ok(chunk);
+            let mut block = BitBlock::empty(buffer);
+            self.trng.fill_block(&mut block);
+            if chunk_is_healthy(monitor, buffer) {
+                return Ok(());
             }
-            // The chunk is tainted and always discarded; whether another
-            // power-cycle is worth it depends on the remaining budget.
+            // The chunk is tainted and always discarded (overwritten on
+            // the next attempt); whether another power-cycle is worth it
+            // depends on the remaining budget.
             if restarts_performed >= self.max_consecutive_restarts {
                 return Err(ShardFailure {
                     shard: self.shard,
@@ -141,6 +177,7 @@ fn chunk_is_healthy(monitor: &mut HealthMonitor, chunk: &[u8]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dhtrng_core::Trng;
 
     #[test]
     fn default_cutoffs_match_health_monitor_defaults() {

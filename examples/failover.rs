@@ -1,0 +1,96 @@
+//! Graceful fail-over: a shard retires mid-stream and the service
+//! keeps serving from a healthy deployment instead of panicking.
+//!
+//! The failure is *injected deterministically* — shard 1 of 3 retires
+//! after exactly two chunks — so the drill reproduces bit-for-bit:
+//! the engine's retirement contract guarantees every chunk merged
+//! before the failed shard's round-robin slot is still delivered into
+//! the caller's buffer, and the typed `StreamError::ShardFailed`
+//! surfaces at any pipeline tier (here: the DRBG tier a key-serving
+//! service would expose).
+//!
+//! Run with: `cargo run --release --example failover`
+
+use dh_trng::prelude::*;
+use rand::RngCore;
+
+const CHUNK: usize = 4 * 1024;
+
+fn main() {
+    println!("DH-TRNG graceful shard fail-over drill");
+
+    // --- The raw-tier contract: deterministic prefix, then the error.
+    let mut doomed = EntropyStream::builder()
+        .shards(3)
+        .seed(0xFA11)
+        .chunk_bytes(CHUNK)
+        .inject_shard_failure(1, 2)
+        .build();
+    // Shard 1 contributes its two chunks to rounds 0 and 1; round 2
+    // delivers shard 0's chunk and then hits the obituary in shard 1's
+    // slot: exactly 7 healthy chunks precede the typed error.
+    let mut payload = vec![0u8; 16 * CHUNK];
+    let err = doomed
+        .read(&mut payload)
+        .expect_err("the injected retirement must surface");
+    println!(
+        "  raw tier: delivered {} KiB ({} chunks), then: {err}",
+        doomed.bytes_delivered() / 1024,
+        doomed.bytes_delivered() as usize / CHUNK,
+    );
+    assert_eq!(doomed.bytes_delivered(), 7 * CHUNK as u64);
+    assert!(matches!(err, StreamError::ShardFailed { shard: 1, .. }));
+
+    // --- The same failure through the full pipeline, handled. A
+    // reseed-heavy policy keeps the drill short: every 512-bit block
+    // harvests fresh seed material, so the dead shard surfaces after a
+    // handful of keys instead of after the default policy's ~2700x
+    // expansion of the buffered conditioned bytes.
+    let mut service = PipelineBuilder::new()
+        .shards(2)
+        .seed(0xFA11)
+        .chunk_bytes(CHUNK)
+        .drbg_config(DrbgConfig {
+            reseed_interval_bits: 512,
+            seed_bytes: 48,
+            prediction_resistance: false,
+        })
+        .inject_shard_failure(0, 2)
+        .build(Tier::Drbg);
+    // Healthy fallback deployment (in production: the standby replica).
+    let mut fallback = StreamRng::with_shards(2, 0x600D);
+
+    let mut key = [0u8; 32];
+    let mut served = 0u64;
+    loop {
+        match service.read(&mut key) {
+            Ok(()) => {
+                served += 1;
+                if served <= 3 {
+                    println!(
+                        "  drbg tier: served key {served} ({:02x}{:02x}..)",
+                        key[0], key[1]
+                    );
+                }
+            }
+            Err(StreamError::ShardFailed {
+                shard,
+                consecutive_restarts,
+            }) => {
+                println!(
+                    "  drbg tier: shard {shard} retired ({consecutive_restarts} restarts) \
+                     after {served} keys — failing over to the healthy deployment"
+                );
+                fallback
+                    .try_fill_bytes(&mut key)
+                    .expect("healthy deployment still serves");
+                println!("  fail-over key head: {:02x}{:02x}..", key[0], key[1]);
+                break;
+            }
+            Err(e) => {
+                eprintln!("  unexpected stream error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,7 +1,13 @@
 //! Streaming: serve entropy from four parallel DH-TRNG shards through
-//! the `rand`-compatible adapter — the paper's multi-instance
-//! deployment as a consumer API — and handle a terminal shard failure
-//! gracefully instead of unwrapping.
+//! the pooled zero-copy read path — the paper's multi-instance
+//! deployment as a consumer API.
+//!
+//! Shard workers generate into a fixed set of recycled chunk buffers;
+//! `read` moves bytes pool chunk → caller buffer with nothing in
+//! between, so the steady-state path never touches the heap (the
+//! `BENCH_4.json` allocation metric and `tests/zero_alloc.rs` pin
+//! exactly this). See `examples/failover.rs` for handling a terminal
+//! shard failure gracefully.
 //!
 //! Run with: `cargo run --release --example streaming`
 
@@ -13,7 +19,8 @@ const PAYLOAD: usize = 1 << 20; // 1 MiB
 
 fn main() {
     // Four independently-seeded instances, each on its own worker
-    // thread and its own placement region, merged deterministically.
+    // thread and its own placement region, merged deterministically
+    // through the stage-graph executor's buffer pool.
     let mut rng = StreamRng::new(
         EntropyStream::builder()
             .shards(SHARDS)
@@ -24,6 +31,10 @@ fn main() {
 
     println!("DH-TRNG streaming engine");
     println!("  shards:            {}", rng.stream().shards());
+    println!(
+        "  pool buffers:      {} (created once at build; recycled forever)",
+        rng.stream().pool_buffers()
+    );
     println!(
         "  modeled throughput: {:.1} Mbps ({}x the single instance)",
         rng.stream().throughput_mbps(),
@@ -37,10 +48,10 @@ fn main() {
         );
     }
 
-    // Fill 1 MiB through the rand::RngCore adapter. A production
-    // consumer uses the fallible path: a stream whose shards keep
-    // failing health tests retires with a typed error instead of
-    // silently serving suspect bits — handle it, don't unwrap it.
+    // The pooled zero-copy read path: 1 MiB straight into a caller
+    // buffer. A production consumer uses the fallible path — a stream
+    // whose shards keep failing health tests retires with a typed
+    // error instead of silently serving suspect bits.
     let start = std::time::Instant::now();
     let mut payload = vec![0u8; PAYLOAD];
     if let Err(e) = rng.try_fill_bytes(&mut payload) {
@@ -49,11 +60,23 @@ fn main() {
     }
     let elapsed = start.elapsed().as_secs_f64();
     println!(
-        "\n  filled {} KiB in {:.1} ms ({:.1} simulated Mbps)",
+        "\n  filled {} KiB in {:.1} ms ({:.1} simulated Mbps, zero allocations steady-state)",
         PAYLOAD / 1024,
         elapsed * 1e3,
         PAYLOAD as f64 * 8.0 / elapsed / 1e6
     );
+
+    // Downstream stages can go one step further and borrow each pooled
+    // chunk in place — this is what the conditioned tier runs on.
+    let mut stream = rng.into_inner();
+    let chunk_head = stream
+        .with_next_chunk(|chunk| (chunk.len(), [chunk[0], chunk[1]]))
+        .expect("healthy stream");
+    println!(
+        "  borrowed a {}-byte pool chunk in place (head {:02x}{:02x}..)",
+        chunk_head.0, chunk_head.1[0], chunk_head.1[1]
+    );
+    let mut rng = StreamRng::new(stream);
 
     // The stream drives the whole rand ecosystem.
     let die: u8 = rng.gen_range(1..=6);
@@ -69,48 +92,10 @@ fn main() {
         "  health restarts:   {} (expect 0 on a healthy source)",
         rng.stream().restarts()
     );
-    // 1 MiB payload + the 8 bytes behind the die roll's u64 draw.
-    assert_eq!(rng.stream().bytes_delivered(), PAYLOAD as u64 + 8);
-
-    // --- Graceful degradation under shard failure -------------------
-    //
-    // Force the failure path: health cutoffs no real source can
-    // satisfy (a repetition-count cutoff of 2 trips on any repeated
-    // bit) retire shard 0 after its restart budget. The consumer sees
-    // a typed `StreamError::ShardFailed` — at any pipeline tier — and
-    // can fail over instead of panicking.
-    println!("\nInduced shard failure (impossible health cutoffs):");
-    let mut doomed = PipelineBuilder::new()
-        .shards(2)
-        .seed(0x5eed)
-        .chunk_bytes(4 * 1024)
-        .health(HealthConfig {
-            rct_cutoff: 2,
-            apt_window: 64,
-            apt_cutoff: 64,
-        })
-        .max_consecutive_restarts(2)
-        .build(Tier::Drbg);
-    let mut key = [0u8; 32];
-    match doomed.read(&mut key) {
-        Ok(()) => unreachable!("cutoffs above cannot be satisfied"),
-        Err(StreamError::ShardFailed {
-            shard,
-            consecutive_restarts,
-        }) => {
-            println!(
-                "  shard {shard} retired after {consecutive_restarts} consecutive restarts \
-                 — failing over to the healthy deployment"
-            );
-            // Graceful recovery: serve the request from the healthy
-            // stream instead of crashing the service.
-            rng.try_fill_bytes(&mut key)
-                .expect("healthy deployment still serves");
-            println!("  fail-over key head: {:02x}{:02x}..", key[0], key[1]);
-        }
-        Err(e) => {
-            eprintln!("  unexpected stream error: {e}");
-            std::process::exit(1);
-        }
-    }
+    // 1 MiB payload + one 64 KiB chunk borrowed in place + the 8 bytes
+    // behind the die roll's u64 draw.
+    assert_eq!(
+        rng.stream().bytes_delivered(),
+        PAYLOAD as u64 + 64 * 1024 + 8
+    );
 }

@@ -13,7 +13,9 @@
 //! * [`baselines`] — the Table 6 comparison architectures;
 //! * [`stattests`] — NIST SP 800-22 / SP 800-90B / AIS-31 batteries;
 //! * [`stream`] — the sharded streaming engine and the typed output
-//!   pipeline (raw / conditioned / drbg tiers), wrapped here by the
+//!   pipeline (raw / conditioned / drbg tiers), all driven by one
+//!   stage-graph executor over recycled chunk buffers (zero-allocation
+//!   steady-state reads; `DESIGN.md` §7), wrapped here by the
 //!   `rand`-compatible [`StreamRng`] and [`PipelineRng`] adapters.
 //!
 //! # Quickstart
@@ -71,6 +73,7 @@ pub mod prelude {
         Conditioned, Conditioner, CrcWhitener, VonNeumannConditioner, XorFold,
     };
     pub use dhtrng_core::drbg::{Drbg, DrbgConfig, HashDrbg};
+    pub use dhtrng_core::kernel::{BitBlock, BlockSource, ConditionerStage, Stage};
     pub use dhtrng_core::{
         DhTrng, DhTrngArray, DhTrngBuilder, HealthMonitor, HealthStatus, HybridUnitGroup, Trng,
     };

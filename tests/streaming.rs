@@ -115,6 +115,56 @@ fn strict_health_cutoffs_trigger_restarts_then_recovery() {
 }
 
 #[test]
+fn shard_retirement_keeps_the_merge_order_deterministic() {
+    // The retirement contract (see `EntropyStream::read`): a retired
+    // shard's error surfaces exactly when the round-robin cursor
+    // reaches its slot — every chunk merged before that slot is
+    // delivered, and the delivered prefix is a pure function of the
+    // seed schedule and the failing shard's chunk count. Retire shard
+    // 1 of 3 after 2 chunks, partway through a single large read.
+    const RETIRE_AFTER: u64 = 2;
+    let seeds = vec![0xE1u64, 0xE2, 0xE3];
+    let mut doomed = EntropyStream::builder()
+        .shards(3)
+        .shard_seeds(seeds.clone())
+        .chunk_bytes(CHUNK)
+        .inject_shard_failure(1, RETIRE_AFTER)
+        .build();
+
+    // Rounds 0 and 1 are complete (shard 1 contributes its 2 chunks);
+    // round 2 delivers shard 0's chunk, then shard 1's slot holds the
+    // obituary: exactly 7 chunks precede the error.
+    let mut oversized = vec![0u8; 16 * CHUNK];
+    let err = doomed.read(&mut oversized).unwrap_err();
+    assert_eq!(
+        err,
+        StreamError::ShardFailed {
+            shard: 1,
+            consecutive_restarts: 0
+        }
+    );
+    assert_eq!(
+        doomed.bytes_delivered(),
+        7 * CHUNK as u64,
+        "error surfaces at the retired shard's round-robin slot"
+    );
+
+    // The delivered prefix matches the all-healthy merge bit for bit.
+    let mut healthy = EntropyStream::builder()
+        .shards(3)
+        .shard_seeds(seeds)
+        .chunk_bytes(CHUNK)
+        .build();
+    let mut reference = vec![0u8; 7 * CHUNK];
+    healthy.read(&mut reference).unwrap();
+    assert_eq!(&oversized[..7 * CHUNK], &reference[..]);
+
+    // The failure is sticky, and so is the reported cause.
+    assert_eq!(doomed.read(&mut [0u8; 1]).unwrap_err(), err);
+    assert_eq!(doomed.failed(), Some(err));
+}
+
+#[test]
 fn dead_stream_reports_typed_error_through_try_fill_bytes() {
     // Impossible cutoffs: every chunk fails, the budget burns out, and
     // the adapter's fallible path surfaces it instead of hanging.

@@ -1,0 +1,92 @@
+//! Pins the executor's zero-allocation guarantee: once the buffer pool
+//! is primed, the raw-tier read path (consumer *and* shard workers)
+//! performs no heap allocation at all.
+//!
+//! The whole test binary runs under a counting global allocator, so
+//! the assertion covers every thread — a worker that silently
+//! allocated per chunk (the pre-executor design) fails here. This is
+//! the test-side twin of the `allocation` metric in `BENCH_4.json`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dh_trng::prelude::*;
+
+/// `System`, plus a global count of allocation events (alloc,
+/// alloc_zeroed, and realloc all count; frees don't).
+///
+/// Deliberately duplicated in `crates/bench/src/bin/bench_report.rs`
+/// (which reports the same invariant as the `BENCH_4.json` allocation
+/// metric): a `#[global_allocator]` must live in each final binary,
+/// and the shared crates forbid unsafe code. Keep the counting rules
+/// of the two copies in sync.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation verbatim to `System`; the counter
+// bump has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn raw_tier_steady_state_reads_do_not_allocate() {
+    let shards = 2;
+    let queue_chunks = 4;
+    let chunk = 4096usize;
+    let mut stream = EntropyStream::builder()
+        .shards(shards)
+        .seed(0xA110C)
+        .chunk_bytes(chunk)
+        .queue_chunks(queue_chunks)
+        .build();
+    let mut buf = vec![0u8; chunk];
+
+    // Prime the pool: walk every buffer through the full recycle loop
+    // (worker -> queue -> consumer -> return channel -> worker) a few
+    // times so one-time costs (initial capacity commit, thread-local
+    // lazy init, channel internals) are all paid.
+    for _ in 0..shards * (queue_chunks + 2) * 3 {
+        stream.read(&mut buf).expect("healthy stream");
+    }
+
+    // Steady state: N more full-chunk reads across every shard must
+    // not allocate anywhere in the process.
+    let reads = shards * (queue_chunks + 2) * 4;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..reads {
+        stream.read(&mut buf).expect("healthy stream");
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state raw-tier reads must be allocation-free \
+         ({} allocations over {reads} chunk reads)",
+        after - before
+    );
+    assert_eq!(stream.pool_buffers(), shards * (queue_chunks + 2));
+    std::hint::black_box(&buf);
+}
