@@ -1,7 +1,7 @@
-//! Machine-readable performance report: `BENCH_4.json`.
+//! Machine-readable performance report: `BENCH_5.json`.
 //!
 //! Measures the throughput numbers this repository's CI tracks per-PR
-//! (see ISSUE 2 / ISSUE 4 / ISSUE 5 and `DESIGN.md` §5–§7):
+//! (see ISSUE 2 / ISSUE 4 / ISSUE 5 / ISSUE 6 and `DESIGN.md` §5–§8):
 //!
 //! 1. **batching speedup** — the batched `Trng::fill_bytes` fast path
 //!    against the per-bit `next_bit` path on the behavioural DH-TRNG
@@ -22,13 +22,20 @@
 //!    raw-tier chunk read, measured process-wide under a counting
 //!    global allocator. The stage-graph executor's recycled buffer
 //!    pool makes this exactly 0 (also pinned by `tests/zero_alloc.rs`);
-//!    any regression shows up here as a non-zero `allocs_per_read`.
+//!    any regression shows up here as a non-zero `allocs_per_read`;
+//! 5. **serving latency** — the `dhtrng-serve` load generator drives a
+//!    fleet of concurrent drbg client sessions (full wire round-trips
+//!    through the daemon's connection state machine) over one shared
+//!    4-shard source and reports per-read latency percentiles; the run
+//!    must finish with zero protocol errors and zero exactly-once
+//!    delivery violations or the report aborts.
 //!
 //! Usage: `bench_report [--quick] [--out PATH]` (default
-//! `BENCH_4.json` in the working directory; CI uploads it as a
+//! `BENCH_5.json` in the working directory; CI uploads it as a
 //! workflow artifact and warns — non-fatally — when the batching
 //! speedup or the raw-tier simulated Mbps regress >20% against the
-//! committed snapshot).
+//! committed snapshot, or the serve p99 read latency more than
+//! doubles).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,7 +44,8 @@ use std::time::Instant;
 use dhtrng_bench::args;
 use dhtrng_core::drbg::DrbgConfig;
 use dhtrng_core::{DhTrng, Trng};
-use dhtrng_stream::{ConditionerSpec, EntropyStream, PipelineBuilder, Tier};
+use dhtrng_serve::{loadgen, LoadConfig, Service};
+use dhtrng_stream::{ConditionerSpec, EntropySource, EntropyStream, PipelineBuilder, Tier};
 
 /// `System`, plus a global count of allocation events (alloc,
 /// alloc_zeroed, and realloc all count; frees don't). Active for the
@@ -140,9 +148,40 @@ fn measure_steady_state_allocs(reads: usize) -> (f64, usize) {
     ((after - before) as f64 / reads as f64, reads)
 }
 
+/// Fleet latency over the daemon's connection state machine: one
+/// shared 4-shard source, `clients` concurrent drbg sessions, full
+/// wire round-trips per read. Aborts on any protocol error or
+/// exactly-once violation — a latency number from a dirty run would
+/// be meaningless.
+fn measure_serving(clients: usize, reads_per_client: usize) -> dhtrng_serve::LoadReport {
+    let source = EntropySource::builder()
+        .shards(4)
+        .seed(1)
+        .chunk_bytes(64 * 1024)
+        .build()
+        .expect("valid source");
+    let service = Service::new(source);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let report = loadgen::run(
+        &service,
+        &LoadConfig {
+            clients,
+            reads_per_client,
+            read_bytes: 64,
+            tier: Tier::Drbg,
+            threads,
+        },
+    );
+    assert_eq!(report.protocol_errors, 0, "serve bench must run clean");
+    assert_eq!(report.delivery_violations, 0, "serve bench must run clean");
+    report
+}
+
 fn main() {
     let quick = args::switch("--quick");
-    let out_path: String = args::flag("--out", "BENCH_4.json".to_string());
+    let out_path: String = args::flag("--out", "BENCH_5.json".to_string());
     let budget_s = if quick { 0.05 } else { 0.5 };
     let bits = if quick { 1 << 18 } else { 1 << 21 };
     let stream_bytes: usize = if quick { 1 << 18 } else { 1 << 22 };
@@ -150,6 +189,8 @@ fn main() {
     // too, so read a fraction of the raw volume per iteration.
     let tier_bytes: usize = if quick { 1 << 16 } else { 1 << 20 };
     let alloc_reads: usize = if quick { 48 } else { 192 };
+    let serve_clients: usize = if quick { 200 } else { 1000 };
+    let serve_reads: usize = if quick { 8 } else { 16 };
 
     // 1. Per-bit vs batched on the same generator/seed.
     let mut per_bit_trng = DhTrng::builder().seed(1).build();
@@ -211,6 +252,9 @@ fn main() {
     // 4. Steady-state allocation count on the raw-tier read path.
     let (allocs_per_read, alloc_reads_measured) = measure_steady_state_allocs(alloc_reads);
 
+    // 5. Serving latency under a concurrent client fleet.
+    let serve = measure_serving(serve_clients, serve_reads);
+
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -218,7 +262,7 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "schema": "dhtrng-bench-report/4",
+  "schema": "dhtrng-bench-report/5",
   "quick": {quick},
   "host_cpus": {cpus},
   "batching": {{
@@ -253,6 +297,19 @@ fn main() {
     "allocs_per_read": {allocs_per_read:.3},
     "note": "process-wide heap allocations per steady-state raw-tier 64 KiB chunk read (workers included), after priming the recycled buffer pool. The stage-graph executor keeps this at exactly 0; tests/zero_alloc.rs pins the same invariant."
   }},
+  "serve": {{
+    "clients": {serve_clients},
+    "reads_per_client": {serve_reads},
+    "read_bytes": 64,
+    "latency_p50_us": {serve_p50:.3},
+    "latency_p99_us": {serve_p99:.3},
+    "latency_max_us": {serve_max:.3},
+    "reads": {serve_total_reads},
+    "protocol_errors": {serve_protocol_errors},
+    "delivery_violations": {serve_delivery_violations},
+    "elapsed_secs": {serve_elapsed:.3},
+    "note": "concurrent drbg client sessions over one shared 4-shard source via the dhtrng-serve connection state machine (full wire round-trips, sockets elided). Latencies are per-64-byte-read, nearest-rank percentiles; the run aborts unless protocol errors and exactly-once delivery violations are both zero."
+  }},
   "paper_anchor": {{
     "per_instance_modeled_mbps": {anchor:.3},
     "note": "modeled Mbps = sampling clock x 1 bit/cycle; the paper reports 620 (Artix-7) / 670 (Virtex-6) per instance and linear multi-instance scaling, which modeled_scaling reproduces exactly. Simulated Mbps measure how fast this software model runs on the host and bound experiment runtimes. Pipeline tiers report post-conditioning throughput: conditioned = raw / compression ratio, drbg = conditioned x expansion factor (see DESIGN.md sections 6-7)."
@@ -283,11 +340,23 @@ fn main() {
         drbg_model = drbg_model,
         alloc_reads_measured = alloc_reads_measured,
         allocs_per_read = allocs_per_read,
+        serve_clients = serve.clients,
+        serve_reads = serve_reads,
+        serve_p50 = serve.p50_us,
+        serve_p99 = serve.p99_us,
+        serve_max = serve.max_us,
+        serve_total_reads = serve.reads,
+        serve_protocol_errors = serve.protocol_errors,
+        serve_delivery_violations = serve.delivery_violations,
+        serve_elapsed = serve.elapsed_secs,
         anchor = single.throughput_mbps(),
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     print!("{json}");
     eprintln!(
-        "wrote {out_path} (batch speedup {batch_speedup:.2}x, modeled scaling {modeled_scaling:.2}x, wall-clock scaling {wallclock_scaling:.2}x on {cpus} cpu(s); tiers raw/conditioned/drbg = {raw_sim:.0}/{cond_sim:.0}/{drbg_sim:.0} simulated Mbps; {allocs_per_read:.2} allocs/read steady-state)"
+        "wrote {out_path} (batch speedup {batch_speedup:.2}x, modeled scaling {modeled_scaling:.2}x, wall-clock scaling {wallclock_scaling:.2}x on {cpus} cpu(s); tiers raw/conditioned/drbg = {raw_sim:.0}/{cond_sim:.0}/{drbg_sim:.0} simulated Mbps; {allocs_per_read:.2} allocs/read steady-state; serve {clients} clients p50/p99 = {p50:.1}/{p99:.1} us)",
+        clients = serve.clients,
+        p50 = serve.p50_us,
+        p99 = serve.p99_us,
     );
 }

@@ -1,0 +1,62 @@
+//! Entropy-as-a-service for the DH-TRNG reproduction.
+//!
+//! The paper's deployment story is one device feeding many consumers;
+//! this crate is the service half of that story: a daemon that
+//! multiplexes many concurrent clients over **one** shared sharded
+//! [`EntropySource`](dhtrng_stream::EntropySource). Each client's
+//! `Hello` mints a private session — for the drbg tier a cheap
+//! per-session DRBG reseeded from the shared conditioned stream under
+//! the source's round-robin reseed arbiter — so raw entropy is
+//! arbitrated fairly, per-client quotas are enforced at the session
+//! layer, and a shard retiring mid-run degrades the service (reseeds
+//! stall, `Stat` reports it) instead of killing live clients.
+//!
+//! The crate splits along the transport seam:
+//!
+//! * [`proto`] — the length-prefixed wire protocol
+//!   (`Hello`/`Read`/`Stat` and their responses);
+//! * [`service`] — the sans-io connection state machine every
+//!   transport drives;
+//! * [`server`] — std-only TCP and (on unix) unix-socket front-ends,
+//!   thread per connection, plus a blocking [`Client`];
+//! * [`loadgen`] — thousands of simulated concurrent clients driving
+//!   the service through full in-memory wire round-trips, verifying
+//!   exactly-once delivery and recording read-latency percentiles.
+//!
+//! # Example
+//!
+//! ```
+//! use dhtrng_serve::{Client, Service};
+//! use dhtrng_stream::{EntropySource, Tier};
+//!
+//! let source = EntropySource::builder()
+//!     .shards(2)
+//!     .seed(7)
+//!     .chunk_bytes(2048)
+//!     .build()
+//!     .expect("valid source");
+//! let handle = dhtrng_serve::serve_tcp(Service::new(source), "127.0.0.1:0").expect("bind");
+//!
+//! let mut client = Client::connect_tcp(handle.addr()).expect("connect");
+//! client.hello(Tier::Drbg, None).expect("handshake");
+//! let key = client.read(64).expect("entropy");
+//! assert_eq!(key.len(), 64);
+//! handle.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use loadgen::{LoadConfig, LoadReport};
+pub use proto::{ErrorCode, ProtoError, Request, Response, StatReport};
+#[cfg(unix)]
+pub use server::serve_unix;
+#[cfg(unix)]
+pub use server::UnixServerHandle;
+pub use server::{serve_tcp, Client, ClientError, ServerHandle};
+pub use service::{Connection, Service, ServiceConfig};

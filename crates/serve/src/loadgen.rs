@@ -1,0 +1,260 @@
+//! A load generator for the daemon's service core.
+//!
+//! Simulates thousands of concurrent client sessions against one
+//! [`Service`] — every operation is a full wire round-trip (request
+//! encoded to frame bytes, decoded by the connection state machine,
+//! response encoded, decoded by the simulated client), so the
+//! protocol itself is under test; only the socket syscalls are
+//! elided, which is what lets a single process drive 1,000+ live
+//! sessions without file-descriptor limits.
+//!
+//! Every simulated client independently verifies **exactly-once
+//! delivery** (each `Data.offset` must extend its stream contiguously
+//! with exactly the requested length) and counts every non-`Data`
+//! answer as a protocol error. Per-read latency is sampled on every
+//! read and reported as p50/p99/max — the numbers `BENCH_5.json`
+//! records.
+
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+use dhtrng_stream::Tier;
+
+use crate::proto::{Request, Response};
+use crate::service::Service;
+
+/// What load to apply.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Concurrent client sessions (all alive at once).
+    pub clients: usize,
+    /// Reads each client issues after its `Hello`.
+    pub reads_per_client: usize,
+    /// Bytes per read.
+    pub read_bytes: u32,
+    /// Tier every client opens at.
+    pub tier: Tier,
+    /// Worker threads carrying the clients (each thread interleaves
+    /// its share round-robin, so sessions progress concurrently even
+    /// with fewer threads than clients).
+    pub threads: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            clients: 1000,
+            reads_per_client: 16,
+            read_bytes: 64,
+            tier: Tier::Drbg,
+            threads: 8,
+        }
+    }
+}
+
+/// What the run measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadReport {
+    /// Sessions opened (equals `LoadConfig::clients` on a clean run).
+    pub clients: usize,
+    /// Successful reads across all clients.
+    pub reads: u64,
+    /// Entropy bytes delivered across all clients.
+    pub bytes: u64,
+    /// Non-`Data`/non-`HelloOk` answers (the smoke gate demands 0).
+    pub protocol_errors: u64,
+    /// Offset/length discontinuities — exactly-once violations (the
+    /// smoke gate demands 0).
+    pub delivery_violations: u64,
+    /// Median per-read latency, microseconds (sub-microsecond reads
+    /// keep their fractional part — sampling is in nanoseconds).
+    pub p50_us: f64,
+    /// 99th-percentile per-read latency, microseconds.
+    pub p99_us: f64,
+    /// Worst per-read latency, microseconds.
+    pub max_us: f64,
+    /// Wall-clock for the whole run, seconds.
+    pub elapsed_secs: f64,
+}
+
+struct ThreadTally {
+    reads: u64,
+    bytes: u64,
+    protocol_errors: u64,
+    delivery_violations: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// One simulated client: its connection state machine plus the
+/// expected next offset.
+struct SimClient {
+    connection: crate::service::Connection,
+    offset: u64,
+    alive: bool,
+}
+
+fn round_trip(client: &mut SimClient, request: &Request) -> Option<Response> {
+    let payload = client.connection.handle_frame(&request.encode());
+    Response::decode(&payload).ok()
+}
+
+/// Applies `config`'s load to `service` and reports what happened.
+///
+/// All sessions are opened before any read is issued (a barrier
+/// separates the phases), so the configured client count is the
+/// *simultaneous* session count, not a cumulative total.
+pub fn run(service: &Service, config: &LoadConfig) -> LoadReport {
+    let clients = config.clients.max(1);
+    let threads = config.threads.clamp(1, clients);
+    let barrier = Barrier::new(threads);
+    let tallies: Mutex<Vec<ThreadTally>> = Mutex::new(Vec::with_capacity(threads));
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let barrier = &barrier;
+            let tallies = &tallies;
+            // Round-robin partition so every worker gets a near-equal
+            // share of the client population.
+            let share = (worker..clients).step_by(threads).count();
+            scope.spawn(move || {
+                let mut tally = ThreadTally {
+                    reads: 0,
+                    bytes: 0,
+                    protocol_errors: 0,
+                    delivery_violations: 0,
+                    latencies_ns: Vec::with_capacity(share * config.reads_per_client),
+                };
+                let mut pool: Vec<SimClient> = (0..share)
+                    .map(|_| SimClient {
+                        connection: service.connect(),
+                        offset: 0,
+                        alive: false,
+                    })
+                    .collect();
+                for client in &mut pool {
+                    let hello = Request::Hello {
+                        tier: config.tier,
+                        quota: None,
+                    };
+                    match round_trip(client, &hello) {
+                        Some(Response::HelloOk { .. }) => client.alive = true,
+                        _ => tally.protocol_errors += 1,
+                    }
+                }
+                // Every session is open before anyone reads.
+                barrier.wait();
+                for _ in 0..config.reads_per_client {
+                    for client in &mut pool {
+                        if !client.alive {
+                            continue;
+                        }
+                        let read = Request::Read {
+                            n: config.read_bytes,
+                        };
+                        let before = Instant::now();
+                        let response = round_trip(client, &read);
+                        let elapsed_ns =
+                            u64::try_from(before.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        match response {
+                            Some(Response::Data { offset, bytes }) => {
+                                tally.latencies_ns.push(elapsed_ns);
+                                if offset != client.offset
+                                    || bytes.len() != config.read_bytes as usize
+                                {
+                                    tally.delivery_violations += 1;
+                                    client.alive = false;
+                                } else {
+                                    client.offset += bytes.len() as u64;
+                                    tally.reads += 1;
+                                    tally.bytes += bytes.len() as u64;
+                                }
+                            }
+                            _ => {
+                                tally.protocol_errors += 1;
+                                client.alive = false;
+                            }
+                        }
+                    }
+                }
+                tallies.lock().expect("tally lock").push(tally);
+            });
+        }
+    });
+
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let mut reads = 0u64;
+    let mut bytes = 0u64;
+    let mut protocol_errors = 0u64;
+    let mut delivery_violations = 0u64;
+    let mut latencies = Vec::new();
+    for tally in tallies.into_inner().expect("tally lock") {
+        reads += tally.reads;
+        bytes += tally.bytes;
+        protocol_errors += tally.protocol_errors;
+        delivery_violations += tally.delivery_violations;
+        latencies.extend(tally.latencies_ns);
+    }
+    latencies.sort_unstable();
+    LoadReport {
+        clients,
+        reads,
+        bytes,
+        protocol_errors,
+        delivery_violations,
+        p50_us: percentile(&latencies, 50.0) as f64 / 1e3,
+        p99_us: percentile(&latencies, 99.0) as f64 / 1e3,
+        max_us: latencies.last().copied().unwrap_or(0) as f64 / 1e3,
+        elapsed_secs,
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted sample (0 when the
+/// sample is empty).
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhtrng_stream::EntropySource;
+
+    #[test]
+    fn a_small_fleet_runs_clean() {
+        let source = EntropySource::builder()
+            .shards(2)
+            .seed(21)
+            .chunk_bytes(2048)
+            .build()
+            .expect("valid source");
+        let service = Service::new(source);
+        let config = LoadConfig {
+            clients: 64,
+            reads_per_client: 4,
+            read_bytes: 48,
+            tier: Tier::Drbg,
+            threads: 4,
+        };
+        let report = run(&service, &config);
+        assert_eq!(report.protocol_errors, 0);
+        assert_eq!(report.delivery_violations, 0);
+        assert_eq!(report.reads, 64 * 4);
+        assert_eq!(report.bytes, 64 * 4 * 48);
+        assert!(report.p50_us <= report.p99_us && report.p99_us <= report.max_us);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(percentile(&[], 99.0), 0);
+        let sample: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sample, 0.0), 1);
+        assert_eq!(percentile(&sample, 50.0), 51);
+        assert_eq!(percentile(&sample, 99.0), 99);
+        assert_eq!(percentile(&sample, 100.0), 100);
+    }
+}

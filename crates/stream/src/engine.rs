@@ -1,7 +1,6 @@
 //! The sharded streaming engine: builder, executor-backed merged
 //! stream, statistics.
 
-use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
@@ -9,6 +8,7 @@ use std::sync::Arc;
 use dhtrng_core::{DhTrng, DhTrngConfig};
 use dhtrng_fpga::Placement;
 
+use crate::error::{ConfigError, Error};
 use crate::exec::{Executor, ShardLink};
 use crate::shard::{HealthConfig, ShardMessage, ShardWorker};
 
@@ -21,42 +21,15 @@ const PLACEMENT_PITCH: u32 = 4;
 /// the worker, one being drained by the consumer.
 const POOL_SLACK: usize = 2;
 
-/// Streaming failure surfaced to the consumer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StreamError {
-    /// A shard exhausted its consecutive-restart budget and retired.
-    ShardFailed {
-        /// Index of the failed shard.
-        shard: usize,
-        /// Restart attempts consumed before giving up.
-        consecutive_restarts: u32,
-    },
-    /// A shard worker vanished without reporting (panicked).
-    ShardDisconnected {
-        /// Index of the lost shard.
-        shard: usize,
-    },
-}
-
-impl fmt::Display for StreamError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            // Retirement has two causes (an exhausted health-restart
-            // budget, or an injected fault reporting zero restarts), so
-            // the message claims only what the payload actually records.
-            Self::ShardFailed {
-                shard,
-                consecutive_restarts,
-            } => write!(
-                f,
-                "shard {shard} retired after {consecutive_restarts} consecutive restarts"
-            ),
-            Self::ShardDisconnected { shard } => write!(f, "shard {shard} worker disconnected"),
-        }
-    }
-}
-
-impl std::error::Error for StreamError {}
+/// **Deprecated alias** for the unified [`Error`] — retained so code
+/// written against the pre-ISSUE-6 per-tier error surface keeps
+/// compiling. New code should name [`crate::Error`] directly; the
+/// variants this alias used to own (`ShardFailed`, `ShardDisconnected`)
+/// live there now, next to the session-era failure modes
+/// (`QuotaExceeded`, `Backpressure`, `InvalidConfig`) and the
+/// [`is_retriable`](Error::is_retriable) classification the daemon's
+/// retry logic is built on.
+pub type StreamError = Error;
 
 /// Configures and builds an [`EntropyStream`].
 ///
@@ -150,7 +123,7 @@ impl EntropyStreamBuilder {
     }
 
     /// Consecutive restarts a shard may burn on one chunk before it
-    /// reports [`StreamError::ShardFailed`].
+    /// reports [`Error::ShardFailed`].
     #[must_use]
     pub fn max_consecutive_restarts(mut self, restarts: u32) -> Self {
         self.max_consecutive_restarts = restarts;
@@ -158,7 +131,7 @@ impl EntropyStreamBuilder {
     }
 
     /// Deterministic fault injection: `shard` retires (reports
-    /// [`StreamError::ShardFailed`] with zero restarts) after producing
+    /// [`Error::ShardFailed`] with zero restarts) after producing
     /// exactly `chunks` healthy chunks.
     ///
     /// The retirement is a pure function of the chunk count, never of
@@ -172,38 +145,79 @@ impl EntropyStreamBuilder {
         self
     }
 
+    /// Checks the invariants [`build`](Self::build) would otherwise
+    /// panic on — the validation path for untrusted configuration.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(1..=64).contains(&self.shards) {
+            return Err(ConfigError::Shards { got: self.shards });
+        }
+        if self.chunk_bytes == 0 {
+            return Err(ConfigError::ChunkBytes);
+        }
+        if self.queue_chunks == 0 {
+            return Err(ConfigError::QueueChunks);
+        }
+        for &(shard, _) in &self.injected_failures {
+            if shard >= self.shards {
+                return Err(ConfigError::InjectedShard {
+                    shard,
+                    shards: self.shards,
+                });
+            }
+        }
+        if let Some(seeds) = &self.shard_seeds {
+            if seeds.len() != self.shards {
+                return Err(ConfigError::SeedSchedule {
+                    expected: self.shards,
+                    got: seeds.len(),
+                });
+            }
+        }
+        self.health.validate()
+    }
+
+    /// Spawns the shard workers and returns the merged stream,
+    /// rejecting invalid configuration with a typed error instead of a
+    /// panic — the path for configuration parsed from untrusted input.
+    ///
+    /// # Errors
+    ///
+    /// See [`validate`](Self::validate).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a worker thread cannot be spawned.
+    pub fn try_build(self) -> Result<EntropyStream, ConfigError> {
+        self.validate()?;
+        Ok(self.spawn())
+    }
+
     /// Spawns the shard workers and returns the merged stream.
     ///
     /// # Panics
     ///
     /// Panics if the shard count is outside `1..=64`, `chunk_bytes` or
     /// `queue_chunks` is zero, an explicit seed schedule has the wrong
-    /// length, an injected failure names an out-of-range shard, or a
-    /// worker thread cannot be spawned.
+    /// length, an injected failure names an out-of-range shard, the
+    /// health cutoffs are invalid, or a worker thread cannot be
+    /// spawned. [`try_build`](Self::try_build) reports the same
+    /// violations as typed errors instead.
     pub fn build(self) -> EntropyStream {
-        assert!(
-            (1..=64).contains(&self.shards),
-            "shard count must be 1..=64, got {}",
-            self.shards
-        );
-        assert!(self.chunk_bytes > 0, "chunk_bytes must be positive");
-        assert!(self.queue_chunks > 0, "queue_chunks must be positive");
-        for &(shard, _) in &self.injected_failures {
-            assert!(
-                shard < self.shards,
-                "injected failure names shard {shard} of {}",
-                self.shards
-            );
+        if let Err(error) = self.validate() {
+            panic!("{error}");
         }
+        self.spawn()
+    }
+
+    /// The post-validation construction: derives the seed schedule,
+    /// spawns one worker per shard, pre-fills each buffer pool.
+    fn spawn(self) -> EntropyStream {
         let seeds: Vec<u64> = match &self.shard_seeds {
-            Some(seeds) => {
-                assert_eq!(
-                    seeds.len(),
-                    self.shards,
-                    "seed schedule length must equal the shard count"
-                );
-                seeds.clone()
-            }
+            Some(seeds) => seeds.clone(),
             None => (0..self.shards as u64)
                 .map(|i| {
                     self.seed
@@ -341,7 +355,7 @@ impl EntropyStream {
     /// Returns the shard's terminal error once a shard retires; the
     /// stream stays failed from then on (bytes already delivered remain
     /// valid).
-    pub fn read(&mut self, out: &mut [u8]) -> Result<(), StreamError> {
+    pub fn read(&mut self, out: &mut [u8]) -> Result<(), Error> {
         self.exec.read(out)
     }
 
@@ -355,9 +369,9 @@ impl EntropyStream {
     ///
     /// # Errors
     ///
-    /// As [`read`](Self::read): the terminal [`StreamError`] once a
+    /// As [`read`](Self::read): the terminal [`Error`] once a
     /// shard retires (in which case `f` is not called).
-    pub fn with_next_chunk<R>(&mut self, f: impl FnOnce(&mut [u8]) -> R) -> Result<R, StreamError> {
+    pub fn with_next_chunk<R>(&mut self, f: impl FnOnce(&mut [u8]) -> R) -> Result<R, Error> {
         self.exec.with_chunk(f)
     }
 
@@ -415,7 +429,7 @@ impl EntropyStream {
     }
 
     /// Whether the stream has failed terminally.
-    pub fn failed(&self) -> Option<StreamError> {
+    pub fn failed(&self) -> Option<Error> {
         self.exec.failed()
     }
 
@@ -424,9 +438,9 @@ impl EntropyStream {
     ///
     /// # Errors
     ///
-    /// The terminal [`StreamError`] if the stream has failed (or fails
+    /// The terminal [`Error`] if the stream has failed (or fails
     /// on this call).
-    pub fn try_refill(&mut self) -> Result<bool, StreamError> {
+    pub fn try_refill(&mut self) -> Result<bool, Error> {
         self.exec.try_buffer()
     }
 }
@@ -551,7 +565,7 @@ mod tests {
         let err = stream.read(&mut buf).unwrap_err();
         assert_eq!(
             err,
-            StreamError::ShardFailed {
+            Error::ShardFailed {
                 shard: 0,
                 consecutive_restarts: 3
             }
@@ -581,7 +595,7 @@ mod tests {
         let err = stream.read(&mut [0u8; 1]).unwrap_err();
         assert_eq!(
             err,
-            StreamError::ShardFailed {
+            Error::ShardFailed {
                 shard: 1,
                 consecutive_restarts: 0
             }

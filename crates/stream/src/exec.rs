@@ -43,7 +43,7 @@
 use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
 use std::thread::JoinHandle;
 
-use crate::engine::StreamError;
+use crate::error::Error;
 use crate::shard::ShardMessage;
 
 /// The consumer ends of one shard's channel pair: produced chunks
@@ -68,7 +68,7 @@ pub(crate) struct Executor {
     current_shard: usize,
     /// Bytes of `current` already consumed.
     offset: usize,
-    failed: Option<StreamError>,
+    failed: Option<Error>,
     bytes_delivered: u64,
     /// Pool buffers created at build time (a pure function of the
     /// configuration; the pool never grows afterwards).
@@ -102,7 +102,7 @@ impl Executor {
         self.bytes_delivered
     }
 
-    pub(crate) fn failed(&self) -> Option<StreamError> {
+    pub(crate) fn failed(&self) -> Option<Error> {
         self.failed
     }
 
@@ -123,7 +123,7 @@ impl Executor {
 
     /// Pops the next chunk, round-robin in shard order, recycling the
     /// drained one. Does **not** latch the failure (callers decide).
-    fn refill(&mut self) -> Result<(), StreamError> {
+    fn refill(&mut self) -> Result<(), Error> {
         let shard = self.cursor;
         match self.links[shard].data.recv() {
             Ok(Ok(chunk)) => {
@@ -133,17 +133,17 @@ impl Executor {
                 self.cursor = (self.cursor + 1) % self.links.len();
                 Ok(())
             }
-            Ok(Err(failure)) => Err(StreamError::ShardFailed {
+            Ok(Err(failure)) => Err(Error::ShardFailed {
                 shard: failure.shard,
                 consecutive_restarts: failure.consecutive_restarts,
             }),
-            Err(_) => Err(StreamError::ShardDisconnected { shard }),
+            Err(_) => Err(Error::ShardDisconnected { shard }),
         }
     }
 
     /// Fills `out` with the next merged bytes (the raw-tier read path:
     /// pooled chunk → caller buffer, nothing in between).
-    pub(crate) fn read(&mut self, out: &mut [u8]) -> Result<(), StreamError> {
+    pub(crate) fn read(&mut self, out: &mut [u8]) -> Result<(), Error> {
         if let Some(error) = self.failed {
             return Err(error);
         }
@@ -169,10 +169,7 @@ impl Executor {
     /// in-place processing, then recycles the buffer. The whole
     /// remainder counts as delivered: this is how downstream stages
     /// consume the raw stream without re-buffering it.
-    pub(crate) fn with_chunk<R>(
-        &mut self,
-        f: impl FnOnce(&mut [u8]) -> R,
-    ) -> Result<R, StreamError> {
+    pub(crate) fn with_chunk<R>(&mut self, f: impl FnOnce(&mut [u8]) -> R) -> Result<R, Error> {
         if let Some(error) = self.failed {
             return Err(error);
         }
@@ -191,7 +188,7 @@ impl Executor {
     /// Buffers a chunk if one is ready, without blocking. `Ok(true)`
     /// when bytes are available to read, `Ok(false)` when the next
     /// shard has not produced yet. Latches any failure it consumes.
-    pub(crate) fn try_buffer(&mut self) -> Result<bool, StreamError> {
+    pub(crate) fn try_buffer(&mut self) -> Result<bool, Error> {
         if let Some(error) = self.failed {
             return Err(error);
         }
@@ -208,11 +205,11 @@ impl Executor {
                 return Ok(true);
             }
             Err(TryRecvError::Empty) => return Ok(false),
-            Ok(Err(failure)) => StreamError::ShardFailed {
+            Ok(Err(failure)) => Error::ShardFailed {
                 shard: failure.shard,
                 consecutive_restarts: failure.consecutive_restarts,
             },
-            Err(TryRecvError::Disconnected) => StreamError::ShardDisconnected { shard },
+            Err(TryRecvError::Disconnected) => Error::ShardDisconnected { shard },
         };
         // Latch: this path may consume the shard's one obituary message,
         // so later reads must keep reporting the true cause.

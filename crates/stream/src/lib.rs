@@ -26,19 +26,24 @@
 //!   deterministically at its round-robin slot (see
 //!   [`EntropyStream::read`]).
 //!
-//! On top of the merged raw stream sits the typed output
-//! [`pipeline`]: `RawStream → ConditionedStream → DrbgPool`, the
-//! SP 800-90C source → health → conditioner → DRBG chain, selected per
-//! consumer as a quality [`Tier`] from one [`PipelineBuilder`]. All
-//! tiers are thin shells over one stage-graph executor: the
-//! conditioning stage transforms each pooled chunk **in place** (a
+//! On top of the merged raw stream sits the session-oriented [`api`]:
+//! one shared [`EntropySource`] (engine + in-place conditioning stage,
+//! the SP 800-90C source → health → conditioner chain) minting
+//! independent per-consumer [`Session`]s at a quality [`Tier`] — the
+//! surface the `dhtrng-serve` daemon multiplexes thousands of clients
+//! over, with round-robin reseed arbitration, per-session quotas, and
+//! graceful degradation on shard retirement. The conditioning stage
+//! transforms each pooled chunk **in place** (a
 //! [`Stage`](dhtrng_core::kernel::Stage) over borrowed
 //! [`BitBlock`](dhtrng_core::kernel::BitBlock)s, via
-//! [`EntropyStream::with_next_chunk`]) and the DRBG stage pumps blocks
-//! out of borrowed state — no layer re-buffers the one below it
-//! (`DESIGN.md` §7). The `dh_trng` facade wraps [`EntropyStream`] and
-//! [`TierStream`] in `rand`-compatible adapters (`StreamRng` /
-//! `PipelineRng`) for the `rand` ecosystem.
+//! [`EntropyStream::with_next_chunk`]) and each session's DRBG pumps
+//! blocks out of borrowed state — no layer re-buffers the one below it
+//! (`DESIGN.md` §7–8). The legacy single-consumer [`pipeline`]
+//! (`RawStream → ConditionedStream → DrbgPool` behind one
+//! [`PipelineBuilder`]) survives as bit-identical sole-session shims.
+//! The `dh_trng` facade wraps [`EntropyStream`] and [`TierStream`] in
+//! `rand`-compatible adapters (`StreamRng` / `PipelineRng`) for the
+//! `rand` ecosystem.
 //!
 //! # Example
 //!
@@ -70,13 +75,21 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod api;
+mod arbiter;
 pub mod engine;
+pub mod error;
 mod exec;
 pub mod pipeline;
 pub mod shard;
 
-pub use engine::{EntropyStream, EntropyStreamBuilder, StreamError};
-pub use pipeline::{
-    ConditionedStream, ConditionerSpec, DrbgPool, PipelineBuilder, RawStream, Tier, TierStream,
+pub use api::{
+    EntropySource, Session, SessionConfig, SourceBuilder, SourceStats, DEFAULT_RESEED_CREDITS,
 };
-pub use shard::{HealthConfig, ShardFailure};
+pub use engine::{EntropyStream, EntropyStreamBuilder, StreamError};
+pub use error::{ConfigError, Error};
+pub use pipeline::{
+    ConditionedStream, ConditionerSpec, DrbgPool, PipelineBuilder, RawStream, SeedFlow, Tier,
+    TierStream,
+};
+pub use shard::{HealthConfig, HealthConfigBuilder, ShardFailure};

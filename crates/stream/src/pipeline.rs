@@ -18,7 +18,8 @@
 //!
 //! All three tiers are thin shells over the engine's stage-graph
 //! executor: the conditioned tier mounts its machine as a
-//! [`ConditionerStage`] that transforms each pooled chunk **in place**
+//! [`ConditionerStage`](dhtrng_core::kernel::ConditionerStage) that
+//! transforms each pooled chunk **in place**
 //! (via [`EntropyStream::with_next_chunk`]) instead of re-buffering the
 //! raw bytes, and the drbg tier pumps 512-bit blocks out of borrowed
 //! state, harvesting seed material through the same path into one
@@ -31,6 +32,18 @@
 //! the shard seed schedule, so all three tiers inherit the engine's
 //! reproducibility guarantee; every stage also propagates the typed
 //! [`StreamError`] (a retired shard surfaces identically at any tier).
+//!
+//! # Deprecation: this is the legacy single-consumer surface
+//!
+//! Since ISSUE 6 the deployment lives behind the shared, multi-session
+//! [`EntropySource`]; the conditioned and
+//! drbg types here are **thin shims, each a sole
+//! [`Session`] over a private source**, kept
+//! bit-identical for existing callers (the pinned-head tests hold).
+//! They remain fully supported but frozen: new code — and any code
+//! that needs more than one consumer — should build an
+//! `EntropySource` and mint sessions ([`PipelineBuilder::into_source_builder`]
+//! migrates a configuration verbatim).
 //!
 //! # Example
 //!
@@ -47,13 +60,13 @@
 //! assert_eq!(pool.tier(), Tier::Drbg);
 //! ```
 
-use std::collections::VecDeque;
-
 use dhtrng_core::conditioning::{Conditioner, CrcWhitener, VonNeumannConditioner, XorFold};
-use dhtrng_core::drbg::{DrbgConfig, HashDrbg, BLOCK_BYTES};
-use dhtrng_core::kernel::{BitBlock, ConditionerStage, Stage};
+use dhtrng_core::drbg::DrbgConfig;
+#[cfg(doc)]
+use dhtrng_core::drbg::{HashDrbg, BLOCK_BYTES};
 use dhtrng_core::DhTrngConfig;
 
+use crate::api::{EntropySource, Session, SessionConfig, SourceBuilder};
 use crate::engine::{EntropyStream, EntropyStreamBuilder, StreamError};
 use crate::shard::HealthConfig;
 
@@ -112,12 +125,28 @@ impl ConditionerSpec {
         self.build().expected_ratio()
     }
 
+    /// Checks the spec for a zero fold factor or compression ratio —
+    /// the validation path for untrusted configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ConditionerRatio`](crate::error::ConfigError::ConditionerRatio)
+    /// on a zero parameter.
+    pub fn validate(&self) -> Result<(), crate::error::ConfigError> {
+        match *self {
+            Self::XorFold(0) | Self::Crc { ratio: 0 } => {
+                Err(crate::error::ConfigError::ConditionerRatio)
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Instantiates the chosen machine.
     ///
     /// # Panics
     ///
     /// Panics on a zero fold factor or compression ratio.
-    fn build(&self) -> Box<dyn Conditioner + Send> {
+    pub(crate) fn build(&self) -> Box<dyn Conditioner + Send> {
         match *self {
             Self::VonNeumann => Box::new(VonNeumannConditioner::new()),
             Self::XorFold(factor) => Box::new(XorFold::new(factor)),
@@ -232,6 +261,25 @@ impl PipelineBuilder {
         self
     }
 
+    /// The shared-source equivalent of this configuration: the
+    /// modern builder every tier here is a sole-session shim over.
+    pub fn into_source_builder(self) -> SourceBuilder {
+        SourceBuilder {
+            stream: self.stream,
+            conditioner: self.conditioner,
+            drbg: self.drbg,
+            reseed_credits: 0,
+        }
+    }
+
+    /// Builds the shared source behind the legacy tiers, preserving
+    /// the legacy panic-on-misconfiguration contract.
+    fn source(self) -> EntropySource {
+        self.into_source_builder()
+            .build()
+            .unwrap_or_else(|error| panic!("{error}"))
+    }
+
     /// Builds the raw tier: the sharded engine itself.
     ///
     /// # Panics
@@ -249,12 +297,9 @@ impl PipelineBuilder {
     /// As [`build_raw`](Self::build_raw), plus on a zero conditioner
     /// ratio/factor.
     pub fn build_conditioned(self) -> ConditionedStream {
+        let source = self.source();
         ConditionedStream {
-            stage: ConditionerStage::new(self.conditioner.build()),
-            spec: self.conditioner,
-            raw: self.stream.build(),
-            ready: VecDeque::new(),
-            bytes_delivered: 0,
+            session: source.session(Tier::Conditioned),
         }
     }
 
@@ -267,16 +312,12 @@ impl PipelineBuilder {
     /// As [`build_conditioned`](Self::build_conditioned), plus on
     /// `drbg_config.seed_bytes == 0`.
     pub fn build_drbg(self) -> DrbgPool {
-        assert!(self.drbg.seed_bytes > 0, "seed_bytes must be positive");
-        let config = self.drbg;
+        let source = self.source();
         DrbgPool {
-            conditioned: self.build_conditioned(),
-            config,
-            drbg: None,
-            block: [0u8; BLOCK_BYTES],
-            cursor: BLOCK_BYTES,
-            material: vec![0u8; config.seed_bytes],
-            bytes_delivered: 0,
+            // The legacy pool predates graceful degradation: a dead
+            // source surfaces as the read's error, never as a stalled
+            // reseed.
+            session: source.session_with(SessionConfig::new(Tier::Drbg).stall_reseeds(false)),
         }
     }
 
@@ -300,7 +341,8 @@ impl PipelineBuilder {
 ///
 /// Each refill borrows the next raw chunk via
 /// [`EntropyStream::with_next_chunk`] and lets the
-/// [`ConditionerStage`] overwrite it with its own output — no scratch
+/// [`ConditionerStage`](dhtrng_core::kernel::ConditionerStage)
+/// overwrite it with its own output — no scratch
 /// buffer, no byte-by-byte queueing; only the tail that does not fit
 /// the caller's buffer is carried over. Like the raw tier, the output
 /// is a pure function of the shard seed schedule. Rate is the raw rate
@@ -309,25 +351,14 @@ impl PipelineBuilder {
 /// (which exceeds the expected ratio for Von Neumann on a biased
 /// source).
 pub struct ConditionedStream {
-    raw: RawStream,
-    stage: ConditionerStage<Box<dyn Conditioner + Send>>,
-    spec: ConditionerSpec,
-    /// Conditioned bytes carried over: the part of a processed chunk
-    /// that did not fit the caller's buffer (at most one chunk's
-    /// conditioned output), plus — after a failed read — everything the
-    /// rollback contract restored, which can reach the failed read's
-    /// full length.
-    ready: VecDeque<u8>,
-    bytes_delivered: u64,
+    session: Session,
 }
 
 impl std::fmt::Debug for ConditionedStream {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ConditionedStream")
-            .field("spec", &self.spec)
-            .field("consumed_bits", &self.stage.consumed())
-            .field("emitted_bits", &self.stage.emitted())
-            .field("bytes_delivered", &self.bytes_delivered)
+            .field("spec", &self.spec())
+            .field("bytes_delivered", &self.bytes_delivered())
             .finish_non_exhaustive()
     }
 }
@@ -343,85 +374,51 @@ impl ConditionedStream {
     /// consumer that retries with smaller reads still sees every
     /// healthy byte exactly once before the error surfaces for good.
     pub fn read(&mut self, out: &mut [u8]) -> Result<(), StreamError> {
-        let mut written = 0;
-        while written < out.len() {
-            // Serve carried-over bytes first.
-            while written < out.len() {
-                let Some(byte) = self.ready.pop_front() else {
-                    break;
-                };
-                out[written] = byte;
-                written += 1;
-            }
-            if written == out.len() {
-                break;
-            }
-            // Condition the next raw chunk in place in its pool buffer,
-            // copying straight into `out`; only the tail is carried.
-            let Self {
-                raw, stage, ready, ..
-            } = self;
-            let space = out.len() - written;
-            let dest = &mut out[written..];
-            match raw.with_next_chunk(|chunk| {
-                let mut block = BitBlock::full(chunk);
-                stage.process(&mut block);
-                let emitted = block.whole_bytes();
-                let take = emitted.min(space);
-                dest[..take].copy_from_slice(&chunk[..take]);
-                ready.extend(&chunk[take..emitted]);
-                take
-            }) {
-                Ok(take) => written += take,
-                Err(error) => {
-                    // Roll back: healthy bytes already written go back
-                    // to the carry buffer front, in order, unconsumed.
-                    for &byte in out[..written].iter().rev() {
-                        self.ready.push_front(byte);
-                    }
-                    return Err(error);
-                }
-            }
-        }
-        self.bytes_delivered += out.len() as u64;
-        Ok(())
+        self.session.read(out)
     }
 
     /// The conditioner choice this stage runs.
     pub fn spec(&self) -> ConditionerSpec {
-        self.spec
+        self.session.source().conditioner()
     }
 
     /// Raw bits fed to the conditioner so far.
     pub fn consumed_bits(&self) -> u64 {
-        self.stage.consumed()
+        self.session.source().stats().consumed_bits
     }
 
     /// Conditioned bits emitted so far.
     pub fn emitted_bits(&self) -> u64 {
-        self.stage.emitted()
+        self.session.source().stats().emitted_bits
     }
 
     /// Measured raw-bits-per-output-bit (infinite before the first
     /// emission).
     pub fn measured_ratio(&self) -> f64 {
-        self.stage.measured_ratio()
+        let stats = self.session.source().stats();
+        if stats.emitted_bits == 0 {
+            f64::INFINITY
+        } else {
+            stats.consumed_bits as f64 / stats.emitted_bits as f64
+        }
     }
 
     /// Conditioned bytes handed to consumers so far.
     pub fn bytes_delivered(&self) -> u64 {
-        self.bytes_delivered
+        self.session.bytes_delivered()
     }
 
     /// Modeled sustained output rate: the engine's modeled hardware
     /// throughput divided by the conditioner's expected ratio.
     pub fn throughput_mbps(&self) -> f64 {
-        self.raw.throughput_mbps() / self.spec.expected_ratio()
+        self.session.source().conditioned_mbps()
     }
 
-    /// The raw engine behind this stage (shards, restarts, placements).
-    pub fn raw(&self) -> &RawStream {
-        &self.raw
+    /// The shared source behind this stream (the modern handle: mint
+    /// further sessions from it instead of building a second
+    /// deployment).
+    pub fn source(&self) -> &EntropySource {
+        self.session.source()
     }
 }
 
@@ -436,15 +433,7 @@ impl ConditionedStream {
 /// heap allocation.
 #[derive(Debug)]
 pub struct DrbgPool {
-    conditioned: ConditionedStream,
-    config: DrbgConfig,
-    drbg: Option<HashDrbg>,
-    block: [u8; BLOCK_BYTES],
-    /// Byte cursor into `block`; `BLOCK_BYTES` means exhausted.
-    cursor: usize,
-    /// Persistent seed-material buffer, reused across reseeds.
-    material: Vec<u8>,
-    bytes_delivered: u64,
+    session: Session,
 }
 
 impl DrbgPool {
@@ -464,63 +453,22 @@ impl DrbgPool {
     /// completed earlier within one oversized failed read cannot be
     /// rewound and are lost with the failed call.
     pub fn read(&mut self, out: &mut [u8]) -> Result<(), StreamError> {
-        let mut written = 0;
-        while written < out.len() {
-            if self.cursor == BLOCK_BYTES {
-                if let Err(e) = self.refill() {
-                    // Roll back what the current block can restore: its
-                    // tail is exactly the last bytes copied out (refill
-                    // fails before `generate`, so the block is intact).
-                    let rewind = written.min(BLOCK_BYTES);
-                    self.cursor -= rewind;
-                    self.bytes_delivered -= rewind as u64;
-                    return Err(e);
-                }
-            }
-            let take = (out.len() - written).min(BLOCK_BYTES - self.cursor);
-            out[written..written + take]
-                .copy_from_slice(&self.block[self.cursor..self.cursor + take]);
-            self.cursor += take;
-            written += take;
-            self.bytes_delivered += take as u64;
-        }
-        Ok(())
-    }
-
-    /// Produces the next output block, harvesting seed material first
-    /// when the policy requires it. The harvest lands in the pool's
-    /// persistent material buffer — instantiate, reseed, and refill all
-    /// run without heap allocation (at the default interval a reseed
-    /// happens on 1 of every 2048 refills anyway).
-    fn refill(&mut self) -> Result<(), StreamError> {
-        if self.drbg.is_none() {
-            self.conditioned.read(&mut self.material)?;
-            self.drbg = Some(HashDrbg::instantiate(&self.material, self.config));
-        }
-        let drbg = self.drbg.as_mut().expect("instantiated above");
-        if drbg.needs_reseed() {
-            self.conditioned.read(&mut self.material)?;
-            drbg.reseed(&self.material);
-        }
-        drbg.generate(&mut self.block)
-            .expect("reseed just satisfied the interval");
-        self.cursor = 0;
-        Ok(())
+        self.session.read(out)
     }
 
     /// Reseeds performed so far (the lazy instantiation not counted).
     pub fn reseeds(&self) -> u64 {
-        self.drbg.as_ref().map_or(0, HashDrbg::reseeds)
+        self.session.reseeds()
     }
 
     /// DRBG bytes handed to consumers so far.
     pub fn bytes_delivered(&self) -> u64 {
-        self.bytes_delivered
+        self.session.bytes_delivered()
     }
 
     /// The DRBG policy in force.
     pub fn config(&self) -> &DrbgConfig {
-        &self.config
+        self.session.drbg_config()
     }
 
     /// Modeled sustained output rate: the conditioned tier's modeled
@@ -528,18 +476,51 @@ impl DrbgPool {
     /// harvested seed bit). The realised software rate is CPU-bound and
     /// reported by `bench_report` instead.
     pub fn throughput_mbps(&self) -> f64 {
-        self.conditioned.throughput_mbps() * self.config.expansion_factor()
+        self.session.source().conditioned_mbps() * self.config().expansion_factor()
     }
 
-    /// The conditioning stage feeding this pool.
-    pub fn conditioned(&self) -> &ConditionedStream {
-        &self.conditioned
+    /// A snapshot of the conditioned seed flow feeding this pool
+    /// (bytes harvested so far, modeled conditioned rate).
+    pub fn conditioned(&self) -> SeedFlow {
+        SeedFlow {
+            bytes_delivered: self.session.harvested_bytes(),
+            throughput_mbps: self.session.source().conditioned_mbps(),
+        }
+    }
+
+    /// The shared source behind this pool (the modern handle: mint
+    /// further sessions from it instead of building a second
+    /// deployment).
+    pub fn source(&self) -> &EntropySource {
+        self.session.source()
     }
 
     /// Always [`Tier::Drbg`] (mirrors [`TierStream::tier`] for generic
     /// reporting code).
     pub fn tier(&self) -> Tier {
         Tier::Drbg
+    }
+}
+
+/// A snapshot of the conditioned seed flow feeding a [`DrbgPool`] —
+/// what [`DrbgPool::conditioned`] reports now that the conditioning
+/// stage lives in the shared [`EntropySource`] rather than inside the
+/// pool.
+#[derive(Debug, Clone, Copy)]
+pub struct SeedFlow {
+    bytes_delivered: u64,
+    throughput_mbps: f64,
+}
+
+impl SeedFlow {
+    /// Conditioned bytes harvested as seed material by this pool.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_delivered
+    }
+
+    /// Modeled sustained conditioned-tier rate.
+    pub fn throughput_mbps(&self) -> f64 {
+        self.throughput_mbps
     }
 }
 
@@ -599,12 +580,14 @@ impl TierStream {
         }
     }
 
-    /// The raw engine at the bottom of this tier.
-    pub fn raw(&self) -> &RawStream {
+    /// The shared source behind this tier, for the conditioned and
+    /// drbg shims (`None` for the raw tier, which still owns its
+    /// engine directly to preserve the zero-allocation read path).
+    pub fn source(&self) -> Option<&EntropySource> {
         match self {
-            Self::Raw(stream) => stream,
-            Self::Conditioned(stream) => stream.raw(),
-            Self::Drbg(pool) => pool.conditioned().raw(),
+            Self::Raw(_) => None,
+            Self::Conditioned(stream) => Some(stream.source()),
+            Self::Drbg(pool) => Some(pool.source()),
         }
     }
 }
@@ -806,10 +789,14 @@ mod tests {
             .max_consecutive_restarts(1)
             .build_conditioned();
         // Simulate healthy bytes buffered before the source died.
-        tier.ready.extend([0xAA, 0xBB, 0xCC]);
+        tier.session.carry_mut().extend([0xAA, 0xBB, 0xCC]);
         let mut big = [0u8; 16];
         assert!(tier.read(&mut big).is_err());
-        assert_eq!(tier.ready.len(), 3, "rolled back, nothing consumed");
+        assert_eq!(
+            tier.session.carry_mut().len(),
+            3,
+            "rolled back, nothing consumed"
+        );
         assert_eq!(tier.bytes_delivered(), 0);
         // Smaller reads drain the healthy bytes exactly once...
         let mut small = [0u8; 3];
@@ -826,36 +813,22 @@ mod tests {
         // Mirror of the conditioned rollback contract at DRBG block
         // granularity: a failed oversized read rewinds the current
         // block, so block-sized retries see its bytes exactly once.
-        let config = DrbgConfig {
-            reseed_interval_bits: 512, // one block per reseed
-            seed_bytes: 8,
-            prediction_resistance: false,
-        };
-        let doomed = PipelineBuilder::new()
+        // seed_bytes = one full chunk's conditioned output: the
+        // instantiate harvest drains chunk 0 exactly, and the injected
+        // retirement makes the first reseed harvest hit a dead source.
+        let mut pool = PipelineBuilder::new()
             .shards(1)
             .seed(1)
             .chunk_bytes(256)
-            .health(HealthConfig {
-                rct_cutoff: 2,
-                apt_window: 64,
-                apt_cutoff: 64,
+            .inject_shard_failure(0, 1)
+            .drbg_config(DrbgConfig {
+                reseed_interval_bits: 512, // one block per reseed
+                seed_bytes: 128,
+                prediction_resistance: false,
             })
-            .max_consecutive_restarts(1)
-            .build_conditioned();
-        let mut drbg = HashDrbg::instantiate(&[1, 2, 3, 4, 5, 6, 7, 8], config);
-        let mut block = [0u8; BLOCK_BYTES];
-        drbg.generate(&mut block).expect("fresh interval");
-        let mut pool = DrbgPool {
-            conditioned: doomed,
-            config,
-            drbg: Some(drbg),
-            block,
-            cursor: 0,
-            material: vec![0u8; config.seed_bytes],
-            bytes_delivered: 0,
-        };
-        // Oversized read: the block serves 64 bytes, then the reseed
-        // harvest hits the dead source.
+            .build_drbg();
+        // Oversized read: instantiation and the first block succeed and
+        // serve 64 bytes, then the reseed harvest hits the dead source.
         let mut out = [0u8; 100];
         assert!(pool.read(&mut out).is_err());
         assert_eq!(pool.bytes_delivered(), 0, "block rewound, nothing consumed");

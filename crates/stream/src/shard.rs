@@ -21,12 +21,20 @@ use std::sync::Arc;
 use dhtrng_core::kernel::{BitBlock, BlockSource};
 use dhtrng_core::{DhTrng, HealthMonitor, HealthStatus};
 
+use crate::error::ConfigError;
+
 /// Cutoffs for the per-shard continuous health tests.
 ///
 /// The defaults are the SP 800-90B §4.4 values [`HealthMonitor::new`]
 /// uses (`alpha = 2^-30`, `H = 0.99`): a healthy DH-TRNG essentially
 /// never trips them. Tighter cutoffs are useful to exercise the restart
 /// machinery deterministically in tests.
+///
+/// Cutoffs that arrive from **untrusted input** (a daemon config file,
+/// a peer) should come through [`builder`](Self::builder), which
+/// returns a typed [`ConfigError`] instead of panicking; the plain
+/// struct literal stays available for in-process construction where a
+/// bad value is a programmer error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HealthConfig {
     /// Repetition Count Test cutoff (must exceed 1).
@@ -48,13 +56,110 @@ impl Default for HealthConfig {
 }
 
 impl HealthConfig {
+    /// Starts configuring cutoffs with validation — the path for
+    /// untrusted input.
+    pub fn builder() -> HealthConfigBuilder {
+        HealthConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Checks the invariants [`monitor`](Self::monitor) would otherwise
+    /// panic on.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.rct_cutoff <= 1 {
+            return Err(ConfigError::RctCutoff {
+                got: self.rct_cutoff,
+            });
+        }
+        if self.apt_window == 0 {
+            return Err(ConfigError::AptWindow);
+        }
+        if self.apt_cutoff == 0 {
+            return Err(ConfigError::AptCutoff);
+        }
+        if self.apt_cutoff > self.apt_window {
+            return Err(ConfigError::AptCutoffExceedsWindow {
+                cutoff: self.apt_cutoff,
+                window: self.apt_window,
+            });
+        }
+        Ok(())
+    }
+
     /// Builds a monitor with these cutoffs.
     ///
     /// # Panics
     ///
-    /// Panics on invalid cutoffs (see [`HealthMonitor::with_cutoffs`]).
+    /// Panics on invalid cutoffs (see [`HealthMonitor::with_cutoffs`]);
+    /// validate untrusted values first via [`builder`](Self::builder)
+    /// or [`validate`](Self::validate).
     pub fn monitor(&self) -> HealthMonitor {
         HealthMonitor::with_cutoffs(self.rct_cutoff, self.apt_window, self.apt_cutoff)
+    }
+}
+
+/// Builder-style, validated construction of [`HealthConfig`] — returns
+/// typed errors instead of panicking, so daemon configuration parsed
+/// from untrusted input cannot take the process down.
+///
+/// ```
+/// use dhtrng_stream::{ConfigError, HealthConfig};
+///
+/// let health = HealthConfig::builder()
+///     .rct_cutoff(20)
+///     .apt_window(512)
+///     .apt_cutoff(400)
+///     .build()
+///     .expect("valid cutoffs");
+/// assert_eq!(health.rct_cutoff, 20);
+///
+/// let err = HealthConfig::builder().apt_cutoff(4096).build().unwrap_err();
+/// assert_eq!(
+///     err,
+///     ConfigError::AptCutoffExceedsWindow { cutoff: 4096, window: 1024 }
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HealthConfigBuilder {
+    config: HealthConfig,
+}
+
+impl HealthConfigBuilder {
+    /// Repetition Count Test cutoff (must exceed 1 at build time).
+    #[must_use]
+    pub fn rct_cutoff(mut self, cutoff: u32) -> Self {
+        self.config.rct_cutoff = cutoff;
+        self
+    }
+
+    /// Adaptive Proportion Test window size (positive at build time).
+    #[must_use]
+    pub fn apt_window(mut self, window: u32) -> Self {
+        self.config.apt_window = window;
+        self
+    }
+
+    /// Adaptive Proportion Test cutoff (positive, at most the window,
+    /// at build time).
+    #[must_use]
+    pub fn apt_cutoff(mut self, cutoff: u32) -> Self {
+        self.config.apt_cutoff = cutoff;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant (see [`HealthConfig::validate`]).
+    pub fn build(self) -> Result<HealthConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 

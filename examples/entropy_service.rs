@@ -1,0 +1,150 @@
+//! Entropy as a service: one shared sharded source, a thousand
+//! concurrent clients, a shard retirement mid-run — and zero protocol
+//! errors.
+//!
+//! The drill stacks every serving guarantee in one pass:
+//!
+//! * **scale** — the load generator opens 1,000 simultaneous drbg
+//!   sessions (full wire round-trips through the daemon's connection
+//!   state machine) while 16 real TCP clients speak the same frames
+//!   through sockets;
+//! * **exactly-once** — every client checks each `Data.offset`
+//!   extends its stream contiguously; a duplicated or dropped byte
+//!   anywhere would show up as a delivery violation;
+//! * **graceful degradation** — shard 2 of 4 is scheduled to retire
+//!   *deterministically* in the middle of the read phase. A
+//!   reseed-hungry DRBG policy (one harvest per 64 bytes served)
+//!   drives the source into the failure fast; every session was
+//!   primed at `Hello`, so reseeds stall, `Stat` turns degraded, and
+//!   not a single read fails.
+//!
+//! The printed p50/p99 read latencies are the numbers CI's bench job
+//! records in `BENCH_5.json` (`serve.latency_p50_us` / `p99_us`).
+//!
+//! Run with: `cargo run --release --example entropy_service`
+
+use dh_trng::prelude::*;
+use dh_trng::serve::{serve_tcp, LoadConfig};
+
+const CLIENTS: usize = 1000;
+const READS_PER_CLIENT: usize = 16;
+const READ_BYTES: u32 = 64;
+const TCP_CLIENTS: usize = 16;
+const TCP_READS: usize = 32;
+
+fn main() {
+    println!("DH-TRNG entropy-as-a-service drill");
+
+    // One shared deployment: 4 shards, with shard 2 wired to retire
+    // after its 64th chunk — ~256 KiB of conditioned output, well
+    // past every handshake but far short of the read phase's demand.
+    let source = EntropySource::builder()
+        .shards(4)
+        .seed(0x5E4E)
+        .chunk_bytes(2048)
+        .inject_shard_failure(2, 64)
+        .drbg_config(DrbgConfig {
+            reseed_interval_bits: 512,
+            ..Default::default()
+        })
+        .build()
+        .expect("valid deployment");
+    let service = Service::new(source);
+
+    // Real sockets on the side: a TCP front-end and a handful of
+    // out-of-process-style clients that handshake while the source is
+    // healthy, read while the fleet hammers it, and read again after
+    // the retirement.
+    let handle = serve_tcp(service.clone(), "127.0.0.1:0").expect("bind");
+    let mut tcp_clients: Vec<_> = (0..TCP_CLIENTS)
+        .map(|_| {
+            let mut client = Client::connect_tcp(handle.addr()).expect("connect");
+            client.hello(Tier::Drbg, None).expect("handshake");
+            client
+        })
+        .collect();
+
+    let report = std::thread::scope(|scope| {
+        let fleet = scope.spawn(|| {
+            dh_trng::serve::loadgen::run(
+                &service,
+                &LoadConfig {
+                    clients: CLIENTS,
+                    reads_per_client: READS_PER_CLIENT,
+                    read_bytes: READ_BYTES,
+                    tier: Tier::Drbg,
+                    threads: 8,
+                },
+            )
+        });
+        let sockets: Vec<_> = tcp_clients
+            .iter_mut()
+            .map(|client| {
+                scope.spawn(move || {
+                    for _ in 0..TCP_READS {
+                        // Client::read verifies offset contiguity.
+                        client.read(READ_BYTES).expect("tcp read");
+                    }
+                })
+            })
+            .collect();
+        for socket in sockets {
+            socket.join().expect("tcp clients never fail");
+        }
+        fleet.join().expect("load generator never panics")
+    });
+
+    println!(
+        "  fleet: {} sessions x {} reads of {} B in {:.2} s",
+        report.clients, READS_PER_CLIENT, READ_BYTES, report.elapsed_secs
+    );
+    println!(
+        "  read latency: p50 {:.1} us, p99 {:.1} us, max {:.1} us",
+        report.p50_us, report.p99_us, report.max_us
+    );
+    println!(
+        "  protocol errors: {}, delivery violations: {}",
+        report.protocol_errors, report.delivery_violations
+    );
+
+    // The hard acceptance gates: full scale, clean protocol,
+    // exactly-once delivery.
+    assert_eq!(report.clients, CLIENTS);
+    assert_eq!(report.protocol_errors, 0, "protocol must stay clean");
+    assert_eq!(
+        report.delivery_violations, 0,
+        "delivery must be exactly-once"
+    );
+    assert_eq!(report.reads, (CLIENTS * READS_PER_CLIENT) as u64);
+    assert_eq!(report.bytes, report.reads * u64::from(READ_BYTES));
+
+    // The retirement really happened mid-run, and the service
+    // degraded instead of dying: reseeds stalled, reads kept flowing.
+    let stats = service.source().stats();
+    let degraded = stats.degraded.expect("the injected retirement must latch");
+    println!(
+        "  source: degraded ({degraded}), {} stalled reseeds",
+        stats.stalled_reseeds
+    );
+    assert!(
+        stats.stalled_reseeds > 0,
+        "degradation must stall reseeds, not kill reads"
+    );
+
+    // Sessions primed before the failure keep serving after it — over
+    // real sockets too — and Stat tells the truth about the outage.
+    let mut survivor = tcp_clients.remove(0);
+    let key = survivor
+        .read(READ_BYTES)
+        .expect("primed sessions outlive the shard");
+    assert_eq!(key.len(), READ_BYTES as usize);
+    let stat = survivor.stat().expect("stat");
+    assert!(stat.degraded, "Stat must report the degradation");
+    assert!(stat.live_sessions >= 1 + TCP_CLIENTS as u64 - 1);
+
+    handle.shutdown();
+    println!(
+        "  {} tcp clients over real sockets, all offsets contiguous; daemon drained cleanly",
+        TCP_CLIENTS
+    );
+}

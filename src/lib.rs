@@ -12,11 +12,27 @@
 //! * [`fpga`] — device, packing, placement, timing and power models;
 //! * [`baselines`] — the Table 6 comparison architectures;
 //! * [`stattests`] — NIST SP 800-22 / SP 800-90B / AIS-31 batteries;
-//! * [`stream`] — the sharded streaming engine and the typed output
-//!   pipeline (raw / conditioned / drbg tiers), all driven by one
-//!   stage-graph executor over recycled chunk buffers (zero-allocation
-//!   steady-state reads; `DESIGN.md` §7), wrapped here by the
-//!   `rand`-compatible [`StreamRng`] and [`PipelineRng`] adapters.
+//! * [`stream`] — the sharded streaming engine and the
+//!   session-oriented entropy source ([`api`]): one shared
+//!   [`EntropySource`](dhtrng_stream::EntropySource) minting
+//!   independent per-consumer
+//!   [`Session`](dhtrng_stream::Session)s at any quality tier
+//!   (raw / conditioned / drbg), all driven by one stage-graph
+//!   executor over recycled chunk buffers (zero-allocation
+//!   steady-state raw reads; `DESIGN.md` §7–8), wrapped here by the
+//!   `rand`-compatible [`StreamRng`] and [`PipelineRng`] adapters;
+//! * [`serve`] — entropy as a service: the daemon front-end
+//!   (TCP / unix socket, length-prefixed frames) that multiplexes
+//!   many concurrent clients over one shared source, plus the load
+//!   generator that drives thousands of simulated clients through
+//!   the same connection state machine.
+//!
+//! **Library or service?** Link against [`api`] when the consumers
+//! live in your process — sessions are cheap and draw from one shared
+//! deployment. Run the [`serve`] daemon when consumers are separate
+//! processes (or machines) and should share one hardware deployment
+//! through a socket; the wire protocol and trade-offs are in
+//! `README.md` § "Library vs service" and `DESIGN.md` §8.
 //!
 //! # Quickstart
 //!
@@ -62,9 +78,21 @@ pub use dhtrng_baselines as baselines;
 pub use dhtrng_core as core;
 pub use dhtrng_fpga as fpga;
 pub use dhtrng_noise as noise;
+pub use dhtrng_serve as serve;
 pub use dhtrng_sim as sim;
 pub use dhtrng_stattests as stattests;
 pub use dhtrng_stream as stream;
+
+/// The session-oriented public API: one shared
+/// [`EntropySource`](dhtrng_stream::EntropySource), many independent
+/// [`Session`](dhtrng_stream::Session)s (see `dhtrng_stream::api`).
+///
+/// The legacy single-consumer pipeline
+/// ([`PipelineBuilder`](dhtrng_stream::PipelineBuilder) /
+/// [`TierStream`](dhtrng_stream::TierStream) and the [`PipelineRng`]
+/// adapter here) remains available as bit-identical sole-session
+/// shims over this API.
+pub use dhtrng_stream::api;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
@@ -79,11 +107,13 @@ pub mod prelude {
     };
     pub use dhtrng_fpga::Device;
     pub use dhtrng_noise::{NoiseRng, PvtCorner};
+    pub use dhtrng_serve::{Client, Service, ServiceConfig};
     pub use dhtrng_stattests::sp800_90b::{min_entropy_mcv, non_iid_battery};
     pub use dhtrng_stattests::BitBuffer;
     pub use dhtrng_stream::{
-        ConditionedStream, ConditionerSpec, DrbgPool, EntropyStream, EntropyStreamBuilder,
-        HealthConfig, PipelineBuilder, StreamError, Tier, TierStream,
+        ConditionedStream, ConditionerSpec, DrbgPool, EntropySource, EntropyStream,
+        EntropyStreamBuilder, HealthConfig, PipelineBuilder, Session, SessionConfig, SourceBuilder,
+        StreamError, Tier, TierStream,
     };
 
     pub use crate::{PipelineRng, StreamRng};
@@ -190,6 +220,13 @@ impl rand::RngCore for StreamRng {
 ///
 /// Byte and word order match [`StreamRng`] (words built MSB-first from
 /// the tier's byte stream).
+///
+/// **Legacy shim.** The pipeline underneath is now a bit-identical
+/// sole-session view over the session-oriented [`api`]
+/// ([`EntropySource`](dhtrng_stream::EntropySource) /
+/// [`Session`](dhtrng_stream::Session)); new code that wants multiple
+/// consumers, quotas, or graceful degradation should open sessions
+/// directly and wrap them as needed.
 ///
 /// # Panics
 ///
