@@ -13,7 +13,7 @@ use dhtrng_baselines::{
     DualModePufTrng, JitterLatchTrng, LatchedRoTrng, MetastableCmTrng, MultiphaseTrng, TeroTrng,
     TerotTrng,
 };
-use dhtrng_core::{DhTrng, HybridUnitGroup, Trng};
+use dhtrng_core::{DhTrng, HybridUnitGroup, SlicedDhTrng, Trng, MAX_LANES};
 use std::hint::black_box;
 
 const BITS: usize = 1 << 16;
@@ -83,5 +83,42 @@ fn throughput_benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, throughput_benches);
+/// Scalar vs bit-sliced block kernel at equal lane counts: `lanes`
+/// independently-seeded generators each producing `BITS` bits, either
+/// as `lanes` sequential scalar `fill_bytes` calls or as one
+/// lane-parallel `SlicedDhTrng` bank. Identical output bytes per lane,
+/// so the ratio is pure kernel speed (the number BENCH_6.json gates).
+fn kernel_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block-kernel");
+    for lanes in [4usize, 16, MAX_LANES] {
+        group.throughput(Throughput::Elements((lanes * BITS) as u64));
+        group.bench_function(BenchmarkId::new("scalar", lanes), |b| {
+            let mut trngs: Vec<DhTrng> = (0..lanes)
+                .map(|i| DhTrng::builder().seed(1 + i as u64).build())
+                .collect();
+            let mut buf = vec![0u8; BITS / 8];
+            b.iter(|| {
+                for trng in &mut trngs {
+                    trng.fill_bytes(&mut buf);
+                }
+                black_box(buf[0])
+            })
+        });
+        group.bench_function(BenchmarkId::new("sliced", lanes), |b| {
+            let instances: Vec<DhTrng> = (0..lanes)
+                .map(|i| DhTrng::builder().seed(1 + i as u64).build())
+                .collect();
+            let mut bank = SlicedDhTrng::new(instances).expect("lanes <= MAX_LANES");
+            let mut chunks: Vec<Option<Vec<u8>>> =
+                (0..lanes).map(|_| Some(vec![0u8; BITS / 8])).collect();
+            b.iter(|| {
+                bank.fill_lane_chunks(&mut chunks);
+                black_box(chunks[0].as_deref().map(|c| c[0]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, throughput_benches, kernel_benches);
 criterion_main!(benches);

@@ -31,6 +31,39 @@ use crate::model::BeatOscillator;
 /// groups at most 18).
 pub const MAX_BEATS: usize = 32;
 
+/// Why a [`BlockKernel`] could not be built over a beat bank.
+///
+/// Historically [`BlockKernel::new`] reported this as a bare `None`,
+/// which every caller silently turned into the per-bit fallback path —
+/// so a mis-sized bank degraded throughput ~7x without a word. The
+/// typed surface ([`BlockKernel::try_new`]) names the violated limit;
+/// `new` keeps the `Option` shape for the fallback-style callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelError {
+    /// The beat bank exceeds the kernel's fixed capacity
+    /// ([`MAX_BEATS`]); the caller must use its per-bit path.
+    TooManyBeats {
+        /// Oscillators in the offered bank.
+        got: usize,
+        /// The kernel capacity ([`MAX_BEATS`]).
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooManyBeats { got, max } => write!(
+                f,
+                "beat bank of {got} oscillators exceeds the block-kernel \
+                 capacity of {max}; use the per-bit path"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
 /// Packs `n` (1..=64) cycles of `cycle` into a word, oldest bit first —
 /// the packing every `Trng::next_bits` implementation must produce.
 ///
@@ -87,7 +120,9 @@ impl BlockKernel {
     /// `feedback` carries the kick scale and per-beat multipliers of the
     /// feedback strategy (`None` for generators without a feedback
     /// line). Returns `None` when the beat bank exceeds [`MAX_BEATS`],
-    /// in which case the caller must use its per-bit path.
+    /// in which case the caller must use its per-bit path — see
+    /// [`try_new`](Self::try_new) for the typed version of the same
+    /// rejection.
     ///
     /// # Panics
     ///
@@ -98,8 +133,33 @@ impl BlockKernel {
         bias: f64,
         feedback: Option<(f64, &[f64])>,
     ) -> Option<Self> {
+        Self::try_new(beats, p_rand, bias, feedback).ok()
+    }
+
+    /// [`new`](Self::new) with a typed rejection: callers that have no
+    /// per-bit fallback (the bit-sliced kernel, configuration
+    /// validators) get a [`KernelError`] naming the violated limit
+    /// instead of a silent `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::TooManyBeats`] when the bank exceeds
+    /// [`MAX_BEATS`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feedback` multipliers don't match the beat count.
+    pub fn try_new(
+        beats: &[BeatOscillator],
+        p_rand: f64,
+        bias: f64,
+        feedback: Option<(f64, &[f64])>,
+    ) -> Result<Self, KernelError> {
         if beats.len() > MAX_BEATS {
-            return None;
+            return Err(KernelError::TooManyBeats {
+                got: beats.len(),
+                max: MAX_BEATS,
+            });
         }
         let mut kernel = Self {
             beats: beats.len(),
@@ -127,7 +187,7 @@ impl BlockKernel {
             kernel.kick_mults[..mults.len()].copy_from_slice(mults);
             kernel.kick_scale = scale;
         }
-        Some(kernel)
+        Ok(kernel)
     }
 
     /// One cycle of the Eq. 5 structure — the same draws, in the same
@@ -314,6 +374,27 @@ mod tests {
         assert!(BlockKernel::new(&beats, 0.5, 0.0, None).is_none());
         let beats = bank(1, MAX_BEATS);
         assert!(BlockKernel::new(&beats, 0.5, 0.0, None).is_some());
+    }
+
+    #[test]
+    fn oversized_bank_reports_a_typed_error() {
+        let beats = bank(1, MAX_BEATS + 3);
+        let err = BlockKernel::try_new(&beats, 0.5, 0.0, None).unwrap_err();
+        assert_eq!(
+            err,
+            KernelError::TooManyBeats {
+                got: MAX_BEATS + 3,
+                max: MAX_BEATS,
+            }
+        );
+        // The message names both the offered size and the limit, so a
+        // misconfigured caller sees the actual numbers, not just `None`.
+        let message = err.to_string();
+        assert!(message.contains("35"), "{message}");
+        assert!(message.contains("32"), "{message}");
+        // At the boundary the typed path accepts exactly like `new`.
+        let beats = bank(1, MAX_BEATS);
+        assert!(BlockKernel::try_new(&beats, 0.5, 0.0, None).is_ok());
     }
 
     #[test]

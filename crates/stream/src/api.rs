@@ -165,6 +165,15 @@ impl SourceBuilder {
         self
     }
 
+    /// Which generation kernel drives the shards (default
+    /// [`KernelKind::Auto`](crate::KernelKind::Auto)); the source's
+    /// conditioned stream is bit-identical under either kernel.
+    #[must_use]
+    pub fn kernel(mut self, kernel: crate::KernelKind) -> Self {
+        self.stream = self.stream.kernel(kernel);
+        self
+    }
+
     /// Deterministic fault injection: `shard` retires after `chunks`
     /// healthy chunks (see
     /// [`EntropyStreamBuilder::inject_shard_failure`]).

@@ -5,12 +5,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
 
-use dhtrng_core::{DhTrng, DhTrngConfig};
+use dhtrng_core::{DhTrng, DhTrngConfig, SlicedDhTrng};
 use dhtrng_fpga::Placement;
 
 use crate::error::{ConfigError, Error};
 use crate::exec::{Executor, ShardLink};
 use crate::shard::{HealthConfig, ShardMessage, ShardWorker};
+use crate::sliced::{LaneLink, SlicedBankWorker};
 
 /// Horizontal slice pitch between neighbouring shard placement regions
 /// (the 8-slice core packs into a 3x3 bounding box; pitch 4 leaves a
@@ -20,6 +21,32 @@ const PLACEMENT_PITCH: u32 = 4;
 /// Pool buffers per shard beyond the queue depth: one being filled by
 /// the worker, one being drained by the consumer.
 const POOL_SLACK: usize = 2;
+
+/// Which generation kernel the shard producers run on.
+///
+/// Both kernels produce the **same merged stream** for the same
+/// configuration — the choice is purely a throughput/topology decision,
+/// and the CI kernel-matrix runs the full equivalence suites under each
+/// forced value to keep it that way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// Resolve at build time: the `DHTRNG_KERNEL` environment variable
+    /// (`scalar` / `sliced` / `auto`) if set, otherwise
+    /// [`Sliced`](Self::Sliced) for multi-shard streams and
+    /// [`Scalar`](Self::Scalar) for a single shard. The environment override is
+    /// only consulted from `Auto`, so explicit builder settings always
+    /// win (which is what lets the equivalence tests force one side
+    /// while CI forces the other globally).
+    #[default]
+    Auto,
+    /// One scalar [`DhTrng`] worker thread per shard (the pre-slicing
+    /// topology).
+    Scalar,
+    /// All shards as lanes of one bit-sliced [`SlicedDhTrng`] bank,
+    /// produced by a single worker thread (the SIMD-friendly topology;
+    /// see `DESIGN.md` §9).
+    Sliced,
+}
 
 /// **Deprecated alias** for the unified [`Error`] — retained so code
 /// written against the pre-ISSUE-6 per-tier error surface keeps
@@ -47,6 +74,7 @@ pub struct EntropyStreamBuilder {
     health: HealthConfig,
     max_consecutive_restarts: u32,
     injected_failures: Vec<(usize, u64)>,
+    kernel: KernelKind,
 }
 
 impl Default for EntropyStreamBuilder {
@@ -61,6 +89,7 @@ impl Default for EntropyStreamBuilder {
             health: HealthConfig::default(),
             max_consecutive_restarts: 16,
             injected_failures: Vec::new(),
+            kernel: KernelKind::Auto,
         }
     }
 }
@@ -145,6 +174,35 @@ impl EntropyStreamBuilder {
         self
     }
 
+    /// Which generation kernel drives the shards (default
+    /// [`KernelKind::Auto`]). Both kernels produce the same merged
+    /// stream; see [`KernelKind`] for the resolution rules.
+    #[must_use]
+    pub fn kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The kernel [`spawn`](Self::spawn) will run with: the builder's
+    /// explicit setting, or — from [`KernelKind::Auto`] only — the
+    /// `DHTRNG_KERNEL` environment override, falling back to sliced for
+    /// multi-shard streams and scalar for one shard.
+    fn resolved_kernel(&self) -> KernelKind {
+        let requested = match self.kernel {
+            KernelKind::Auto => match std::env::var("DHTRNG_KERNEL").ok().as_deref() {
+                Some("scalar") => KernelKind::Scalar,
+                Some("sliced") => KernelKind::Sliced,
+                _ => KernelKind::Auto,
+            },
+            explicit => explicit,
+        };
+        match requested {
+            KernelKind::Auto if self.shards >= 2 => KernelKind::Sliced,
+            KernelKind::Auto => KernelKind::Scalar,
+            explicit => explicit,
+        }
+    }
+
     /// Checks the invariants [`build`](Self::build) would otherwise
     /// panic on — the validation path for untrusted configuration.
     ///
@@ -214,8 +272,13 @@ impl EntropyStreamBuilder {
     }
 
     /// The post-validation construction: derives the seed schedule,
-    /// spawns one worker per shard, pre-fills each buffer pool.
+    /// wires one channel pair per shard, pre-fills each buffer pool,
+    /// and spawns the producers of the resolved kernel — one scalar
+    /// worker thread per shard, or one sliced bank thread driving every
+    /// shard as a lane. The consumer-facing wiring (and therefore the
+    /// merged stream) is identical either way.
     fn spawn(self) -> EntropyStream {
+        let kernel = self.resolved_kernel();
         let seeds: Vec<u64> = match &self.shard_seeds {
             Some(seeds) => seeds.clone(),
             None => (0..self.shards as u64)
@@ -233,6 +296,9 @@ impl EntropyStreamBuilder {
         let mut restarts = Vec::with_capacity(self.shards);
         let mut placements = Vec::with_capacity(self.shards);
         let mut modeled_mbps = 0.0;
+        // Sliced mode accumulators: shard i becomes lane i of one bank.
+        let mut instances = Vec::new();
+        let mut lane_links = Vec::new();
         for (shard, &seed) in seeds.iter().enumerate() {
             let mut cfg = self.config.clone();
             cfg.seed = seed;
@@ -259,24 +325,52 @@ impl EntropyStreamBuilder {
                 .filter(|&&(s, _)| s == shard)
                 .map(|&(_, chunks)| chunks)
                 .min();
-            let worker = ShardWorker {
-                shard,
-                trng,
-                health: self.health,
-                chunk_bytes: self.chunk_bytes,
-                max_consecutive_restarts: self.max_consecutive_restarts,
-                restarts: counter,
-                pool: pool_rx,
-                fail_after_chunks,
-            };
-            let handle = std::thread::Builder::new()
-                .name(format!("dhtrng-shard-{shard}"))
-                .spawn(move || worker.run(tx))
-                .expect("spawn shard worker thread");
+            match kernel {
+                KernelKind::Sliced => {
+                    instances.push(trng);
+                    lane_links.push(LaneLink {
+                        tx,
+                        pool: pool_rx,
+                        restarts: counter,
+                        fail_after_chunks,
+                    });
+                }
+                _ => {
+                    let worker = ShardWorker {
+                        shard,
+                        trng,
+                        health: self.health,
+                        chunk_bytes: self.chunk_bytes,
+                        max_consecutive_restarts: self.max_consecutive_restarts,
+                        restarts: counter,
+                        pool: pool_rx,
+                        fail_after_chunks,
+                    };
+                    let handle = std::thread::Builder::new()
+                        .name(format!("dhtrng-shard-{shard}"))
+                        .spawn(move || worker.run(tx))
+                        .expect("spawn shard worker thread");
+                    workers.push(handle);
+                }
+            }
             links.push(ShardLink {
                 data: rx,
                 pool: pool_tx,
             });
+        }
+        if kernel == KernelKind::Sliced {
+            let worker = SlicedBankWorker {
+                bank: SlicedDhTrng::new(instances)
+                    .expect("validated shard count fits the lane capacity"),
+                health: self.health,
+                chunk_bytes: self.chunk_bytes,
+                max_consecutive_restarts: self.max_consecutive_restarts,
+                lanes: lane_links,
+            };
+            let handle = std::thread::Builder::new()
+                .name("dhtrng-sliced-bank".to_string())
+                .spawn(move || worker.run())
+                .expect("spawn sliced bank worker thread");
             workers.push(handle);
         }
 
@@ -286,6 +380,7 @@ impl EntropyStreamBuilder {
             placements,
             modeled_mbps,
             chunk_bytes: self.chunk_bytes,
+            kernel,
         }
     }
 }
@@ -323,6 +418,7 @@ pub struct EntropyStream {
     placements: Vec<Placement>,
     modeled_mbps: f64,
     chunk_bytes: usize,
+    kernel: KernelKind,
 }
 
 impl EntropyStream {
@@ -383,6 +479,13 @@ impl EntropyStream {
     /// Chunk size (the merge granularity) in bytes.
     pub fn chunk_bytes(&self) -> usize {
         self.chunk_bytes
+    }
+
+    /// The generation kernel this stream resolved to at build time —
+    /// never [`KernelKind::Auto`]; the resolution rules live on
+    /// [`KernelKind`].
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
     }
 
     /// Total bytes handed to consumers so far.
@@ -639,6 +742,114 @@ mod tests {
             let (a, b) = (pair[0].origin(), pair[1].origin());
             assert!(b.x >= a.x + 4, "regions overlap: {a:?} vs {b:?}");
         }
+    }
+
+    #[test]
+    fn sliced_and_scalar_kernels_produce_the_same_merged_stream() {
+        let make = |kernel: KernelKind| {
+            EntropyStream::builder()
+                .shards(3)
+                .seed(21)
+                .chunk_bytes(512)
+                .kernel(kernel)
+                .build()
+        };
+        let mut scalar = make(KernelKind::Scalar);
+        let mut sliced = make(KernelKind::Sliced);
+        assert_eq!(scalar.kernel(), KernelKind::Scalar);
+        assert_eq!(sliced.kernel(), KernelKind::Sliced);
+        let mut buf_scalar = vec![0u8; 512 * 9];
+        let mut buf_sliced = vec![0u8; 512 * 9];
+        scalar.read(&mut buf_scalar).unwrap();
+        sliced.read(&mut buf_sliced).unwrap();
+        assert_eq!(buf_scalar, buf_sliced);
+        assert_eq!(sliced.pool_buffers(), scalar.pool_buffers());
+    }
+
+    #[test]
+    fn auto_kernel_resolution_honours_env_then_shard_count() {
+        // Explicit settings always win, regardless of environment.
+        let explicit = EntropyStream::builder()
+            .shards(4)
+            .chunk_bytes(64)
+            .kernel(KernelKind::Scalar)
+            .build();
+        assert_eq!(explicit.kernel(), KernelKind::Scalar);
+        // Auto defers to DHTRNG_KERNEL (the CI kernel-matrix forces it),
+        // then to the shard count: sliced pays off with >= 2 lanes.
+        let expected = |single: bool| match std::env::var("DHTRNG_KERNEL").as_deref() {
+            Ok("scalar") => KernelKind::Scalar,
+            Ok("sliced") => KernelKind::Sliced,
+            _ if single => KernelKind::Scalar,
+            _ => KernelKind::Sliced,
+        };
+        let auto_one = EntropyStream::builder().shards(1).chunk_bytes(64).build();
+        assert_eq!(auto_one.kernel(), expected(true));
+        let auto_four = EntropyStream::builder().shards(4).chunk_bytes(64).build();
+        assert_eq!(auto_four.kernel(), expected(false));
+    }
+
+    #[test]
+    fn sliced_impossible_health_cutoffs_fail_the_stream_gracefully() {
+        // The sliced bank must surface the exact failure a scalar worker
+        // would: shard 0's slot, the full restart budget burned.
+        let mut stream = EntropyStream::builder()
+            .shards(2)
+            .seed(1)
+            .chunk_bytes(256)
+            .health(HealthConfig {
+                rct_cutoff: 2,
+                apt_window: 64,
+                apt_cutoff: 64,
+            })
+            .max_consecutive_restarts(3)
+            .kernel(KernelKind::Sliced)
+            .build();
+        let mut buf = vec![0u8; 1024];
+        let err = stream.read(&mut buf).unwrap_err();
+        assert_eq!(
+            err,
+            Error::ShardFailed {
+                shard: 0,
+                consecutive_restarts: 3
+            }
+        );
+        assert_eq!(stream.read(&mut buf).unwrap_err(), err);
+        assert!(stream.restarts() >= 3);
+        assert!(stream.shard_restarts(0) >= 3);
+    }
+
+    #[test]
+    fn sliced_injected_failure_matches_the_scalar_prefix() {
+        // Same deterministic retirement contract as the scalar path:
+        // rounds 0..3 in full, shard 0's chunk of round 3, then the
+        // error at shard 1's slot — and the prefix is the same bytes.
+        let mut stream = EntropyStream::builder()
+            .shards(2)
+            .seed(4)
+            .chunk_bytes(256)
+            .inject_shard_failure(1, 3)
+            .kernel(KernelKind::Sliced)
+            .build();
+        let mut buf = vec![0u8; 7 * 256];
+        stream.read(&mut buf).expect("prefix is healthy");
+        let err = stream.read(&mut [0u8; 1]).unwrap_err();
+        assert_eq!(
+            err,
+            Error::ShardFailed {
+                shard: 1,
+                consecutive_restarts: 0
+            }
+        );
+        let mut healthy = EntropyStream::builder()
+            .shards(2)
+            .seed(4)
+            .chunk_bytes(256)
+            .kernel(KernelKind::Scalar)
+            .build();
+        let mut expect = vec![0u8; 7 * 256];
+        healthy.read(&mut expect).unwrap();
+        assert_eq!(buf, expect);
     }
 
     #[test]

@@ -82,11 +82,12 @@ pub mod error;
 mod exec;
 pub mod pipeline;
 pub mod shard;
+mod sliced;
 
 pub use api::{
     EntropySource, Session, SessionConfig, SourceBuilder, SourceStats, DEFAULT_RESEED_CREDITS,
 };
-pub use engine::{EntropyStream, EntropyStreamBuilder, StreamError};
+pub use engine::{EntropyStream, EntropyStreamBuilder, KernelKind, StreamError};
 pub use error::{ConfigError, Error};
 pub use pipeline::{
     ConditionedStream, ConditionerSpec, DrbgPool, PipelineBuilder, RawStream, SeedFlow, Tier,

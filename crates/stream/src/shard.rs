@@ -271,7 +271,9 @@ impl ShardWorker {
 }
 
 /// Feeds a chunk through the monitor; `false` as soon as any bit trips.
-fn chunk_is_healthy(monitor: &mut HealthMonitor, chunk: &[u8]) -> bool {
+/// Shared with the sliced bank worker so both kernels apply the exact
+/// same health gate to the exact same bit order.
+pub(crate) fn chunk_is_healthy(monitor: &mut HealthMonitor, chunk: &[u8]) -> bool {
     chunk.iter().all(|&byte| {
         (0..8)
             .rev()

@@ -1,0 +1,154 @@
+//! The sliced bank worker: every shard as one lane of a single
+//! [`SlicedDhTrng`], produced by one thread.
+//!
+//! Stream-compatibility contract: the merged stream, the per-shard
+//! restart counters, the health gate, the injected-retirement
+//! semantics, and the failure surface are all **bit- and
+//! event-identical** to N scalar [`ShardWorker`](crate::shard::ShardWorker)
+//! threads on the same seed schedule. The consumer side (the
+//! [`Executor`](crate::exec::Executor), the channel shapes, the pool
+//! recycling) is untouched — the engine only swaps who produces into
+//! the per-shard channels:
+//!
+//! * lane `i` of the bank continues shard `i`'s generator stream
+//!   exactly (the core crate's lane-equivalence contract);
+//! * each produced chunk passes through the same
+//!   [`chunk_is_healthy`](crate::shard::chunk_is_healthy) gate with the
+//!   same per-shard monitor lifecycle (reset on restart);
+//! * a health failure power-cycles only the offending lane
+//!   ([`SlicedDhTrng::restart_lane_and_refill`] — the scalar
+//!   [`DhTrng::restart`](dhtrng_core::DhTrng::restart) under the hood,
+//!   counted in the same shared counter), regenerating its chunk while
+//!   the other lanes' streams are untouched;
+//! * a shard that exhausts its restart budget (or hits an injected
+//!   retirement at its exact healthy-chunk count) sends the same
+//!   terminal [`ShardFailure`] into the same queue position, then its
+//!   lane goes dark: it keeps advancing (lanes march in lockstep) but
+//!   materialises nothing.
+//!
+//! One thread produces for all shards, round by round: receive a
+//! recycled buffer for every live lane, advance all lanes together
+//! ([`SlicedDhTrng::fill_lane_chunks`]), then health-gate and send each
+//! lane's chunk. Lockstep cannot deadlock against the round-robin
+//! consumer: the consumer drains shards in order, so its cursor never
+//! lags the slowest shard by more than one round, while every queue
+//! holds `queue_chunks ≥ 1` — a blocked `pool.recv` on one lane implies
+//! the consumer still holds that lane's buffers, which it only does
+//! while draining this same round elsewhere.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+
+use dhtrng_core::SlicedDhTrng;
+
+use crate::shard::{chunk_is_healthy, HealthConfig, ShardFailure, ShardMessage};
+
+/// The producer side of one shard's channel pair, as wired by the
+/// engine (same shapes as a scalar worker's, one set per lane).
+pub(crate) struct LaneLink {
+    /// Healthy chunks (and at most one terminal failure) go out here.
+    pub(crate) tx: SyncSender<ShardMessage>,
+    /// Recycled buffers come back from the consumer here.
+    pub(crate) pool: Receiver<Vec<u8>>,
+    /// Shared restart counter (read by the engine's statistics).
+    pub(crate) restarts: Arc<AtomicU64>,
+    /// Deterministic fault injection: retire after this many healthy
+    /// chunks (`None` = never).
+    pub(crate) fail_after_chunks: Option<u64>,
+}
+
+/// The state the single sliced-bank producer thread runs with.
+pub(crate) struct SlicedBankWorker {
+    /// Lane `i` continues shard `i`'s stream.
+    pub(crate) bank: SlicedDhTrng,
+    pub(crate) health: HealthConfig,
+    pub(crate) chunk_bytes: usize,
+    pub(crate) max_consecutive_restarts: u32,
+    pub(crate) lanes: Vec<LaneLink>,
+}
+
+impl SlicedBankWorker {
+    /// Produces chunks for every lane until all lanes have retired or
+    /// the consumer has hung up everywhere.
+    pub(crate) fn run(mut self) {
+        let lanes = self.lanes.len();
+        let mut monitors: Vec<_> = (0..lanes).map(|_| self.health.monitor()).collect();
+        let mut healthy_sent = vec![0u64; lanes];
+        // A dark lane produces nothing but still advances in lockstep
+        // (its stream position is unobservable, so this is free of
+        // semantic consequence and keeps the kernel uniform).
+        let mut dark = vec![false; lanes];
+        let mut staging: Vec<Option<Vec<u8>>> = (0..lanes).map(|_| None).collect();
+        loop {
+            // Phase A: injected retirements fire at their exact chunk
+            // count, then every live lane waits for a recycled buffer.
+            for (lane, link) in self.lanes.iter().enumerate() {
+                if dark[lane] {
+                    continue;
+                }
+                if link.fail_after_chunks == Some(healthy_sent[lane]) {
+                    let _ = link.tx.send(Err(ShardFailure {
+                        shard: lane,
+                        consecutive_restarts: 0,
+                    }));
+                    dark[lane] = true;
+                    continue;
+                }
+                match link.pool.recv() {
+                    Ok(mut buffer) => {
+                        buffer.resize(self.chunk_bytes, 0);
+                        staging[lane] = Some(buffer);
+                    }
+                    // Closed return channel: the consumer dropped this
+                    // lane's stream end — orderly per-lane shutdown.
+                    Err(_) => dark[lane] = true,
+                }
+            }
+            if dark.iter().all(|&d| d) {
+                return;
+            }
+            // Phase B: one lockstep advance fills every staged chunk.
+            self.bank.fill_lane_chunks(&mut staging);
+            // Phase C: health-gate, restart-and-regenerate, deliver.
+            for (lane, slot) in staging.iter_mut().enumerate() {
+                let Some(mut buffer) = slot.take() else {
+                    continue;
+                };
+                let link = &self.lanes[lane];
+                let mut restarts_performed = 0u32;
+                let verdict = loop {
+                    if chunk_is_healthy(&mut monitors[lane], &buffer) {
+                        break Ok(());
+                    }
+                    // Tainted chunk: discarded whole, regenerated from a
+                    // power-cycled lane — if the budget allows another try.
+                    if restarts_performed >= self.max_consecutive_restarts {
+                        break Err(ShardFailure {
+                            shard: lane,
+                            consecutive_restarts: restarts_performed,
+                        });
+                    }
+                    restarts_performed += 1;
+                    link.restarts.fetch_add(1, Ordering::Relaxed);
+                    self.bank.restart_lane_and_refill(lane, &mut buffer);
+                    monitors[lane] = self.health.monitor();
+                };
+                match verdict {
+                    Ok(()) => {
+                        if link.tx.send(Ok(buffer)).is_err() {
+                            dark[lane] = true;
+                        } else {
+                            healthy_sent[lane] += 1;
+                        }
+                    }
+                    Err(failure) => {
+                        // Best effort: the consumer may already be gone.
+                        let _ = link.tx.send(Err(failure));
+                        dark[lane] = true;
+                    }
+                }
+            }
+        }
+    }
+}

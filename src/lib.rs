@@ -103,7 +103,8 @@ pub mod prelude {
     pub use dhtrng_core::drbg::{Drbg, DrbgConfig, HashDrbg};
     pub use dhtrng_core::kernel::{BitBlock, BlockSource, ConditionerStage, Stage};
     pub use dhtrng_core::{
-        DhTrng, DhTrngArray, DhTrngBuilder, HealthMonitor, HealthStatus, HybridUnitGroup, Trng,
+        DhTrng, DhTrngArray, DhTrngBuilder, HealthMonitor, HealthStatus, HybridUnitGroup,
+        KernelError, SliceError, SlicedDhTrng, SlicedKernel, Trng,
     };
     pub use dhtrng_fpga::Device;
     pub use dhtrng_noise::{NoiseRng, PvtCorner};
@@ -112,8 +113,8 @@ pub mod prelude {
     pub use dhtrng_stattests::BitBuffer;
     pub use dhtrng_stream::{
         ConditionedStream, ConditionerSpec, DrbgPool, EntropySource, EntropyStream,
-        EntropyStreamBuilder, HealthConfig, PipelineBuilder, Session, SessionConfig, SourceBuilder,
-        StreamError, Tier, TierStream,
+        EntropyStreamBuilder, HealthConfig, KernelKind, PipelineBuilder, Session, SessionConfig,
+        SourceBuilder, StreamError, Tier, TierStream,
     };
 
     pub use crate::{PipelineRng, StreamRng};

@@ -243,6 +243,29 @@ pub mod rngs {
         fn rotl(x: u64, k: u32) -> u64 {
             x.rotate_left(k)
         }
+
+        /// Snapshots the raw xoshiro256++ state words.
+        ///
+        /// Together with [`from_state`](Self::from_state) this lets a
+        /// caller suspend a generator and resume it elsewhere (the
+        /// bit-sliced kernel keeps per-lane copies of this state and
+        /// advances them with the same update rule). Not part of the
+        /// real `rand` API — offline-shim extension.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Restores a generator from a [`state`](Self::state) snapshot.
+        ///
+        /// An all-zero state (a fixed point of xoshiro, never produced
+        /// by a seeded generator) is perturbed exactly as
+        /// [`from_seed`](super::SeedableRng::from_seed) perturbs it.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return <Self as super::SeedableRng>::from_seed([0u8; 32]);
+            }
+            Self { s }
+        }
     }
 
     impl RngCore for StdRng {
