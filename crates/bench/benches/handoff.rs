@@ -1,0 +1,241 @@
+//! Hand-off microbenchmarks: the lock-free SPSC ring against the
+//! `std::sync::mpsc` bounded channel it replaced on the worker→merger
+//! path.
+//!
+//! Three shapes, each measured for both transports:
+//!
+//! * **uncontended** — push + pop on one thread: the pure per-chunk
+//!   hand-off cost in the throughput steady state (queue neither
+//!   empty nor full, nobody blocks) — the cost the ring removes;
+//! * **round-trip** — one buffer ping-ponged between the bench thread
+//!   and an echo thread over a data/return pair (two hand-offs per
+//!   element): the per-chunk hand-off latency, visible even on a
+//!   1-CPU host because the cost being removed is synchronisation
+//!   overhead, not parallelism;
+//! * **sustained** — 1/2/4 producer threads each recycling buffers
+//!   through their own pair while the bench thread drains round-robin,
+//!   exactly the engine's merge topology: sustained chunks/sec under
+//!   backpressure.
+//!
+//! `bench_report` re-measures the round-trip shape with the counting
+//! allocator engaged and records `scaling.handoff_ns_per_chunk` (ring)
+//! and `scaling.handoff_mpsc_ns_per_chunk` in BENCH_7.json.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dhtrng_stream::ring;
+use std::sync::mpsc::sync_channel;
+use std::thread::JoinHandle;
+
+const QUEUE: usize = 4;
+const BUFFER_BYTES: usize = 64;
+
+/// An echo peer over mpsc channels: every buffer sent to it comes
+/// straight back. Channels close → thread exits.
+struct MpscEcho {
+    to_peer: std::sync::mpsc::SyncSender<Vec<u8>>,
+    from_peer: std::sync::mpsc::Receiver<Vec<u8>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MpscEcho {
+    fn spawn() -> Self {
+        let (to_peer, peer_in) = sync_channel::<Vec<u8>>(QUEUE);
+        let (peer_out, from_peer) = sync_channel::<Vec<u8>>(QUEUE);
+        let handle = std::thread::spawn(move || {
+            while let Ok(buffer) = peer_in.recv() {
+                if peer_out.send(buffer).is_err() {
+                    return;
+                }
+            }
+        });
+        Self {
+            to_peer,
+            from_peer,
+            handle: Some(handle),
+        }
+    }
+
+    fn round_trip(&mut self, buffer: Vec<u8>) -> Vec<u8> {
+        self.to_peer.send(buffer).expect("echo thread alive");
+        self.from_peer.recv().expect("echo thread alive")
+    }
+}
+
+impl Drop for MpscEcho {
+    fn drop(&mut self) {
+        let (dead_tx, _) = sync_channel(1);
+        self.to_peer = dead_tx; // hang up so the echo thread exits
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The same echo peer over a ring pair.
+struct RingEcho {
+    to_peer: Option<ring::Producer<Vec<u8>>>,
+    from_peer: ring::Consumer<Vec<u8>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RingEcho {
+    fn spawn() -> Self {
+        let (to_peer, mut peer_in) = ring::spsc::<Vec<u8>>(QUEUE);
+        let (mut peer_out, from_peer) = ring::spsc::<Vec<u8>>(QUEUE);
+        let handle = std::thread::spawn(move || {
+            while let Ok(buffer) = peer_in.pop() {
+                if peer_out.push(buffer).is_err() {
+                    return;
+                }
+            }
+        });
+        Self {
+            to_peer: Some(to_peer),
+            from_peer,
+            handle: Some(handle),
+        }
+    }
+
+    fn round_trip(&mut self, buffer: Vec<u8>) -> Vec<u8> {
+        self.to_peer
+            .as_mut()
+            .expect("present until drop")
+            .push(buffer)
+            .expect("echo thread alive");
+        self.from_peer.pop().expect("echo thread alive")
+    }
+}
+
+impl Drop for RingEcho {
+    fn drop(&mut self) {
+        self.to_peer.take(); // hang up so the echo thread exits
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The pure per-chunk hand-off cost: push + pop on one thread, so no
+/// blocking, no parking, no context switch — exactly the cost each
+/// chunk pays in the throughput steady state, where the queue is
+/// neither empty nor full and nobody waits. This is the number the
+/// ring exists to shrink (a pair of Acquire/Release atomics vs the
+/// channel's internal machinery) and the one `bench_report` records
+/// as `scaling.handoff_ns_per_chunk`.
+fn uncontended_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("handoff-uncontended");
+    // One element = one hand-off (one push + one pop).
+    group.throughput(Throughput::Elements(1));
+
+    let (tx, rx) = sync_channel::<Vec<u8>>(QUEUE);
+    let mut buffer = Some(vec![0u8; BUFFER_BYTES]);
+    group.bench_function(BenchmarkId::new("push-pop", "mpsc"), |b| {
+        b.iter(|| {
+            tx.send(buffer.take().expect("in hand"))
+                .expect("receiver in scope");
+            buffer = Some(black_box(rx.recv().expect("sender in scope")));
+        })
+    });
+    drop((tx, rx));
+
+    let (mut tx, mut rx) = ring::spsc::<Vec<u8>>(QUEUE);
+    let mut buffer = Some(vec![0u8; BUFFER_BYTES]);
+    group.bench_function(BenchmarkId::new("push-pop", "ring"), |b| {
+        b.iter(|| {
+            tx.push(buffer.take().expect("in hand"))
+                .expect("consumer in scope");
+            buffer = Some(black_box(rx.pop().expect("producer in scope")));
+        })
+    });
+    group.finish();
+}
+
+fn round_trip_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("handoff");
+    // One element = one full round trip = two hand-offs.
+    group.throughput(Throughput::Elements(1));
+
+    let mut mpsc_echo = MpscEcho::spawn();
+    let mut buffer = Some(vec![0u8; BUFFER_BYTES]);
+    group.bench_function(BenchmarkId::new("round-trip", "mpsc"), |b| {
+        b.iter(|| {
+            let back = mpsc_echo.round_trip(buffer.take().expect("in hand"));
+            buffer = Some(black_box(back));
+        })
+    });
+    drop(mpsc_echo);
+
+    let mut ring_echo = RingEcho::spawn();
+    let mut buffer = Some(vec![0u8; BUFFER_BYTES]);
+    group.bench_function(BenchmarkId::new("round-trip", "ring"), |b| {
+        b.iter(|| {
+            let back = ring_echo.round_trip(buffer.take().expect("in hand"));
+            buffer = Some(black_box(back));
+        })
+    });
+    drop(ring_echo);
+    group.finish();
+}
+
+fn sustained_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("handoff-sustained");
+    for shards in [1usize, 2, 4] {
+        // One element per drained chunk.
+        group.throughput(Throughput::Elements(shards as u64));
+
+        // mpsc: each shard echoes buffers through its own channel pair.
+        let mut echoes: Vec<MpscEcho> = (0..shards).map(|_| MpscEcho::spawn()).collect();
+        for echo in &mut echoes {
+            for _ in 0..2 {
+                echo.to_peer
+                    .send(vec![0u8; BUFFER_BYTES])
+                    .expect("echo thread alive");
+            }
+        }
+        group.bench_function(BenchmarkId::new("mpsc", format!("{shards}-shard")), |b| {
+            b.iter(|| {
+                for echo in &mut echoes {
+                    let buffer = echo.from_peer.recv().expect("echo thread alive");
+                    echo.to_peer
+                        .send(black_box(buffer))
+                        .expect("echo thread alive");
+                }
+            })
+        });
+        drop(echoes);
+
+        // ring: the same topology over ring pairs.
+        let mut echoes: Vec<RingEcho> = (0..shards).map(|_| RingEcho::spawn()).collect();
+        for echo in &mut echoes {
+            for _ in 0..2 {
+                echo.to_peer
+                    .as_mut()
+                    .expect("present until drop")
+                    .push(vec![0u8; BUFFER_BYTES])
+                    .expect("echo thread alive");
+            }
+        }
+        group.bench_function(BenchmarkId::new("ring", format!("{shards}-shard")), |b| {
+            b.iter(|| {
+                for echo in &mut echoes {
+                    let buffer = echo.from_peer.pop().expect("echo thread alive");
+                    echo.to_peer
+                        .as_mut()
+                        .expect("present until drop")
+                        .push(black_box(buffer))
+                        .expect("echo thread alive");
+                }
+            })
+        });
+        drop(echoes);
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    uncontended_benches,
+    round_trip_benches,
+    sustained_benches
+);
+criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Machine-readable performance report: `BENCH_6.json`.
+//! Machine-readable performance report: `BENCH_7.json`.
 //!
 //! Measures the throughput numbers this repository's CI tracks per-PR
-//! (see ISSUE 2 / ISSUE 4 / ISSUE 5 / ISSUE 6 / ISSUE 7 and
-//! `DESIGN.md` §5–§9):
+//! (see ISSUE 2 / ISSUE 4 / ISSUE 5 / ISSUE 6 / ISSUE 7 / ISSUE 8 and
+//! `DESIGN.md` §5–§10):
 //!
 //! 1. **batching speedup** — the batched `Trng::fill_bytes` fast path
 //!    against the per-bit `next_bit` path on the behavioural DH-TRNG
@@ -35,10 +35,19 @@
 //!    worker's path) against the bit-sliced ×64 `SlicedKernel` bank
 //!    (identical bytes per lane), plus which kernel `Auto` resolves
 //!    to on this host and which SIMD backend the sliced kernel
-//!    selected at runtime.
+//!    selected at runtime;
+//! 7. **multicore scaling + hand-off cost** — raw-tier wall-clock Mbps
+//!    at 1/2/4 shards for **both** kernels with `core_affinity(PerShard)`
+//!    engaged, the per-chunk cost of the lock-free SPSC ring hand-off
+//!    against the `std::sync::mpsc` channel it replaced, the hand-off
+//!    allocation count (must be 0), and the decision `KernelKind::Auto`'s
+//!    cost model takes on this host. `scaling.measured` is `true` only
+//!    when `available_parallelism() > 1`: on a 1-CPU host the shard
+//!    workers time-share one core, so the Mbps columns are recorded but
+//!    are explicitly **not** a multicore scaling measurement.
 //!
 //! Usage: `bench_report [--quick] [--out PATH]` (default
-//! `BENCH_6.json` in the working directory; CI uploads it as a
+//! `BENCH_7.json` in the working directory; CI uploads it as a
 //! workflow artifact and compares it against the committed snapshot:
 //! a non-zero `allocs_per_read` or a >20% drop in the batching
 //! speedup **fails the job**, while raw-Mbps and serve-latency drifts
@@ -53,7 +62,10 @@ use dhtrng_bench::args;
 use dhtrng_core::drbg::DrbgConfig;
 use dhtrng_core::{DhTrng, SlicedDhTrng, Trng};
 use dhtrng_serve::{loadgen, LoadConfig, Service};
-use dhtrng_stream::{ConditionerSpec, EntropySource, EntropyStream, PipelineBuilder, Tier};
+use dhtrng_stream::{
+    ring, AffinityPolicy, ConditionerSpec, EntropySource, EntropyStream, KernelKind,
+    PipelineBuilder, Tier,
+};
 
 /// `System`, plus a global count of allocation events (alloc,
 /// alloc_zeroed, and realloc all count; frees don't). Active for the
@@ -190,6 +202,112 @@ fn measure_steady_state_allocs(reads: usize) -> (f64, usize) {
     ((after - before) as f64 / reads as f64, reads)
 }
 
+/// Raw-tier wall-clock Mbps of one `EntropyStream` deployment with the
+/// kernel forced and `core_affinity(PerShard)` engaged (a no-op on
+/// 1-CPU hosts — `AffinityPolicy::core_for_worker` declines to pin).
+/// Returns `(mbps, affinity_pins)`.
+fn measure_scaling_point(
+    shards: usize,
+    kernel: KernelKind,
+    read_bytes: usize,
+    budget_s: f64,
+) -> (f64, u64) {
+    let mut stream = EntropyStream::builder()
+        .shards(shards)
+        .seed(1)
+        .chunk_bytes(64 * 1024)
+        .kernel(kernel)
+        .core_affinity(AffinityPolicy::PerShard)
+        .build();
+    let mut buf = vec![0u8; read_bytes];
+    let seconds = time_mean_s(
+        || {
+            stream.read(&mut buf).expect("healthy stream");
+            std::hint::black_box(buf[0]);
+        },
+        budget_s,
+    );
+    (
+        read_bytes as f64 * 8.0 / seconds / 1e6,
+        stream.affinity_pins(),
+    )
+}
+
+/// Per-chunk hand-off cost of the lock-free SPSC ring against the
+/// bounded mpsc channel it replaced, measured as a cross-thread
+/// round trip: one buffer ping-ponged between this thread and an echo
+/// thread over a data/return pair — the engine's worker→merger
+/// topology, where every hand-off crosses a thread boundary and the
+/// waiting side's backoff/park protocol is on the clock. Per-chunk =
+/// round-trip / 2 (two hand-offs per bounce). Also counts heap
+/// allocations across the ring round trips — the ring recycles
+/// pre-allocated slots and parks without allocating, so this must be
+/// exactly 0 (CI gates on it).
+/// Returns `(ring_ns, mpsc_ns, ring_allocs_per_handoff)`.
+fn measure_handoff(budget_s: f64) -> (f64, f64, f64) {
+    const QUEUE: usize = 4;
+    const BUFFER_BYTES: usize = 64;
+
+    let (mut to_peer, mut peer_in) = ring::spsc::<Vec<u8>>(QUEUE);
+    let (mut peer_out, mut from_peer) = ring::spsc::<Vec<u8>>(QUEUE);
+    let echo = std::thread::spawn(move || {
+        while let Ok(buffer) = peer_in.pop() {
+            if peer_out.push(buffer).is_err() {
+                return;
+            }
+        }
+    });
+    let mut slot = Some(vec![0u8; BUFFER_BYTES]);
+    let ring_s = time_mean_s(
+        || {
+            to_peer
+                .push(slot.take().expect("in hand"))
+                .expect("echo thread alive");
+            slot = Some(from_peer.pop().expect("echo thread alive"));
+            std::hint::black_box(slot.as_deref().map(|b| b[0]));
+        },
+        budget_s,
+    );
+    // Allocation audit on the same live pair, outside the timed region.
+    let audit_rounds: u64 = 10_000;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..audit_rounds {
+        to_peer
+            .push(slot.take().expect("in hand"))
+            .expect("echo thread alive");
+        slot = Some(from_peer.pop().expect("echo thread alive"));
+    }
+    let ring_allocs =
+        (ALLOCATIONS.load(Ordering::SeqCst) - before) as f64 / (2 * audit_rounds) as f64;
+    drop((to_peer, from_peer, slot));
+    echo.join().expect("echo thread exits");
+
+    let (to_peer, peer_in) = std::sync::mpsc::sync_channel::<Vec<u8>>(QUEUE);
+    let (peer_out, from_peer) = std::sync::mpsc::sync_channel::<Vec<u8>>(QUEUE);
+    let echo = std::thread::spawn(move || {
+        while let Ok(buffer) = peer_in.recv() {
+            if peer_out.send(buffer).is_err() {
+                return;
+            }
+        }
+    });
+    let mut slot = Some(vec![0u8; BUFFER_BYTES]);
+    let mpsc_s = time_mean_s(
+        || {
+            to_peer
+                .send(slot.take().expect("in hand"))
+                .expect("echo thread alive");
+            slot = Some(from_peer.recv().expect("echo thread alive"));
+            std::hint::black_box(slot.as_deref().map(|b| b[0]));
+        },
+        budget_s,
+    );
+    drop((to_peer, from_peer, slot));
+    echo.join().expect("echo thread exits");
+
+    (ring_s / 2.0 * 1e9, mpsc_s / 2.0 * 1e9, ring_allocs)
+}
+
 /// Fleet latency over the daemon's connection state machine: one
 /// shared 4-shard source, `clients` concurrent drbg sessions, full
 /// wire round-trips per read. Aborts on any protocol error or
@@ -221,9 +339,15 @@ fn measure_serving(clients: usize, reads_per_client: usize) -> dhtrng_serve::Loa
     report
 }
 
+/// Formats a slice of Mbps values as a JSON array literal.
+fn mbps_array(values: &[f64]) -> String {
+    let items: Vec<String> = values.iter().map(|v| format!("{v:.3}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
 fn main() {
     let quick = args::switch("--quick");
-    let out_path: String = args::flag("--out", "BENCH_6.json".to_string());
+    let out_path: String = args::flag("--out", "BENCH_7.json".to_string());
     let budget_s = if quick { 0.05 } else { 0.5 };
     let bits = if quick { 1 << 18 } else { 1 << 21 };
     let stream_bytes: usize = if quick { 1 << 18 } else { 1 << 22 };
@@ -324,9 +448,55 @@ fn main() {
         .unwrap_or(1);
     let single = DhTrng::builder().seed(1).build();
 
+    // 7. Multicore scaling + hand-off cost. The shard sweep runs with
+    // core_affinity(PerShard) engaged; on a 1-CPU host that declines to
+    // pin and `measured` is false — the Mbps columns then show shard
+    // workers time-sharing one core, not multicore scaling.
+    let scaling_measured = cpus > 1;
+    let scaling_bytes: usize = if quick { 1 << 16 } else { 1 << 20 };
+    let shard_counts = [1usize, 2, 4];
+    let mut scaling_scalar_mbps = Vec::new();
+    let mut scaling_sliced_mbps = Vec::new();
+    let mut scaling_pins = 0u64;
+    for shards in shard_counts {
+        let (mbps, pins) =
+            measure_scaling_point(shards, KernelKind::Scalar, scaling_bytes, budget_s);
+        scaling_scalar_mbps.push(mbps);
+        scaling_pins += pins;
+        let (mbps, pins) =
+            measure_scaling_point(shards, KernelKind::Sliced, scaling_bytes, budget_s);
+        scaling_sliced_mbps.push(mbps);
+        scaling_pins += pins;
+    }
+    let scalar_per_shard: Vec<f64> = shard_counts
+        .iter()
+        .zip(&scaling_scalar_mbps)
+        .map(|(&n, &mbps)| mbps / n as f64)
+        .collect();
+    let sliced_per_shard: Vec<f64> = shard_counts
+        .iter()
+        .zip(&scaling_sliced_mbps)
+        .map(|(&n, &mbps)| mbps / n as f64)
+        .collect();
+    let scalar_scaling_at_2 = scaling_scalar_mbps[1] / scaling_scalar_mbps[0];
+    let scalar_scaling_at_4 = scaling_scalar_mbps[2] / scaling_scalar_mbps[0];
+    let (handoff_ring_ns, handoff_mpsc_ns, handoff_allocs) = measure_handoff(budget_s);
+    let auto_selected = format!("{:?}", KernelKind::cost_model(4, cpus)).to_lowercase();
+    let usable_cores = 4usize.min(cpus.max(1));
+    let auto_decision = format!(
+        "shards=4, host_cpus={cpus}: scalar threads get min(4, {cpus}) = {usable_cores} \
+         usable core(s); the sliced bank's measured single-core advantage 1.80x (BENCH_6 \
+         kernel.speedup 1.86) {cmp} {usable_cores}.00x, so Auto resolves to {auto_selected}",
+        cmp = if 1.8 >= usable_cores as f64 {
+            ">="
+        } else {
+            "<"
+        },
+    );
+
     let json = format!(
         r#"{{
-  "schema": "dhtrng-bench-report/6",
+  "schema": "dhtrng-bench-report/7",
   "quick": {quick},
   "host_cpus": {cpus},
   "batching": {{
@@ -385,6 +555,28 @@ fn main() {
     "speedup_vs_per_bit": {kernel_speedup_vs_per_bit:.3},
     "note": "aggregate one-core Mbps of 64 same-seeded generators: scalar = 64 sequential batched BlockKernel fill_bytes (the shard worker's path), sliced = one 64-lane SlicedKernel bank; identical bytes per lane, so the ratio is pure kernel speed. 'speedup' compares against the batched scalar kernel, which already autovectorizes across the 12-beat bank — that baseline caps bit-slicing's win well below the naive 64x (see DESIGN.md section 9); 'speedup_vs_per_bit' compares against the per-bit reference path (one next_bit per cycle, the pre-batching baseline the slicing motivation assumed). 'selected' is what KernelKind::Auto resolves to on this host and 'simd_backend' is the runtime-detected inner loop of the sliced kernel."
   }},
+  "scaling": {{
+    "measured": {scaling_measured},
+    "host_cpus": {cpus},
+    "read_bytes_per_iteration": {scaling_bytes},
+    "shard_counts": [1, 2, 4],
+    "scalar_mbps": {scalar_mbps_arr},
+    "sliced_mbps": {sliced_mbps_arr},
+    "per_shard_mbps": {{
+      "scalar": {scalar_per_shard_arr},
+      "sliced": {sliced_per_shard_arr}
+    }},
+    "scalar_scaling_at_2": {scalar_scaling_at_2:.3},
+    "scalar_scaling_at_4": {scalar_scaling_at_4:.3},
+    "affinity_pins": {scaling_pins},
+    "handoff_ns_per_chunk": {handoff_ring_ns:.1},
+    "handoff_mpsc_ns_per_chunk": {handoff_mpsc_ns:.1},
+    "handoff_speedup": {handoff_speedup:.3},
+    "handoff_allocs_per_chunk": {handoff_allocs:.3},
+    "auto_kernel": "{auto_selected}",
+    "auto_decision": "{auto_decision}",
+    "note": "raw-tier wall-clock Mbps at 1/2/4 shards, both kernels forced, core_affinity(PerShard) engaged (a no-op when host_cpus=1, so affinity_pins is 0 there). measured=true only when available_parallelism()>1: on a 1-CPU host the shard workers time-share one core and these columns are NOT a multicore scaling measurement — scalar_scaling_at_2 is gated in CI only when measured=true. handoff_ns_per_chunk is half the cross-thread round-trip cost of the lock-free SPSC ring (one buffer ping-ponged to an echo thread over a data/return pair, the engine's worker->merger topology) vs the bounded mpsc channel it replaced, so it includes the backoff/park protocol both transports pay when the peer is not ready; handoff_allocs_per_chunk is heap allocations per ring hand-off under the counting allocator and must be exactly 0 (CI fails otherwise)."
+  }},
   "paper_anchor": {{
     "per_instance_modeled_mbps": {anchor:.3},
     "note": "modeled Mbps = sampling clock x 1 bit/cycle; the paper reports 620 (Artix-7) / 670 (Virtex-6) per instance and linear multi-instance scaling, which modeled_scaling reproduces exactly. Simulated Mbps measure how fast this software model runs on the host and bound experiment runtimes. Pipeline tiers report post-conditioning throughput: conditioned = raw / compression ratio, drbg = conditioned x expansion factor (see DESIGN.md sections 6-7)."
@@ -432,12 +624,27 @@ fn main() {
         raw_mbps_sliced = raw_mbps_sliced,
         kernel_speedup = kernel_speedup,
         kernel_speedup_vs_per_bit = kernel_speedup_vs_per_bit,
+        scaling_measured = scaling_measured,
+        scaling_bytes = scaling_bytes,
+        scalar_mbps_arr = mbps_array(&scaling_scalar_mbps),
+        sliced_mbps_arr = mbps_array(&scaling_sliced_mbps),
+        scalar_per_shard_arr = mbps_array(&scalar_per_shard),
+        sliced_per_shard_arr = mbps_array(&sliced_per_shard),
+        scalar_scaling_at_2 = scalar_scaling_at_2,
+        scalar_scaling_at_4 = scalar_scaling_at_4,
+        scaling_pins = scaling_pins,
+        handoff_ring_ns = handoff_ring_ns,
+        handoff_mpsc_ns = handoff_mpsc_ns,
+        handoff_speedup = handoff_mpsc_ns / handoff_ring_ns,
+        handoff_allocs = handoff_allocs,
+        auto_selected = auto_selected,
+        auto_decision = auto_decision,
         anchor = single.throughput_mbps(),
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     print!("{json}");
     eprintln!(
-        "wrote {out_path} (batch speedup {batch_speedup:.2}x, modeled scaling {modeled_scaling:.2}x, wall-clock scaling {wallclock_scaling:.2}x on {cpus} cpu(s); tiers raw/conditioned/drbg = {raw_sim:.0}/{cond_sim:.0}/{drbg_sim:.0} simulated Mbps; {allocs_per_read:.2} allocs/read steady-state; serve {clients} clients p50/p99 = {p50:.1}/{p99:.1} us; kernel {selected_kernel}/{simd_backend} sliced-vs-scalar {kernel_speedup:.2}x)",
+        "wrote {out_path} (batch speedup {batch_speedup:.2}x, modeled scaling {modeled_scaling:.2}x, wall-clock scaling {wallclock_scaling:.2}x on {cpus} cpu(s); tiers raw/conditioned/drbg = {raw_sim:.0}/{cond_sim:.0}/{drbg_sim:.0} simulated Mbps; {allocs_per_read:.2} allocs/read steady-state; serve {clients} clients p50/p99 = {p50:.1}/{p99:.1} us; kernel {selected_kernel}/{simd_backend} sliced-vs-scalar {kernel_speedup:.2}x; hand-off ring/mpsc = {handoff_ring_ns:.0}/{handoff_mpsc_ns:.0} ns, scaling measured = {scaling_measured})",
         clients = serve.clients,
         p50 = serve.p50_us,
         p99 = serve.p99_us,

@@ -60,18 +60,20 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use dhtrng_core::conditioning::Conditioner;
 use dhtrng_core::drbg::{DrbgConfig, HashDrbg, BLOCK_BYTES};
 use dhtrng_core::kernel::{BitBlock, ConditionerStage, Stage};
 use dhtrng_core::DhTrngConfig;
 
+use crate::affinity::AffinityPolicy;
 use crate::arbiter::{ReseedArbiter, Turn};
 use crate::engine::{EntropyStream, EntropyStreamBuilder};
 use crate::error::{ConfigError, Error};
 use crate::pipeline::{ConditionerSpec, Tier};
 use crate::shard::HealthConfig;
+use crate::wake::EventCount;
 
 /// Default bound on per-session reseed credits (see
 /// [`SourceBuilder::reseed_credits`]).
@@ -183,6 +185,15 @@ impl SourceBuilder {
         self
     }
 
+    /// How the engine's worker threads are placed onto CPU cores (see
+    /// [`EntropyStreamBuilder::core_affinity`]); best-effort, and the
+    /// conditioned stream is identical either way.
+    #[must_use]
+    pub fn core_affinity(mut self, policy: AffinityPolicy) -> Self {
+        self.stream = self.stream.core_affinity(policy);
+        self
+    }
+
     /// Conditioner between the raw stream and the conditioned/drbg
     /// consumers.
     #[must_use]
@@ -241,7 +252,7 @@ impl SourceBuilder {
                     conditioned_bytes: 0,
                     reseeds_served: 0,
                 }),
-                turns: Condvar::new(),
+                turns: EventCount::new(),
                 next_session: AtomicU64::new(0),
                 live_sessions: AtomicU64::new(0),
                 sessions_opened: AtomicU64::new(0),
@@ -330,8 +341,10 @@ impl Shared {
 struct Inner {
     shared: Mutex<Shared>,
     /// Signalled whenever the reseed queue moves (a harvest completes,
-    /// a session demotes or withdraws, the source degrades).
-    turns: Condvar,
+    /// a session demotes or withdraws, the source degrades). The same
+    /// eventcount-style wakeup token as the ring hand-off uses: waiters
+    /// register under the source lock (lossless), then park outside it.
+    turns: EventCount,
     next_session: AtomicU64,
     live_sessions: AtomicU64,
     sessions_opened: AtomicU64,
@@ -845,10 +858,12 @@ impl Session {
                 }
                 Turn::Wait => {}
             }
-            shared = inner
-                .turns
-                .wait(shared)
-                .expect("entropy source lock poisoned");
+            // Register under the lock (a notify cannot slip between the
+            // turn check and the registration), then sleep outside it.
+            let epoch = inner.turns.prepare();
+            drop(shared);
+            inner.turns.wait(epoch);
+            shared = inner.lock();
         }
         // Our turn: draw through the shared seed carry so harvests walk
         // the conditioned stream without gaps.

@@ -2,14 +2,15 @@
 //! stream, statistics.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
 
 use dhtrng_core::{DhTrng, DhTrngConfig, SlicedDhTrng};
 use dhtrng_fpga::Placement;
 
+use crate::affinity::{self, AffinityPolicy};
 use crate::error::{ConfigError, Error};
 use crate::exec::{Executor, ShardLink};
+use crate::ring;
 use crate::shard::{HealthConfig, ShardMessage, ShardWorker};
 use crate::sliced::{LaneLink, SlicedBankWorker};
 
@@ -22,6 +23,13 @@ const PLACEMENT_PITCH: u32 = 4;
 /// the worker, one being drained by the consumer.
 const POOL_SLACK: usize = 2;
 
+/// Measured single-core advantage of the sliced bank over one scalar
+/// worker: BENCH_6 recorded `kernel.speedup = 1.86x` on this class of
+/// host (one thread driving all lanes SIMD-style vs one thread per
+/// shard). The [`KernelKind::cost_model`] compares this constant
+/// against the parallelism scalar workers could actually harvest.
+const SLICED_SINGLE_CORE_ADVANTAGE: f64 = 1.8;
+
 /// Which generation kernel the shard producers run on.
 ///
 /// Both kernels produce the **same merged stream** for the same
@@ -31,9 +39,9 @@ const POOL_SLACK: usize = 2;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelKind {
     /// Resolve at build time: the `DHTRNG_KERNEL` environment variable
-    /// (`scalar` / `sliced` / `auto`) if set, otherwise
-    /// [`Sliced`](Self::Sliced) for multi-shard streams and
-    /// [`Scalar`](Self::Scalar) for a single shard. The environment override is
+    /// (`scalar` / `sliced` / `auto`) if set, otherwise the
+    /// [`cost_model`](Self::cost_model) over the shard count and the
+    /// host's available parallelism. The environment override is
     /// only consulted from `Auto`, so explicit builder settings always
     /// win (which is what lets the equivalence tests force one side
     /// while CI forces the other globally).
@@ -46,6 +54,37 @@ pub enum KernelKind {
     /// produced by a single worker thread (the SIMD-friendly topology;
     /// see `DESIGN.md` §9).
     Sliced,
+}
+
+impl KernelKind {
+    /// The kernel [`Auto`](Self::Auto) resolves to (absent a
+    /// `DHTRNG_KERNEL` override) for a given shard count on a host with
+    /// `host_cpus` usable CPUs — the first *measured* cost model,
+    /// replacing the old "≥ 2 shards → sliced" rule:
+    ///
+    /// * one shard has no parallelism to harvest and no bank to
+    ///   amortise → [`Scalar`](Self::Scalar);
+    /// * the sliced bank runs on **one** core at ~1.8x a single scalar
+    ///   worker (BENCH_6 `kernel.speedup`); N scalar workers can use up
+    ///   to `min(shards, host_cpus)` cores at ~1.0x each. Sliced wins
+    ///   exactly when `1.8 ≥ min(shards, host_cpus)` — so a 1-CPU host
+    ///   keeps the sliced bank for multi-shard streams (threads cannot
+    ///   buy anything there), while a genuinely multi-core host
+    ///   switches to per-shard threads.
+    ///
+    /// Pure and public so the bench report can log the decision it
+    /// predicts and tests can mirror it against the real host.
+    pub fn cost_model(shards: usize, host_cpus: usize) -> KernelKind {
+        if shards < 2 {
+            return KernelKind::Scalar;
+        }
+        let scalar_cores = shards.min(host_cpus.max(1));
+        if SLICED_SINGLE_CORE_ADVANTAGE >= scalar_cores as f64 {
+            KernelKind::Sliced
+        } else {
+            KernelKind::Scalar
+        }
+    }
 }
 
 /// **Deprecated alias** for the unified [`Error`] — retained so code
@@ -75,6 +114,7 @@ pub struct EntropyStreamBuilder {
     max_consecutive_restarts: u32,
     injected_failures: Vec<(usize, u64)>,
     kernel: KernelKind,
+    affinity: AffinityPolicy,
 }
 
 impl Default for EntropyStreamBuilder {
@@ -90,6 +130,7 @@ impl Default for EntropyStreamBuilder {
             max_consecutive_restarts: 16,
             injected_failures: Vec::new(),
             kernel: KernelKind::Auto,
+            affinity: AffinityPolicy::Disabled,
         }
     }
 }
@@ -183,10 +224,32 @@ impl EntropyStreamBuilder {
         self
     }
 
+    /// How worker threads are placed onto CPU cores (default
+    /// [`AffinityPolicy::Disabled`]). Best-effort and purely a
+    /// throughput knob: the merged stream is identical either way, and
+    /// a pin the OS refuses is simply skipped —
+    /// [`EntropyStream::affinity_pins`] reports how many took effect.
+    #[must_use]
+    pub fn core_affinity(mut self, policy: AffinityPolicy) -> Self {
+        self.affinity = policy;
+        self
+    }
+
+    /// The per-shard seed the golden-ratio schedule derives from a
+    /// master `seed` for shard `index` — a pure function of the index,
+    /// never of spawn order, so the seed schedule (and therefore the
+    /// merged stream) is identical regardless of how worker threads
+    /// interleave at build time. Public so tests and tools can pin the
+    /// schedule without building a stream.
+    pub fn derive_shard_seed(seed: u64, index: u64) -> u64 {
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(index)
+    }
+
     /// The kernel [`spawn`](Self::spawn) will run with: the builder's
     /// explicit setting, or — from [`KernelKind::Auto`] only — the
-    /// `DHTRNG_KERNEL` environment override, falling back to sliced for
-    /// multi-shard streams and scalar for one shard.
+    /// `DHTRNG_KERNEL` environment override, falling back to the
+    /// [`KernelKind::cost_model`] over the shard count and the host's
+    /// available parallelism.
     fn resolved_kernel(&self) -> KernelKind {
         let requested = match self.kernel {
             KernelKind::Auto => match std::env::var("DHTRNG_KERNEL").ok().as_deref() {
@@ -197,8 +260,7 @@ impl EntropyStreamBuilder {
             explicit => explicit,
         };
         match requested {
-            KernelKind::Auto if self.shards >= 2 => KernelKind::Sliced,
-            KernelKind::Auto => KernelKind::Scalar,
+            KernelKind::Auto => KernelKind::cost_model(self.shards, affinity::host_cpus()),
             explicit => explicit,
         }
     }
@@ -272,21 +334,19 @@ impl EntropyStreamBuilder {
     }
 
     /// The post-validation construction: derives the seed schedule,
-    /// wires one channel pair per shard, pre-fills each buffer pool,
+    /// wires one SPSC ring pair per shard, pre-fills each buffer pool,
     /// and spawns the producers of the resolved kernel — one scalar
     /// worker thread per shard, or one sliced bank thread driving every
     /// shard as a lane. The consumer-facing wiring (and therefore the
     /// merged stream) is identical either way.
     fn spawn(self) -> EntropyStream {
         let kernel = self.resolved_kernel();
+        let host_cpus = affinity::host_cpus();
+        let affinity_pins = Arc::new(AtomicU64::new(0));
         let seeds: Vec<u64> = match &self.shard_seeds {
             Some(seeds) => seeds.clone(),
             None => (0..self.shards as u64)
-                .map(|i| {
-                    self.seed
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add(i)
-                })
+                .map(|i| EntropyStreamBuilder::derive_shard_seed(self.seed, i))
                 .collect(),
         };
 
@@ -310,14 +370,17 @@ impl EntropyStreamBuilder {
             modeled_mbps += trng.throughput_mbps();
             let counter = Arc::new(AtomicU64::new(0));
             restarts.push(Arc::clone(&counter));
-            let (tx, rx) = sync_channel::<ShardMessage>(self.queue_chunks);
-            // The shard's buffer pool: created once, recycled forever.
-            // Capacity covers every buffer, so returning one never blocks.
-            let (pool_tx, pool_rx) = sync_channel::<Vec<u8>>(buffers_per_shard);
+            // The data ring buffers `queue_chunks` produced chunks
+            // (rounded up to a power of two) before the worker blocks.
+            let (tx, rx) = ring::spsc::<ShardMessage>(self.queue_chunks);
+            // The shard's buffer pool: created once, recycled forever
+            // over the return ring. Its capacity covers every buffer the
+            // shard owns, so returning one never blocks.
+            let (mut pool_tx, pool_rx) = ring::spsc::<Vec<u8>>(buffers_per_shard);
             for _ in 0..buffers_per_shard {
                 pool_tx
-                    .send(Vec::with_capacity(self.chunk_bytes))
-                    .expect("pool channel sized for every buffer");
+                    .try_push(Vec::with_capacity(self.chunk_bytes))
+                    .expect("pool ring sized for every buffer");
             }
             let fail_after_chunks = self
                 .injected_failures
@@ -346,9 +409,18 @@ impl EntropyStreamBuilder {
                         pool: pool_rx,
                         fail_after_chunks,
                     };
+                    let pin = self.affinity.core_for_worker(shard, host_cpus);
+                    let pins = Arc::clone(&affinity_pins);
                     let handle = std::thread::Builder::new()
                         .name(format!("dhtrng-shard-{shard}"))
-                        .spawn(move || worker.run(tx))
+                        .spawn(move || {
+                            if let Some(cpu) = pin {
+                                if affinity::pin_current_thread(cpu) {
+                                    pins.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            worker.run(tx)
+                        })
                         .expect("spawn shard worker thread");
                     workers.push(handle);
                 }
@@ -367,9 +439,19 @@ impl EntropyStreamBuilder {
                 max_consecutive_restarts: self.max_consecutive_restarts,
                 lanes: lane_links,
             };
+            // The bank is one thread driving every lane: worker index 0.
+            let pin = self.affinity.core_for_worker(0, host_cpus);
+            let pins = Arc::clone(&affinity_pins);
             let handle = std::thread::Builder::new()
                 .name("dhtrng-sliced-bank".to_string())
-                .spawn(move || worker.run())
+                .spawn(move || {
+                    if let Some(cpu) = pin {
+                        if affinity::pin_current_thread(cpu) {
+                            pins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    worker.run()
+                })
                 .expect("spawn sliced bank worker thread");
             workers.push(handle);
         }
@@ -381,6 +463,7 @@ impl EntropyStreamBuilder {
             modeled_mbps,
             chunk_bytes: self.chunk_bytes,
             kernel,
+            affinity_pins,
         }
     }
 }
@@ -419,6 +502,7 @@ pub struct EntropyStream {
     modeled_mbps: f64,
     chunk_bytes: usize,
     kernel: KernelKind,
+    affinity_pins: Arc<AtomicU64>,
 }
 
 impl EntropyStream {
@@ -486,6 +570,16 @@ impl EntropyStream {
     /// [`KernelKind`].
     pub fn kernel(&self) -> KernelKind {
         self.kernel
+    }
+
+    /// Worker threads whose core pin actually took effect (affinity is
+    /// best-effort — see
+    /// [`core_affinity`](EntropyStreamBuilder::core_affinity)). Always
+    /// zero under [`AffinityPolicy::Disabled`], on single-CPU hosts,
+    /// and on non-Linux platforms. Workers pin themselves as they start
+    /// up, so this can lag thread spawn by a moment.
+    pub fn affinity_pins(&self) -> u64 {
+        self.affinity_pins.load(Ordering::Relaxed)
     }
 
     /// Total bytes handed to consumers so far.
@@ -767,7 +861,7 @@ mod tests {
     }
 
     #[test]
-    fn auto_kernel_resolution_honours_env_then_shard_count() {
+    fn auto_kernel_resolution_honours_env_then_cost_model() {
         // Explicit settings always win, regardless of environment.
         let explicit = EntropyStream::builder()
             .shards(4)
@@ -776,17 +870,94 @@ mod tests {
             .build();
         assert_eq!(explicit.kernel(), KernelKind::Scalar);
         // Auto defers to DHTRNG_KERNEL (the CI kernel-matrix forces it),
-        // then to the shard count: sliced pays off with >= 2 lanes.
-        let expected = |single: bool| match std::env::var("DHTRNG_KERNEL").as_deref() {
+        // then to the cost model over the real host parallelism.
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let expected = |shards: usize| match std::env::var("DHTRNG_KERNEL").as_deref() {
             Ok("scalar") => KernelKind::Scalar,
             Ok("sliced") => KernelKind::Sliced,
-            _ if single => KernelKind::Scalar,
-            _ => KernelKind::Sliced,
+            _ => KernelKind::cost_model(shards, cpus),
         };
         let auto_one = EntropyStream::builder().shards(1).chunk_bytes(64).build();
-        assert_eq!(auto_one.kernel(), expected(true));
+        assert_eq!(auto_one.kernel(), expected(1));
         let auto_four = EntropyStream::builder().shards(4).chunk_bytes(64).build();
-        assert_eq!(auto_four.kernel(), expected(false));
+        assert_eq!(auto_four.kernel(), expected(4));
+    }
+
+    #[test]
+    fn cost_model_prefers_threads_only_when_cores_beat_the_bank() {
+        // One shard: nothing to slice, nothing to parallelise.
+        assert_eq!(KernelKind::cost_model(1, 1), KernelKind::Scalar);
+        assert_eq!(KernelKind::cost_model(1, 16), KernelKind::Scalar);
+        // A 1-CPU host cannot harvest thread parallelism: the bank's
+        // measured ~1.8x single-core advantage stands.
+        assert_eq!(KernelKind::cost_model(2, 1), KernelKind::Sliced);
+        assert_eq!(KernelKind::cost_model(8, 1), KernelKind::Sliced);
+        assert_eq!(KernelKind::cost_model(4, 0), KernelKind::Sliced);
+        // Two or more usable cores beat the 1.8x bank.
+        assert_eq!(KernelKind::cost_model(2, 2), KernelKind::Scalar);
+        assert_eq!(KernelKind::cost_model(4, 4), KernelKind::Scalar);
+        // Shards bound the harvestable cores, not the host.
+        assert_eq!(KernelKind::cost_model(2, 16), KernelKind::Scalar);
+    }
+
+    #[test]
+    fn shard_seed_derivation_is_a_pure_function_of_the_index() {
+        // The blind spot this pins: seeds must never depend on the
+        // order shards are set up in, only on (master seed, index).
+        let master = 0xDEAD_BEEF_u64;
+        let forward: Vec<u64> = (0..8)
+            .map(|i| EntropyStreamBuilder::derive_shard_seed(master, i))
+            .collect();
+        let mut reversed: Vec<u64> = (0..8)
+            .rev()
+            .map(|i| EntropyStreamBuilder::derive_shard_seed(master, i))
+            .collect();
+        reversed.reverse();
+        assert_eq!(forward, reversed);
+        // And the builder's implicit schedule is exactly this function:
+        // a stream with explicit derived seeds matches a master-seeded one.
+        let mut implicit = EntropyStream::builder()
+            .shards(3)
+            .seed(master)
+            .chunk_bytes(256)
+            .build();
+        let mut explicit = EntropyStream::builder()
+            .shards(3)
+            .shard_seeds(
+                (0..3)
+                    .map(|i| EntropyStreamBuilder::derive_shard_seed(master, i))
+                    .collect(),
+            )
+            .chunk_bytes(256)
+            .build();
+        let mut buf_a = vec![0u8; 1536];
+        let mut buf_b = vec![0u8; 1536];
+        implicit.read(&mut buf_a).unwrap();
+        explicit.read(&mut buf_b).unwrap();
+        assert_eq!(buf_a, buf_b);
+    }
+
+    #[test]
+    fn core_affinity_does_not_change_the_merged_stream() {
+        let make = |policy: AffinityPolicy| {
+            EntropyStream::builder()
+                .shards(2)
+                .seed(33)
+                .chunk_bytes(512)
+                .core_affinity(policy)
+                .build()
+        };
+        let mut pinned = make(AffinityPolicy::PerShard);
+        let mut unpinned = make(AffinityPolicy::Disabled);
+        let mut buf_a = vec![0u8; 4096];
+        let mut buf_b = vec![0u8; 4096];
+        pinned.read(&mut buf_a).unwrap();
+        unpinned.read(&mut buf_b).unwrap();
+        assert_eq!(buf_a, buf_b);
+        // Disabled never pins; PerShard is best-effort (0 is legal on
+        // 1-CPU or sandboxed hosts, never more than one per worker).
+        assert_eq!(unpinned.affinity_pins(), 0);
+        assert!(pinned.affinity_pins() <= 2);
     }
 
     #[test]

@@ -13,9 +13,9 @@
 //!   created once at build time: one being filled by the worker, up to
 //!   `queue_chunks` in the bounded data queue, one drained by the
 //!   consumer. Drained buffers return to their shard's worker over a
-//!   **return channel**, so the steady-state read path performs **zero
+//!   **return ring**, so the steady-state read path performs **zero
 //!   heap allocation** (pinned by `tests/zero_alloc.rs` and reported
-//!   in `BENCH_4.json`);
+//!   in `BENCH_7.json`);
 //! * the consumer merges chunks **round-robin in shard order** (chunk
 //!   `k` of the stream is chunk `k / N` of shard `k % N`), exactly as
 //!   before — the merged stream stays a pure function of the shard
@@ -40,18 +40,20 @@
 //! `tests/streaming.rs` pins this with a 3-shard stream whose middle
 //! shard retires mid-read.
 
-use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
 use std::thread::JoinHandle;
 
 use crate::error::Error;
+use crate::ring::{Consumer, Producer, TryPopError};
 use crate::shard::ShardMessage;
 
-/// The consumer ends of one shard's channel pair: produced chunks
-/// arrive on `data`; drained buffers go home over `pool`.
+/// The consumer ends of one shard's ring pair: produced chunks arrive
+/// on `data`; drained buffers go home over `pool`. Both directions are
+/// lock-free SPSC rings (see [`crate::ring`]) — the executor is the
+/// single consumer of `data` and the single producer of `pool`.
 #[derive(Debug)]
 pub(crate) struct ShardLink {
-    pub(crate) data: Receiver<ShardMessage>,
-    pub(crate) pool: SyncSender<Vec<u8>>,
+    pub(crate) data: Consumer<ShardMessage>,
+    pub(crate) pool: Producer<Vec<u8>>,
 }
 
 /// The merge loop + buffer pool behind every tier (see the
@@ -110,13 +112,14 @@ impl Executor {
         self.buffers_created
     }
 
-    /// Sends the drained current buffer home to its shard's pool. A
-    /// no-op before the first refill; a dead worker (receiver gone)
-    /// just drops the buffer.
+    /// Sends the drained current buffer home to its shard's pool ring.
+    /// A no-op before the first refill; a dead worker (consumer side
+    /// gone) just drops the buffer. The pool ring's capacity covers
+    /// every buffer the shard owns, so the push never blocks.
     fn recycle_current(&mut self) {
         if !self.current.is_empty() {
             let buffer = std::mem::take(&mut self.current);
-            let _ = self.links[self.current_shard].pool.send(buffer);
+            let _ = self.links[self.current_shard].pool.push(buffer);
         }
         self.offset = 0;
     }
@@ -125,7 +128,7 @@ impl Executor {
     /// drained one. Does **not** latch the failure (callers decide).
     fn refill(&mut self) -> Result<(), Error> {
         let shard = self.cursor;
-        match self.links[shard].data.recv() {
+        match self.links[shard].data.pop() {
             Ok(Ok(chunk)) => {
                 self.recycle_current();
                 self.current = chunk;
@@ -196,7 +199,7 @@ impl Executor {
             return Ok(true);
         }
         let shard = self.cursor;
-        let error = match self.links[shard].data.try_recv() {
+        let error = match self.links[shard].data.try_pop() {
             Ok(Ok(chunk)) => {
                 self.recycle_current();
                 self.current = chunk;
@@ -204,12 +207,12 @@ impl Executor {
                 self.cursor = (self.cursor + 1) % self.links.len();
                 return Ok(true);
             }
-            Err(TryRecvError::Empty) => return Ok(false),
+            Err(TryPopError::Empty) => return Ok(false),
             Ok(Err(failure)) => Error::ShardFailed {
                 shard: failure.shard,
                 consecutive_restarts: failure.consecutive_restarts,
             },
-            Err(TryRecvError::Disconnected) => Error::ShardDisconnected { shard },
+            Err(TryPopError::Disconnected) => Error::ShardDisconnected { shard },
         };
         // Latch: this path may consume the shard's one obituary message,
         // so later reads must keep reporting the true cause.
@@ -220,9 +223,10 @@ impl Executor {
 
 impl Drop for Executor {
     fn drop(&mut self) {
-        // Hang up both directions first: workers blocked sending a
-        // chunk observe the data-channel hangup; workers blocked
-        // waiting for a pool buffer observe the return-channel hangup.
+        // Hang up both directions first: workers blocked pushing a
+        // chunk observe the data-ring hangup; workers blocked waiting
+        // for a pool buffer observe the return-ring hangup (the ring
+        // `Drop` impls set the alive flags and wake parked peers).
         // Then reap the threads.
         self.links.clear();
         for handle in self.workers.drain(..) {

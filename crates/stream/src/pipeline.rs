@@ -246,6 +246,15 @@ impl PipelineBuilder {
         self
     }
 
+    /// How the engine's worker threads are placed onto CPU cores (see
+    /// [`EntropyStreamBuilder::core_affinity`]); best-effort, and every
+    /// tier's stream is identical either way.
+    #[must_use]
+    pub fn core_affinity(mut self, policy: crate::AffinityPolicy) -> Self {
+        self.stream = self.stream.core_affinity(policy);
+        self
+    }
+
     /// Deterministic fault injection: `shard` retires after `chunks`
     /// healthy chunks (see
     /// [`EntropyStreamBuilder::inject_shard_failure`]).

@@ -4,7 +4,7 @@
 //! Each worker owns a [`DhTrng`] (driven as a stage-graph
 //! [`BlockSource`]) and a continuous [`HealthMonitor`] (SP 800-90B §4.4
 //! RCT + APT) over the bits it delivers. Buffers arrive over the pool
-//! return channel — the worker never allocates a chunk; it regenerates
+//! return ring — the worker never allocates a chunk; it regenerates
 //! into the same storage. A chunk whose bits trip the monitor is
 //! **discarded whole** (regenerated in place), the instance is
 //! power-cycled via [`DhTrng::restart`] (fresh metastable startup
@@ -15,13 +15,13 @@
 //! a [`ShardFailure`] and retires instead of flooding restarts forever.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 
 use dhtrng_core::kernel::{BitBlock, BlockSource};
 use dhtrng_core::{DhTrng, HealthMonitor, HealthStatus};
 
 use crate::error::ConfigError;
+use crate::ring::{Consumer, Producer};
 
 /// Cutoffs for the per-shard continuous health tests.
 ///
@@ -176,8 +176,10 @@ pub struct ShardFailure {
     pub consecutive_restarts: u32,
 }
 
-/// What a shard sends down its channel: a healthy chunk (in a pool
-/// buffer the consumer must eventually return), or its own obituary.
+/// What a shard sends down its data ring: a healthy chunk (in a pool
+/// buffer the consumer must eventually return), or its own obituary —
+/// the in-band retirement tag that keeps the error in the shard's
+/// round-robin queue position.
 pub(crate) type ShardMessage = Result<Vec<u8>, ShardFailure>;
 
 /// The state a shard worker thread runs with.
@@ -189,8 +191,8 @@ pub(crate) struct ShardWorker {
     pub(crate) max_consecutive_restarts: u32,
     /// Shared restart counter (read by the engine's statistics).
     pub(crate) restarts: Arc<AtomicU64>,
-    /// Recycled buffers come back from the consumer here.
-    pub(crate) pool: Receiver<Vec<u8>>,
+    /// Recycled buffers come back from the consumer over this ring.
+    pub(crate) pool: Consumer<Vec<u8>>,
     /// Deterministic fault injection: retire after this many healthy
     /// chunks (`None` = never).
     pub(crate) fail_after_chunks: Option<u64>,
@@ -198,29 +200,29 @@ pub(crate) struct ShardWorker {
 
 impl ShardWorker {
     /// Produces chunks until the consumer hangs up or the shard dies.
-    pub(crate) fn run(mut self, tx: SyncSender<ShardMessage>) {
+    pub(crate) fn run(mut self, mut tx: Producer<ShardMessage>) {
         let mut monitor = self.health.monitor();
         let mut healthy_sent = 0u64;
         loop {
             if self.fail_after_chunks == Some(healthy_sent) {
                 // Injected retirement: deterministic in the chunk count,
                 // independent of thread timing.
-                let _ = tx.send(Err(ShardFailure {
+                let _ = tx.push(Err(ShardFailure {
                     shard: self.shard,
                     consecutive_restarts: 0,
                 }));
                 return;
             }
             // Zero-allocation steady state: wait for a recycled buffer
-            // instead of allocating. A closed return channel means the
+            // instead of allocating. A hung-up return ring means the
             // consumer dropped the stream: orderly shutdown.
-            let Ok(mut buffer) = self.pool.recv() else {
+            let Ok(mut buffer) = self.pool.pop() else {
                 return;
             };
             buffer.resize(self.chunk_bytes, 0);
             match self.next_healthy_chunk_into(&mut monitor, &mut buffer) {
                 Ok(()) => {
-                    if tx.send(Ok(buffer)).is_err() {
+                    if tx.push(Ok(buffer)).is_err() {
                         // Consumer dropped the stream: orderly shutdown.
                         return;
                     }
@@ -228,7 +230,7 @@ impl ShardWorker {
                 }
                 Err(failure) => {
                     // Best effort: the consumer may already be gone.
-                    let _ = tx.send(Err(failure));
+                    let _ = tx.push(Err(failure));
                     return;
                 }
             }

@@ -6,9 +6,9 @@
 //! semantics, and the failure surface are all **bit- and
 //! event-identical** to N scalar [`ShardWorker`](crate::shard::ShardWorker)
 //! threads on the same seed schedule. The consumer side (the
-//! [`Executor`](crate::exec::Executor), the channel shapes, the pool
+//! [`Executor`](crate::exec::Executor), the ring shapes, the pool
 //! recycling) is untouched — the engine only swaps who produces into
-//! the per-shard channels:
+//! the per-shard rings:
 //!
 //! * lane `i` of the bank continues shard `i`'s generator stream
 //!   exactly (the core crate's lane-equivalence contract);
@@ -31,26 +31,26 @@
 //! ([`SlicedDhTrng::fill_lane_chunks`]), then health-gate and send each
 //! lane's chunk. Lockstep cannot deadlock against the round-robin
 //! consumer: the consumer drains shards in order, so its cursor never
-//! lags the slowest shard by more than one round, while every queue
-//! holds `queue_chunks ≥ 1` — a blocked `pool.recv` on one lane implies
-//! the consumer still holds that lane's buffers, which it only does
-//! while draining this same round elsewhere.
+//! lags the slowest shard by more than one round, while every data
+//! ring holds `queue_chunks ≥ 1` slots — a blocked `pool.pop` on one
+//! lane implies the consumer still holds that lane's buffers, which it
+//! only does while draining this same round elsewhere.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 
 use dhtrng_core::SlicedDhTrng;
 
+use crate::ring::{Consumer, Producer};
 use crate::shard::{chunk_is_healthy, HealthConfig, ShardFailure, ShardMessage};
 
-/// The producer side of one shard's channel pair, as wired by the
+/// The producer side of one shard's ring pair, as wired by the
 /// engine (same shapes as a scalar worker's, one set per lane).
 pub(crate) struct LaneLink {
     /// Healthy chunks (and at most one terminal failure) go out here.
-    pub(crate) tx: SyncSender<ShardMessage>,
-    /// Recycled buffers come back from the consumer here.
-    pub(crate) pool: Receiver<Vec<u8>>,
+    pub(crate) tx: Producer<ShardMessage>,
+    /// Recycled buffers come back from the consumer over this ring.
+    pub(crate) pool: Consumer<Vec<u8>>,
     /// Shared restart counter (read by the engine's statistics).
     pub(crate) restarts: Arc<AtomicU64>,
     /// Deterministic fault injection: retire after this many healthy
@@ -83,24 +83,24 @@ impl SlicedBankWorker {
         loop {
             // Phase A: injected retirements fire at their exact chunk
             // count, then every live lane waits for a recycled buffer.
-            for (lane, link) in self.lanes.iter().enumerate() {
+            for (lane, link) in self.lanes.iter_mut().enumerate() {
                 if dark[lane] {
                     continue;
                 }
                 if link.fail_after_chunks == Some(healthy_sent[lane]) {
-                    let _ = link.tx.send(Err(ShardFailure {
+                    let _ = link.tx.push(Err(ShardFailure {
                         shard: lane,
                         consecutive_restarts: 0,
                     }));
                     dark[lane] = true;
                     continue;
                 }
-                match link.pool.recv() {
+                match link.pool.pop() {
                     Ok(mut buffer) => {
                         buffer.resize(self.chunk_bytes, 0);
                         staging[lane] = Some(buffer);
                     }
-                    // Closed return channel: the consumer dropped this
+                    // Hung-up return ring: the consumer dropped this
                     // lane's stream end — orderly per-lane shutdown.
                     Err(_) => dark[lane] = true,
                 }
@@ -115,7 +115,7 @@ impl SlicedBankWorker {
                 let Some(mut buffer) = slot.take() else {
                     continue;
                 };
-                let link = &self.lanes[lane];
+                let link = &mut self.lanes[lane];
                 let mut restarts_performed = 0u32;
                 let verdict = loop {
                     if chunk_is_healthy(&mut monitors[lane], &buffer) {
@@ -136,7 +136,7 @@ impl SlicedBankWorker {
                 };
                 match verdict {
                     Ok(()) => {
-                        if link.tx.send(Ok(buffer)).is_err() {
+                        if link.tx.push(Ok(buffer)).is_err() {
                             dark[lane] = true;
                         } else {
                             healthy_sent[lane] += 1;
@@ -144,7 +144,7 @@ impl SlicedBankWorker {
                     }
                     Err(failure) => {
                         // Best effort: the consumer may already be gone.
-                        let _ = link.tx.send(Err(failure));
+                        let _ = link.tx.push(Err(failure));
                         dark[lane] = true;
                     }
                 }

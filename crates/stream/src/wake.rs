@@ -1,0 +1,288 @@
+//! Parking and backoff primitives behind the lock-free hand-off.
+//!
+//! Two wakeup mechanisms replace the `Condvar`s the hand-off path used
+//! to rely on (inside `std::sync::mpsc` and in the session layer):
+//!
+//! * [`WakeToken`] — a single-waiter "eventcount" for the SPSC ring:
+//!   one side of a ring registers itself, re-checks its condition, and
+//!   parks; the other side's notify is one `SeqCst` fence plus one
+//!   relaxed load when nobody is waiting. An idle merge loop therefore
+//!   costs the producer exactly one uncontended load per push.
+//! * [`EventCount`] — a multi-waiter epoch counter for the session
+//!   layer's reseed arbiter, where any number of sessions may wait for
+//!   the queue to move. Registration happens under the source lock (so
+//!   a notify can never slip between registering and sleeping), and
+//!   the epoch guards against stale unpark tokens.
+//!
+//! Both follow the classic two-sided `SeqCst`-fence handshake (Dekker
+//! store-load pattern): the waiter *registers then re-checks*, the
+//! notifier *publishes then checks for a waiter*, and the fences
+//! guarantee at least one side observes the other. The memory-ordering
+//! argument is written out in `DESIGN.md` §10.
+//!
+//! [`Backoff`] is the spin → yield ladder both sides climb before they
+//! commit to parking: short waits (the common case at chunk
+//! granularity) never enter the kernel at all.
+
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread::{self, Thread};
+
+/// Spin-with-`spin_loop`-hint steps before escalating (2^0..2^6 spins).
+const SPIN_STEPS: u32 = 6;
+/// `yield_now` steps after spinning, before the caller should park.
+const YIELD_STEPS: u32 = 4;
+
+/// The spin → yield ladder a waiter climbs before parking.
+///
+/// On a single-CPU host the spin phase is skipped entirely: the peer
+/// cannot make progress while this thread burns cycles, so the only
+/// useful moves are yielding the core to it and parking.
+#[derive(Debug)]
+pub(crate) struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    pub(crate) fn new() -> Self {
+        Self {
+            step: if crate::affinity::host_cpus() > 1 {
+                0
+            } else {
+                SPIN_STEPS + 1
+            },
+        }
+    }
+
+    /// Waits one escalating unit. Returns `true` once the ladder is
+    /// exhausted and the caller should park instead of burning CPU.
+    pub(crate) fn snooze(&mut self) -> bool {
+        if self.step <= SPIN_STEPS {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else {
+            thread::yield_now();
+        }
+        if self.step < SPIN_STEPS + YIELD_STEPS {
+            self.step += 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Restarts the ladder at the yield phase: after a park-and-wake
+    /// the condition is usually ready, but if it is not, spinning from
+    /// scratch would just reheat the core.
+    pub(crate) fn wound(&mut self) {
+        self.step = SPIN_STEPS + 1;
+    }
+}
+
+/// Nobody is waiting on the token.
+const IDLE: usize = 0;
+/// A waiter has registered and may be (about to be) parked.
+const WAITING: usize = 1;
+/// The notifier fired while a waiter was registered.
+const NOTIFIED: usize = 2;
+
+/// A single-waiter wakeup token (one side of one SPSC ring).
+///
+/// Waiter protocol: [`prepare`](Self::prepare), then **re-check the
+/// wake condition**, then either [`cancel`](Self::cancel) (condition
+/// already true) or [`park`](Self::park). Notifier protocol: publish
+/// the state change, then [`notify`](Self::notify). The re-check
+/// between `prepare` and `park` is what makes the handshake lossless —
+/// see the module docs.
+///
+/// The internal `Mutex` is touched only on the slow path (a waiter
+/// actually registering, a notifier actually finding one); the hot
+/// path of `notify` is a fence plus one relaxed load.
+#[derive(Debug, Default)]
+pub(crate) struct WakeToken {
+    state: AtomicUsize,
+    sleeper: Mutex<Option<Thread>>,
+}
+
+impl WakeToken {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the calling thread as the waiter. The caller **must**
+    /// re-check its wake condition after this returns and before
+    /// calling [`park`](Self::park).
+    pub(crate) fn prepare(&self) {
+        *self.sleeper.lock().expect("wake token poisoned") = Some(thread::current());
+        self.state.store(WAITING, Ordering::Relaxed);
+        // Waiter-side half of the handshake: the WAITING store must be
+        // ordered before the caller's condition re-check.
+        fence(Ordering::SeqCst);
+    }
+
+    /// Withdraws a registration whose condition re-check came back
+    /// true.
+    pub(crate) fn cancel(&self) {
+        self.state.store(IDLE, Ordering::Release);
+    }
+
+    /// Parks until notified. Spurious wakeups of the underlying
+    /// `thread::park` are absorbed by the state loop.
+    pub(crate) fn park(&self) {
+        while self.state.load(Ordering::Acquire) == WAITING {
+            thread::park();
+        }
+        self.state.store(IDLE, Ordering::Release);
+    }
+
+    /// Wakes the registered waiter, if there is one. The caller must
+    /// have already published the state change the waiter is waiting
+    /// for (a `Release` store is enough; the fence below completes the
+    /// handshake).
+    pub(crate) fn notify(&self) {
+        // Notifier-side half of the handshake: order the caller's
+        // publication before the waiter-state load.
+        fence(Ordering::SeqCst);
+        if self.state.load(Ordering::Relaxed) == WAITING
+            && self.state.swap(NOTIFIED, Ordering::AcqRel) == WAITING
+        {
+            if let Some(thread) = self.sleeper.lock().expect("wake token poisoned").take() {
+                thread.unpark();
+            }
+        }
+    }
+}
+
+/// A multi-waiter eventcount: threads wait for "the state moved", the
+/// epoch counter distinguishes real notifications from stale unparks.
+///
+/// Waiters must call [`prepare`](Self::prepare) while still holding
+/// the lock that guards the state they are waiting on, then release it
+/// and call [`wait`](Self::wait); notifiers mutate the state and call
+/// [`notify_all`](Self::notify_all) under the same lock. Registration
+/// under the lock is what makes the sleep lossless: a notifier can
+/// never run between the condition check and the registration.
+#[derive(Debug, Default)]
+pub(crate) struct EventCount {
+    epoch: AtomicU64,
+    waiters: Mutex<Vec<Thread>>,
+}
+
+impl EventCount {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the calling thread and snapshots the epoch. Call
+    /// while holding the state lock; pass the returned epoch to
+    /// [`wait`](Self::wait) after releasing it.
+    pub(crate) fn prepare(&self) -> u64 {
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        self.waiters
+            .lock()
+            .expect("eventcount poisoned")
+            .push(thread::current());
+        epoch
+    }
+
+    /// Sleeps until the epoch moves past `epoch`. Stale unpark tokens
+    /// (from a wait the caller abandoned, or a previous lap) only cost
+    /// a loop iteration.
+    pub(crate) fn wait(&self, epoch: u64) {
+        while self.epoch.load(Ordering::SeqCst) == epoch {
+            thread::park();
+        }
+    }
+
+    /// Advances the epoch and wakes every registered waiter. Call
+    /// under the state lock after mutating the guarded state.
+    pub(crate) fn notify_all(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let mut waiters = self.waiters.lock().expect("eventcount poisoned");
+        for thread in waiters.drain(..) {
+            thread.unpark();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn backoff_ladder_reaches_park_recommendation() {
+        let mut backoff = Backoff::new();
+        let mut steps = 0;
+        while !backoff.snooze() {
+            steps += 1;
+            assert!(steps < 64, "ladder must terminate");
+        }
+        // Multi-core hosts climb the full spin phase first; a solo
+        // host goes straight to the yield phase (spinning cannot help
+        // a peer that is not running).
+        let expected = if crate::affinity::host_cpus() > 1 {
+            SPIN_STEPS + YIELD_STEPS
+        } else {
+            YIELD_STEPS - 1
+        };
+        assert_eq!(steps, expected as usize);
+        // Once exhausted it keeps recommending the park.
+        assert!(backoff.snooze());
+        backoff.wound();
+        assert!(!backoff.snooze());
+    }
+
+    #[test]
+    fn wake_token_round_trip() {
+        let token = Arc::new(WakeToken::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let token = Arc::clone(&token);
+            let flag = Arc::clone(&flag);
+            thread::spawn(move || loop {
+                token.prepare();
+                if flag.load(Ordering::SeqCst) {
+                    token.cancel();
+                    return;
+                }
+                token.park();
+            })
+        };
+        thread::sleep(std::time::Duration::from_millis(20));
+        flag.store(true, Ordering::SeqCst);
+        token.notify();
+        waiter.join().expect("waiter exits");
+    }
+
+    #[test]
+    fn notify_before_prepare_is_not_lost() {
+        // The condition re-check between prepare and park covers the
+        // notify-first interleaving; the token itself must simply not
+        // dead-lock when notified with nobody registered.
+        let token = WakeToken::new();
+        token.notify();
+        token.prepare();
+        token.cancel();
+    }
+
+    #[test]
+    fn eventcount_wakes_all_waiters() {
+        let count = Arc::new(EventCount::new());
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let count = Arc::clone(&count);
+            joins.push(thread::spawn(move || {
+                let epoch = count.prepare();
+                count.wait(epoch);
+            }));
+        }
+        thread::sleep(std::time::Duration::from_millis(20));
+        count.notify_all();
+        for join in joins {
+            join.join().expect("waiter exits");
+        }
+    }
+}

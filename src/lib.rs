@@ -112,7 +112,7 @@ pub mod prelude {
     pub use dhtrng_stattests::sp800_90b::{min_entropy_mcv, non_iid_battery};
     pub use dhtrng_stattests::BitBuffer;
     pub use dhtrng_stream::{
-        ConditionedStream, ConditionerSpec, DrbgPool, EntropySource, EntropyStream,
+        AffinityPolicy, ConditionedStream, ConditionerSpec, DrbgPool, EntropySource, EntropyStream,
         EntropyStreamBuilder, HealthConfig, KernelKind, PipelineBuilder, Session, SessionConfig,
         SourceBuilder, StreamError, Tier, TierStream,
     };
