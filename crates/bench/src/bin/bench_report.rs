@@ -1,8 +1,8 @@
-//! Machine-readable performance report: `BENCH_7.json`.
+//! Machine-readable performance report: `BENCH_8.json`.
 //!
 //! Measures the throughput numbers this repository's CI tracks per-PR
-//! (see ISSUE 2 / ISSUE 4 / ISSUE 5 / ISSUE 6 / ISSUE 7 / ISSUE 8 and
-//! `DESIGN.md` §5–§10):
+//! (see ISSUE 2 / ISSUE 4 / ISSUE 5 / ISSUE 6 / ISSUE 7 / ISSUE 8 /
+//! ISSUE 9 and `DESIGN.md` §5–§11):
 //!
 //! 1. **batching speedup** — the batched `Trng::fill_bytes` fast path
 //!    against the per-bit `next_bit` path on the behavioural DH-TRNG
@@ -44,10 +44,17 @@
 //!    cost model takes on this host. `scaling.measured` is `true` only
 //!    when `available_parallelism() > 1`: on a 1-CPU host the shard
 //!    workers time-share one core, so the Mbps columns are recorded but
-//!    are explicitly **not** a multicore scaling measurement.
+//!    are explicitly **not** a multicore scaling measurement;
+//! 8. **telemetry overhead** — ns per steady-state raw-tier chunk read
+//!    with the stage-event recorder disabled (the no-op default) vs
+//!    enabled (a bounded deterministic `Tracer`), plus allocations per
+//!    read with the recorder on. The always-on counters run in both
+//!    configurations, so the ratio isolates the event layer's cost; CI
+//!    fails the job when `overhead_ratio` exceeds 1.10 or the
+//!    recorder-on read path allocates at all.
 //!
 //! Usage: `bench_report [--quick] [--out PATH]` (default
-//! `BENCH_7.json` in the working directory; CI uploads it as a
+//! `BENCH_8.json` in the working directory; CI uploads it as a
 //! workflow artifact and compares it against the committed snapshot:
 //! a non-zero `allocs_per_read` or a >20% drop in the batching
 //! speedup **fails the job**, while raw-Mbps and serve-latency drifts
@@ -202,6 +209,48 @@ fn measure_steady_state_allocs(reads: usize) -> (f64, usize) {
     ((after - before) as f64 / reads as f64, reads)
 }
 
+/// One telemetry configuration: ns per steady-state raw-tier chunk
+/// read and allocations per read, with the given recorder (or the
+/// no-op default when `None`). Identical deployment and priming to
+/// `measure_steady_state_allocs`, so recorder-off here is the same
+/// path the `allocation` section measures.
+fn measure_telemetry_point(
+    recorder: Option<std::sync::Arc<dyn dhtrng_stream::Recorder>>,
+    budget_s: f64,
+    alloc_reads: usize,
+) -> (f64, f64) {
+    let shards = 4;
+    let queue_chunks = 4;
+    let chunk = 64 * 1024;
+    let mut builder = EntropyStream::builder()
+        .shards(shards)
+        .seed(1)
+        .chunk_bytes(chunk)
+        .queue_chunks(queue_chunks);
+    if let Some(recorder) = recorder {
+        builder = builder.recorder(recorder);
+    }
+    let mut stream = builder.build();
+    let mut buf = vec![0u8; chunk];
+    for _ in 0..shards * (queue_chunks + 2) * 3 {
+        stream.read(&mut buf).expect("healthy stream");
+    }
+    let seconds = time_mean_s(
+        || {
+            stream.read(&mut buf).expect("healthy stream");
+            std::hint::black_box(buf[0]);
+        },
+        budget_s,
+    );
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..alloc_reads {
+        stream.read(&mut buf).expect("healthy stream");
+    }
+    let allocs = (ALLOCATIONS.load(Ordering::SeqCst) - before) as f64 / alloc_reads as f64;
+    std::hint::black_box(buf[0]);
+    (seconds * 1e9, allocs)
+}
+
 /// Raw-tier wall-clock Mbps of one `EntropyStream` deployment with the
 /// kernel forced and `core_affinity(PerShard)` engaged (a no-op on
 /// 1-CPU hosts — `AffinityPolicy::core_for_worker` declines to pin).
@@ -347,7 +396,7 @@ fn mbps_array(values: &[f64]) -> String {
 
 fn main() {
     let quick = args::switch("--quick");
-    let out_path: String = args::flag("--out", "BENCH_7.json".to_string());
+    let out_path: String = args::flag("--out", "BENCH_8.json".to_string());
     let budget_s = if quick { 0.05 } else { 0.5 };
     let bits = if quick { 1 << 18 } else { 1 << 21 };
     let stream_bytes: usize = if quick { 1 << 18 } else { 1 << 22 };
@@ -448,6 +497,18 @@ fn main() {
         .unwrap_or(1);
     let single = DhTrng::builder().seed(1).build();
 
+    // 8. Telemetry overhead: the same steady-state chunk-read loop with
+    // the recorder off (no-op default) and on (a bounded deterministic
+    // Tracer — the heaviest shipped recorder, mutex and eviction
+    // included). The tracer capacity is far below the event volume so
+    // the measured path includes drop-oldest eviction.
+    let (telemetry_off_ns, _) = measure_telemetry_point(None, budget_s, alloc_reads);
+    let telemetry_tracer: std::sync::Arc<dyn dhtrng_stream::Recorder> =
+        std::sync::Arc::new(dhtrng_stream::Tracer::deterministic(1024));
+    let (telemetry_on_ns, telemetry_on_allocs) =
+        measure_telemetry_point(Some(telemetry_tracer), budget_s, alloc_reads);
+    let telemetry_overhead = telemetry_on_ns / telemetry_off_ns;
+
     // 7. Multicore scaling + hand-off cost. The shard sweep runs with
     // core_affinity(PerShard) engaged; on a 1-CPU host that declines to
     // pin and `measured` is false — the Mbps columns then show shard
@@ -496,7 +557,7 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "schema": "dhtrng-bench-report/7",
+  "schema": "dhtrng-bench-report/8",
   "quick": {quick},
   "host_cpus": {cpus},
   "batching": {{
@@ -577,6 +638,14 @@ fn main() {
     "auto_decision": "{auto_decision}",
     "note": "raw-tier wall-clock Mbps at 1/2/4 shards, both kernels forced, core_affinity(PerShard) engaged (a no-op when host_cpus=1, so affinity_pins is 0 there). measured=true only when available_parallelism()>1: on a 1-CPU host the shard workers time-share one core and these columns are NOT a multicore scaling measurement — scalar_scaling_at_2 is gated in CI only when measured=true. handoff_ns_per_chunk is half the cross-thread round-trip cost of the lock-free SPSC ring (one buffer ping-ponged to an echo thread over a data/return pair, the engine's worker->merger topology) vs the bounded mpsc channel it replaced, so it includes the backoff/park protocol both transports pay when the peer is not ready; handoff_allocs_per_chunk is heap allocations per ring hand-off under the counting allocator and must be exactly 0 (CI fails otherwise)."
   }},
+  "telemetry": {{
+    "read_bytes_per_chunk": 65536,
+    "recorder_off_ns_per_chunk": {telemetry_off_ns:.1},
+    "recorder_on_ns_per_chunk": {telemetry_on_ns:.1},
+    "overhead_ratio": {telemetry_overhead:.4},
+    "allocs_per_read_recorder_on": {telemetry_on_allocs:.3},
+    "note": "ns per steady-state raw-tier 64 KiB chunk read over the 4-shard deployment, stage-event recorder off (the no-op default) vs on (a bounded deterministic Tracer sized to force drop-oldest eviction — the heaviest shipped recorder). The always-on counters run in both configurations, so overhead_ratio isolates the event layer; CI fails when it exceeds 1.10 or when the recorder-on read path allocates at all (tests/zero_alloc.rs pins the same invariant)."
+  }},
   "paper_anchor": {{
     "per_instance_modeled_mbps": {anchor:.3},
     "note": "modeled Mbps = sampling clock x 1 bit/cycle; the paper reports 620 (Artix-7) / 670 (Virtex-6) per instance and linear multi-instance scaling, which modeled_scaling reproduces exactly. Simulated Mbps measure how fast this software model runs on the host and bound experiment runtimes. Pipeline tiers report post-conditioning throughput: conditioned = raw / compression ratio, drbg = conditioned x expansion factor (see DESIGN.md sections 6-7)."
@@ -639,12 +708,16 @@ fn main() {
         handoff_allocs = handoff_allocs,
         auto_selected = auto_selected,
         auto_decision = auto_decision,
+        telemetry_off_ns = telemetry_off_ns,
+        telemetry_on_ns = telemetry_on_ns,
+        telemetry_overhead = telemetry_overhead,
+        telemetry_on_allocs = telemetry_on_allocs,
         anchor = single.throughput_mbps(),
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     print!("{json}");
     eprintln!(
-        "wrote {out_path} (batch speedup {batch_speedup:.2}x, modeled scaling {modeled_scaling:.2}x, wall-clock scaling {wallclock_scaling:.2}x on {cpus} cpu(s); tiers raw/conditioned/drbg = {raw_sim:.0}/{cond_sim:.0}/{drbg_sim:.0} simulated Mbps; {allocs_per_read:.2} allocs/read steady-state; serve {clients} clients p50/p99 = {p50:.1}/{p99:.1} us; kernel {selected_kernel}/{simd_backend} sliced-vs-scalar {kernel_speedup:.2}x; hand-off ring/mpsc = {handoff_ring_ns:.0}/{handoff_mpsc_ns:.0} ns, scaling measured = {scaling_measured})",
+        "wrote {out_path} (batch speedup {batch_speedup:.2}x, modeled scaling {modeled_scaling:.2}x, wall-clock scaling {wallclock_scaling:.2}x on {cpus} cpu(s); tiers raw/conditioned/drbg = {raw_sim:.0}/{cond_sim:.0}/{drbg_sim:.0} simulated Mbps; {allocs_per_read:.2} allocs/read steady-state; serve {clients} clients p50/p99 = {p50:.1}/{p99:.1} us; kernel {selected_kernel}/{simd_backend} sliced-vs-scalar {kernel_speedup:.2}x; hand-off ring/mpsc = {handoff_ring_ns:.0}/{handoff_mpsc_ns:.0} ns, scaling measured = {scaling_measured}; telemetry overhead {telemetry_overhead:.3}x, {telemetry_on_allocs:.2} allocs/read recorder-on)",
         clients = serve.clients,
         p50 = serve.p50_us,
         p99 = serve.p99_us,

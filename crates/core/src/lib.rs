@@ -57,6 +57,7 @@ pub mod kernel;
 pub mod model;
 pub mod postproc;
 pub mod slice;
+pub mod telemetry;
 pub mod trng;
 
 pub use architecture::{dh_trng_netlist, entropy_unit_netlist, EntropyUnitPorts, NetlistPorts};
@@ -71,4 +72,7 @@ pub use model::{
 };
 pub use postproc::{LfsrWhitener, VonNeumann, XorDecimator};
 pub use slice::{Lane, SliceError, SlicedDhTrng, SlicedKernel, MAX_LANES};
+pub use telemetry::{
+    MetricsHandle, NoopRecorder, Recorder, ShardSnapshot, Snapshot, StageEvent, TraceEvent, Tracer,
+};
 pub use trng::{DhTrng, DhTrngBuilder, DhTrngConfig, HybridUnitGroup, Trng};

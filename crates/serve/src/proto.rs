@@ -102,6 +102,26 @@ pub struct StatReport {
     pub stalled_reseeds: u64,
     /// Conditioned bytes delivered (session reads + seed harvests).
     pub conditioned_bytes: u64,
+    /// Healthy chunks the shard workers produced (telemetry).
+    pub chunks_produced: u64,
+    /// Health-test verdicts that failed (telemetry).
+    pub health_failures: u64,
+    /// Shards that retired terminally (telemetry).
+    pub retirements: u64,
+    /// Ring hand-off parks — a thread blocked on an empty/full ring
+    /// (telemetry).
+    pub ring_parks: u64,
+    /// Ring hand-off wakes — a notify found a parked peer (telemetry).
+    pub ring_wakes: u64,
+    /// Conditioned-read rollbacks after a terminal source error
+    /// (telemetry).
+    pub rollbacks: u64,
+    /// Reseed harvests that stalled, as counted by the stage telemetry
+    /// (agrees with `stalled_reseeds`).
+    pub telemetry_stalled_reseeds: u64,
+    /// Bytes delivered through sessions, as counted by the stage
+    /// telemetry.
+    pub session_bytes: u64,
 }
 
 /// Failure classes a [`Response::Error`] carries.
@@ -281,7 +301,7 @@ impl Response {
                 payload
             }
             Self::Stat(report) => {
-                let mut payload = Vec::with_capacity(62);
+                let mut payload = Vec::with_capacity(118);
                 payload.push(OP_STAT_RSP);
                 payload.push(u8::from(report.degraded));
                 payload.extend_from_slice(&report.shards.to_le_bytes());
@@ -291,6 +311,14 @@ impl Response {
                 payload.extend_from_slice(&report.reseeds_served.to_le_bytes());
                 payload.extend_from_slice(&report.stalled_reseeds.to_le_bytes());
                 payload.extend_from_slice(&report.conditioned_bytes.to_le_bytes());
+                payload.extend_from_slice(&report.chunks_produced.to_le_bytes());
+                payload.extend_from_slice(&report.health_failures.to_le_bytes());
+                payload.extend_from_slice(&report.retirements.to_le_bytes());
+                payload.extend_from_slice(&report.ring_parks.to_le_bytes());
+                payload.extend_from_slice(&report.ring_wakes.to_le_bytes());
+                payload.extend_from_slice(&report.rollbacks.to_le_bytes());
+                payload.extend_from_slice(&report.telemetry_stalled_reseeds.to_le_bytes());
+                payload.extend_from_slice(&report.session_bytes.to_le_bytes());
                 payload
             }
             Self::Error {
@@ -335,6 +363,14 @@ impl Response {
                     reseeds_served: take_u64(rest, 29)?,
                     stalled_reseeds: take_u64(rest, 37)?,
                     conditioned_bytes: take_u64(rest, 45)?,
+                    chunks_produced: take_u64(rest, 53)?,
+                    health_failures: take_u64(rest, 61)?,
+                    retirements: take_u64(rest, 69)?,
+                    ring_parks: take_u64(rest, 77)?,
+                    ring_wakes: take_u64(rest, 85)?,
+                    rollbacks: take_u64(rest, 93)?,
+                    telemetry_stalled_reseeds: take_u64(rest, 101)?,
+                    session_bytes: take_u64(rest, 109)?,
                 }))
             }
             OP_ERROR => {
@@ -444,6 +480,14 @@ mod tests {
                 reseeds_served: 9,
                 stalled_reseeds: 3,
                 conditioned_bytes: 1 << 20,
+                chunks_produced: 512,
+                health_failures: 6,
+                retirements: 1,
+                ring_parks: 88,
+                ring_wakes: 90,
+                rollbacks: 2,
+                telemetry_stalled_reseeds: 3,
+                session_bytes: 1 << 19,
             }),
             Response::Error {
                 code: ErrorCode::Backpressure,

@@ -103,6 +103,14 @@ impl Service {
             reseeds_served: stats.reseeds_served,
             stalled_reseeds: stats.stalled_reseeds,
             conditioned_bytes: stats.conditioned_bytes,
+            chunks_produced: stats.telemetry.chunks_produced,
+            health_failures: stats.telemetry.health_failures,
+            retirements: stats.telemetry.retirements,
+            ring_parks: stats.telemetry.ring_parks,
+            ring_wakes: stats.telemetry.ring_wakes,
+            rollbacks: stats.telemetry.rollbacks,
+            telemetry_stalled_reseeds: stats.telemetry.reseeds_stalled,
+            session_bytes: stats.telemetry.session_bytes,
         }
     }
 }
@@ -367,6 +375,16 @@ mod tests {
             Response::Stat(report) => {
                 assert!(report.degraded, "retirement must latch in Stat");
                 assert!(report.stalled_reseeds > 0);
+                // The stage telemetry and the service counters are two
+                // independent tallies of the same events.
+                assert_eq!(report.telemetry_stalled_reseeds, report.stalled_reseeds);
+                assert_eq!(report.retirements, 1, "exactly the injected retirement");
+                assert!(report.chunks_produced >= 1);
+                assert_eq!(
+                    report.session_bytes,
+                    64 * 256,
+                    "every served Read is a session byte"
+                );
             }
             other => panic!("expected stat, got {other:?}"),
         }

@@ -65,6 +65,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use dhtrng_core::conditioning::Conditioner;
 use dhtrng_core::drbg::{DrbgConfig, HashDrbg, BLOCK_BYTES};
 use dhtrng_core::kernel::{BitBlock, ConditionerStage, Stage};
+use dhtrng_core::telemetry::{MetricsHandle, Recorder, Snapshot, Telemetry};
 use dhtrng_core::DhTrngConfig;
 
 use crate::affinity::AffinityPolicy;
@@ -194,6 +195,16 @@ impl SourceBuilder {
         self
     }
 
+    /// Installs a stage-event recorder on the deployment (see
+    /// [`EntropyStreamBuilder::recorder`]). The always-on counters
+    /// behind [`EntropySource::metrics`] run either way; the default
+    /// recorder is a no-op.
+    #[must_use]
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.stream = self.stream.recorder(recorder);
+        self
+    }
+
     /// Conditioner between the raw stream and the conditioned/drbg
     /// consumers.
     #[must_use]
@@ -234,6 +245,7 @@ impl SourceBuilder {
             return Err(ConfigError::SeedBytes);
         }
         let raw = self.stream.try_build()?;
+        let telemetry = raw.telemetry();
         let modeled_mbps = raw.throughput_mbps();
         let stage = ConditionerStage::new(self.conditioner.build());
         let credits = if self.reseed_credits == 0 {
@@ -253,6 +265,7 @@ impl SourceBuilder {
                     reseeds_served: 0,
                 }),
                 turns: EventCount::new(),
+                telemetry,
                 next_session: AtomicU64::new(0),
                 live_sessions: AtomicU64::new(0),
                 sessions_opened: AtomicU64::new(0),
@@ -323,6 +336,7 @@ impl Shared {
             }) {
                 Ok(take) => written += take,
                 Err(error) => {
+                    self.raw.telemetry().rollback(written);
                     for &byte in out[..written].iter().rev() {
                         carry.push_front(byte);
                     }
@@ -345,6 +359,9 @@ struct Inner {
     /// eventcount-style wakeup token as the ring hand-off uses: waiters
     /// register under the source lock (lossless), then park outside it.
     turns: EventCount,
+    /// The deployment's always-on stage counters (shared with the
+    /// engine's executor and workers).
+    telemetry: Arc<Telemetry>,
     next_session: AtomicU64,
     live_sessions: AtomicU64,
     sessions_opened: AtomicU64,
@@ -462,7 +479,15 @@ impl EntropySource {
             consumed_bits: shared.stage.consumed(),
             emitted_bits: shared.stage.emitted(),
             modeled_raw_mbps: self.inner.modeled_mbps,
+            telemetry: self.inner.telemetry.snapshot(),
         }
+    }
+
+    /// A live handle over the deployment's always-on stage counters —
+    /// per-shard and aggregated snapshots without taking the source
+    /// lock.
+    pub fn metrics(&self) -> MetricsHandle {
+        MetricsHandle::new(Arc::clone(&self.inner.telemetry))
     }
 
     /// The latched terminal failure, if the source has degraded.
@@ -613,6 +638,9 @@ pub struct SourceStats {
     pub emitted_bits: u64,
     /// Modeled hardware throughput of the raw tier.
     pub modeled_raw_mbps: f64,
+    /// Aggregated stage-counter snapshot from the deployment's
+    /// always-on telemetry (see [`EntropySource::metrics`]).
+    pub telemetry: Snapshot,
 }
 
 /// One consumer's handle onto a shared [`EntropySource`].
@@ -711,6 +739,7 @@ impl Session {
             Tier::Drbg => self.read_drbg(out),
         }?;
         self.delivered += out.len() as u64;
+        self.source.inner.telemetry.session_bytes(out.len());
         Ok(())
     }
 
@@ -803,6 +832,7 @@ impl Session {
                         .inner
                         .stalled_reseeds
                         .fetch_add(1, Ordering::Relaxed);
+                    self.source.inner.telemetry.reseed_stalled(self.id);
                     let drbg = self.drbg.as_mut().expect("instantiated above");
                     drbg.reseed(&self.material);
                 }
@@ -877,6 +907,7 @@ impl Session {
                 shared.arbiter.served(self.id);
                 self.last_rounds_seen = shared.arbiter.rounds();
                 shared.reseeds_served += 1;
+                inner.telemetry.reseed_granted(self.id);
                 self.harvested_bytes += self.material.len() as u64;
                 inner.turns.notify_all();
                 Ok(())

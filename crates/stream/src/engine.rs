@@ -4,6 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dhtrng_core::telemetry::{MetricsHandle, NoopRecorder, Recorder, Telemetry};
 use dhtrng_core::{DhTrng, DhTrngConfig, SlicedDhTrng};
 use dhtrng_fpga::Placement;
 
@@ -115,6 +116,7 @@ pub struct EntropyStreamBuilder {
     injected_failures: Vec<(usize, u64)>,
     kernel: KernelKind,
     affinity: AffinityPolicy,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl Default for EntropyStreamBuilder {
@@ -131,6 +133,7 @@ impl Default for EntropyStreamBuilder {
             injected_failures: Vec::new(),
             kernel: KernelKind::Auto,
             affinity: AffinityPolicy::Disabled,
+            recorder: None,
         }
     }
 }
@@ -232,6 +235,17 @@ impl EntropyStreamBuilder {
     #[must_use]
     pub fn core_affinity(mut self, policy: AffinityPolicy) -> Self {
         self.affinity = policy;
+        self
+    }
+
+    /// Plug an event [`Recorder`] (for example a
+    /// [`Tracer`](dhtrng_core::telemetry::Tracer)) that receives every
+    /// [`StageEvent`](dhtrng_core::telemetry::StageEvent) the stream's
+    /// stages emit. The default is the no-op recorder; the always-on
+    /// counters behind [`EntropyStream::metrics`] run either way.
+    #[must_use]
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -343,6 +357,15 @@ impl EntropyStreamBuilder {
         let kernel = self.resolved_kernel();
         let host_cpus = affinity::host_cpus();
         let affinity_pins = Arc::new(AtomicU64::new(0));
+        // One telemetry block per stream, shared by every stage: the
+        // plugged recorder (or the no-op default) sees every event, the
+        // counters are always on.
+        let recorder: Arc<dyn Recorder> = self
+            .recorder
+            .clone()
+            .unwrap_or_else(|| Arc::new(NoopRecorder));
+        let telemetry = Arc::new(Telemetry::new(self.shards, recorder));
+        let (ring_parks, ring_wakes) = telemetry.ring_wait_counters();
         let seeds: Vec<u64> = match &self.shard_seeds {
             Some(seeds) => seeds.clone(),
             None => (0..self.shards as u64)
@@ -372,11 +395,20 @@ impl EntropyStreamBuilder {
             restarts.push(Arc::clone(&counter));
             // The data ring buffers `queue_chunks` produced chunks
             // (rounded up to a power of two) before the worker blocks.
-            let (tx, rx) = ring::spsc::<ShardMessage>(self.queue_chunks);
+            // Every ring shares the stream-wide park/wake tallies.
+            let (tx, rx) = ring::spsc_with_wait_counters::<ShardMessage>(
+                self.queue_chunks,
+                Arc::clone(&ring_parks),
+                Arc::clone(&ring_wakes),
+            );
             // The shard's buffer pool: created once, recycled forever
             // over the return ring. Its capacity covers every buffer the
             // shard owns, so returning one never blocks.
-            let (mut pool_tx, pool_rx) = ring::spsc::<Vec<u8>>(buffers_per_shard);
+            let (mut pool_tx, pool_rx) = ring::spsc_with_wait_counters::<Vec<u8>>(
+                buffers_per_shard,
+                Arc::clone(&ring_parks),
+                Arc::clone(&ring_wakes),
+            );
             for _ in 0..buffers_per_shard {
                 pool_tx
                     .try_push(Vec::with_capacity(self.chunk_bytes))
@@ -408,6 +440,7 @@ impl EntropyStreamBuilder {
                         restarts: counter,
                         pool: pool_rx,
                         fail_after_chunks,
+                        telemetry: Arc::clone(&telemetry),
                     };
                     let pin = self.affinity.core_for_worker(shard, host_cpus);
                     let pins = Arc::clone(&affinity_pins);
@@ -438,6 +471,7 @@ impl EntropyStreamBuilder {
                 chunk_bytes: self.chunk_bytes,
                 max_consecutive_restarts: self.max_consecutive_restarts,
                 lanes: lane_links,
+                telemetry: Arc::clone(&telemetry),
             };
             // The bank is one thread driving every lane: worker index 0.
             let pin = self.affinity.core_for_worker(0, host_cpus);
@@ -457,7 +491,7 @@ impl EntropyStreamBuilder {
         }
 
         EntropyStream {
-            exec: Executor::new(links, workers, self.shards * buffers_per_shard),
+            exec: Executor::new(links, workers, self.shards * buffers_per_shard, telemetry),
             restarts,
             placements,
             modeled_mbps,
@@ -580,6 +614,20 @@ impl EntropyStream {
     /// up, so this can lag thread spawn by a moment.
     pub fn affinity_pins(&self) -> u64 {
         self.affinity_pins.load(Ordering::Relaxed)
+    }
+
+    /// A cloneable handle over the stream's always-on telemetry
+    /// counters: per-shard production/health/restart tallies, merge and
+    /// delivery totals, ring park/wake counts. The handle stays valid
+    /// (counters frozen) after the stream fails or is dropped.
+    pub fn metrics(&self) -> MetricsHandle {
+        MetricsHandle::new(Arc::clone(self.exec.telemetry()))
+    }
+
+    /// The shared telemetry block, for sibling layers (the session API)
+    /// that record events of their own into the same stream.
+    pub(crate) fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(self.exec.telemetry())
     }
 
     /// Total bytes handed to consumers so far.

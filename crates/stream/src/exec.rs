@@ -15,7 +15,7 @@
 //!   consumer. Drained buffers return to their shard's worker over a
 //!   **return ring**, so the steady-state read path performs **zero
 //!   heap allocation** (pinned by `tests/zero_alloc.rs` and reported
-//!   in `BENCH_7.json`);
+//!   in `BENCH_8.json`);
 //! * the consumer merges chunks **round-robin in shard order** (chunk
 //!   `k` of the stream is chunk `k / N` of shard `k % N`), exactly as
 //!   before — the merged stream stays a pure function of the shard
@@ -40,7 +40,10 @@
 //! `tests/streaming.rs` pins this with a 3-shard stream whose middle
 //! shard retires mid-read.
 
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use dhtrng_core::telemetry::Telemetry;
 
 use crate::error::Error;
 use crate::ring::{Consumer, Producer, TryPopError};
@@ -75,6 +78,8 @@ pub(crate) struct Executor {
     /// Pool buffers created at build time (a pure function of the
     /// configuration; the pool never grows afterwards).
     buffers_created: usize,
+    /// Stream-wide counters + event recorder (shared with every stage).
+    telemetry: Arc<Telemetry>,
 }
 
 impl Executor {
@@ -82,6 +87,7 @@ impl Executor {
         links: Vec<ShardLink>,
         workers: Vec<JoinHandle<()>>,
         buffers_created: usize,
+        telemetry: Arc<Telemetry>,
     ) -> Self {
         Self {
             links,
@@ -93,7 +99,12 @@ impl Executor {
             failed: None,
             bytes_delivered: 0,
             buffers_created,
+            telemetry,
         }
+    }
+
+    pub(crate) fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     pub(crate) fn shards(&self) -> usize {
@@ -128,8 +139,15 @@ impl Executor {
     /// drained one. Does **not** latch the failure (callers decide).
     fn refill(&mut self) -> Result<(), Error> {
         let shard = self.cursor;
+        // Depth before the pop = depth including the chunk we are about
+        // to take — the queue-pressure sample for the high-water mark.
+        let depth = self.links[shard].data.len();
         match self.links[shard].data.pop() {
             Ok(Ok(chunk)) => {
+                // `depth.max(1)`: a pop that blocked sampled an empty
+                // ring, but it still took one chunk.
+                self.telemetry
+                    .chunk_merged(shard, chunk.len(), depth.max(1));
                 self.recycle_current();
                 self.current = chunk;
                 self.current_shard = shard;
@@ -164,6 +182,7 @@ impl Executor {
             self.offset += take;
             written += take;
             self.bytes_delivered += take as u64;
+            self.telemetry.bytes_delivered(take);
         }
         Ok(())
     }
@@ -183,7 +202,9 @@ impl Executor {
             }
         }
         let result = f(&mut self.current[self.offset..]);
-        self.bytes_delivered += (self.current.len() - self.offset) as u64;
+        let remainder = self.current.len() - self.offset;
+        self.bytes_delivered += remainder as u64;
+        self.telemetry.bytes_delivered(remainder);
         self.offset = self.current.len();
         Ok(result)
     }
@@ -199,8 +220,10 @@ impl Executor {
             return Ok(true);
         }
         let shard = self.cursor;
+        let depth = self.links[shard].data.len();
         let error = match self.links[shard].data.try_pop() {
             Ok(Ok(chunk)) => {
+                self.telemetry.chunk_merged(shard, chunk.len(), depth);
                 self.recycle_current();
                 self.current = chunk;
                 self.current_shard = shard;

@@ -104,3 +104,10 @@ pub use pipeline::{
     TierStream,
 };
 pub use shard::{HealthConfig, HealthConfigBuilder, ShardFailure};
+
+// The observability vocabulary (defined in `dhtrng-core::telemetry`,
+// wired through every stage here) re-exported so stream users reach it
+// without naming the core crate.
+pub use dhtrng_core::telemetry::{
+    MetricsHandle, NoopRecorder, Recorder, ShardSnapshot, Snapshot, StageEvent, TraceEvent, Tracer,
+};

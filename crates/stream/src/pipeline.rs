@@ -60,10 +60,13 @@
 //! assert_eq!(pool.tier(), Tier::Drbg);
 //! ```
 
+use std::sync::Arc;
+
 use dhtrng_core::conditioning::{Conditioner, CrcWhitener, VonNeumannConditioner, XorFold};
 use dhtrng_core::drbg::DrbgConfig;
 #[cfg(doc)]
 use dhtrng_core::drbg::{HashDrbg, BLOCK_BYTES};
+use dhtrng_core::telemetry::{MetricsHandle, Recorder};
 use dhtrng_core::DhTrngConfig;
 
 use crate::api::{EntropySource, Session, SessionConfig, SourceBuilder};
@@ -264,6 +267,16 @@ impl PipelineBuilder {
         self
     }
 
+    /// Installs a stage-event recorder on the deployment (see
+    /// [`EntropyStreamBuilder::recorder`]). The always-on counters
+    /// behind each tier's `metrics()` run either way; the default
+    /// recorder is a no-op.
+    #[must_use]
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.stream = self.stream.recorder(recorder);
+        self
+    }
+
     /// Conditioner for the conditioned and drbg tiers.
     #[must_use]
     pub fn conditioner(mut self, spec: ConditionerSpec) -> Self {
@@ -438,6 +451,11 @@ impl ConditionedStream {
     pub fn source(&self) -> &EntropySource {
         self.session.source()
     }
+
+    /// A live handle over the deployment's always-on stage counters.
+    pub fn metrics(&self) -> MetricsHandle {
+        self.session.source().metrics()
+    }
 }
 
 /// The drbg tier: a [`HashDrbg`] keyed (and re-keyed per policy) from
@@ -517,6 +535,11 @@ impl DrbgPool {
     /// reporting code).
     pub fn tier(&self) -> Tier {
         Tier::Drbg
+    }
+
+    /// A live handle over the deployment's always-on stage counters.
+    pub fn metrics(&self) -> MetricsHandle {
+        self.session.source().metrics()
     }
 }
 
@@ -606,6 +629,17 @@ impl TierStream {
             Self::Raw(_) => None,
             Self::Conditioned(stream) => Some(stream.source()),
             Self::Drbg(pool) => Some(pool.source()),
+        }
+    }
+
+    /// A live handle over the deployment's always-on stage counters
+    /// (every tier has one; the raw tier's comes straight off its
+    /// engine).
+    pub fn metrics(&self) -> MetricsHandle {
+        match self {
+            Self::Raw(stream) => stream.metrics(),
+            Self::Conditioned(stream) => stream.metrics(),
+            Self::Drbg(pool) => pool.metrics(),
         }
     }
 }

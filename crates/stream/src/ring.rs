@@ -45,7 +45,7 @@
 //! directly; the engine consumes it through `pub(crate)` wiring.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::wake::{Backoff, WakeToken};
@@ -73,6 +73,14 @@ struct Shared<T> {
     data_ready: WakeToken,
     /// The producer parks here when the ring is full.
     space_ready: WakeToken,
+    /// Telemetry: how many times either side actually parked. Shared
+    /// `Arc`s so the engine can pool every ring's tally into one
+    /// stream-wide counter (see `telemetry::Telemetry`).
+    parks: Arc<AtomicU64>,
+    /// Telemetry: how many notifies actually claimed a registered
+    /// waiter. Not bounded by `parks`: a notify can catch a waiter
+    /// between `prepare` and `cancel`, before it ever parked.
+    wakes: Arc<AtomicU64>,
 }
 
 // SAFETY: the ring moves `T` values across threads (producer writes a
@@ -140,6 +148,27 @@ impl<T> std::fmt::Debug for Consumer<T> {
 ///
 /// Panics if `capacity` is zero.
 pub fn spsc<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    spsc_with_wait_counters(
+        capacity,
+        Arc::new(AtomicU64::new(0)),
+        Arc::new(AtomicU64::new(0)),
+    )
+}
+
+/// [`spsc`], with the park/wake telemetry counters supplied by the
+/// caller instead of freshly allocated — the engine hands every ring
+/// the same pair so the stream-wide `Snapshot` pools them. `parks`
+/// counts threads that actually parked (either side); `wakes` counts
+/// notifies that claimed a registered waiter.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn spsc_with_wait_counters<T>(
+    capacity: usize,
+    parks: Arc<AtomicU64>,
+    wakes: Arc<AtomicU64>,
+) -> (Producer<T>, Consumer<T>) {
     assert!(capacity > 0, "ring capacity must be positive");
     let capacity = capacity.next_power_of_two();
     let slots: Box<[UnsafeCell<Option<T>>]> =
@@ -153,6 +182,8 @@ pub fn spsc<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         consumer_alive: AtomicBool::new(true),
         data_ready: WakeToken::new(),
         space_ready: WakeToken::new(),
+        parks,
+        wakes,
     });
     (
         Producer {
@@ -162,10 +193,30 @@ pub fn spsc<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     )
 }
 
+impl<T> Shared<T> {
+    /// Counts a notify that actually woke a registered waiter.
+    fn count_notify(&self, woke: bool) {
+        if woke {
+            self.wakes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 impl<T> Producer<T> {
     /// Slots in the ring (the rounded-up capacity).
     pub fn capacity(&self) -> usize {
         self.shared.mask + 1
+    }
+
+    /// Times either side of this ring (or any ring sharing the counter)
+    /// actually parked its thread.
+    pub fn parks(&self) -> u64 {
+        self.shared.parks.load(Ordering::Relaxed)
+    }
+
+    /// Notifies that actually claimed a registered waiter.
+    pub fn wakes(&self) -> u64 {
+        self.shared.wakes.load(Ordering::Relaxed)
     }
 
     /// Pushes without blocking, handing the value back when the ring
@@ -201,7 +252,8 @@ impl<T> Producer<T> {
             .tail
             .0
             .store(tail.wrapping_add(1), Ordering::Release);
-        self.shared.data_ready.notify();
+        let woke = self.shared.data_ready.notify();
+        self.shared.count_notify(woke);
         Ok(())
     }
 
@@ -231,6 +283,7 @@ impl<T> Producer<T> {
                 {
                     self.shared.space_ready.cancel();
                 } else {
+                    self.shared.parks.fetch_add(1, Ordering::Relaxed);
                     self.shared.space_ready.park();
                 }
                 backoff.wound();
@@ -243,6 +296,31 @@ impl<T> Consumer<T> {
     /// Slots in the ring (the rounded-up capacity).
     pub fn capacity(&self) -> usize {
         self.shared.mask + 1
+    }
+
+    /// Published slots currently waiting to be popped. Exact from the
+    /// consumer side (only it moves `head`); the producer may publish
+    /// more concurrently, so this is a floor, not a promise.
+    pub fn len(&self) -> usize {
+        let head = self.shared.head.0.load(Ordering::Relaxed);
+        let tail = self.shared.tail.0.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// `len() == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Times either side of this ring (or any ring sharing the counter)
+    /// actually parked its thread.
+    pub fn parks(&self) -> u64 {
+        self.shared.parks.load(Ordering::Relaxed)
+    }
+
+    /// Notifies that actually claimed a registered waiter.
+    pub fn wakes(&self) -> u64 {
+        self.shared.wakes.load(Ordering::Relaxed)
     }
 
     /// Pops without blocking.
@@ -281,7 +359,8 @@ impl<T> Consumer<T> {
             .head
             .0
             .store(head.wrapping_add(1), Ordering::Release);
-        self.shared.space_ready.notify();
+        let woke = self.shared.space_ready.notify();
+        self.shared.count_notify(woke);
         Ok(value)
     }
 
@@ -308,6 +387,7 @@ impl<T> Consumer<T> {
                 {
                     self.shared.data_ready.cancel();
                 } else {
+                    self.shared.parks.fetch_add(1, Ordering::Relaxed);
                     self.shared.data_ready.park();
                 }
                 backoff.wound();
@@ -320,7 +400,8 @@ impl<T> Drop for Producer<T> {
     fn drop(&mut self) {
         self.shared.producer_alive.store(false, Ordering::Release);
         // A parked consumer must observe the hang-up.
-        self.shared.data_ready.notify();
+        let woke = self.shared.data_ready.notify();
+        self.shared.count_notify(woke);
     }
 }
 
@@ -328,7 +409,8 @@ impl<T> Drop for Consumer<T> {
     fn drop(&mut self) {
         self.shared.consumer_alive.store(false, Ordering::Release);
         // A parked producer must observe the hang-up.
-        self.shared.space_ready.notify();
+        let woke = self.shared.space_ready.notify();
+        self.shared.count_notify(woke);
     }
 }
 

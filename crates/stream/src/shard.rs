@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dhtrng_core::kernel::{BitBlock, BlockSource};
+use dhtrng_core::telemetry::Telemetry;
 use dhtrng_core::{DhTrng, HealthMonitor, HealthStatus};
 
 use crate::error::ConfigError;
@@ -196,6 +197,8 @@ pub(crate) struct ShardWorker {
     /// Deterministic fault injection: retire after this many healthy
     /// chunks (`None` = never).
     pub(crate) fail_after_chunks: Option<u64>,
+    /// Stream-wide counters + event recorder (shared with every stage).
+    pub(crate) telemetry: Arc<Telemetry>,
 }
 
 impl ShardWorker {
@@ -207,6 +210,7 @@ impl ShardWorker {
             if self.fail_after_chunks == Some(healthy_sent) {
                 // Injected retirement: deterministic in the chunk count,
                 // independent of thread timing.
+                self.telemetry.retired(self.shard, 0);
                 let _ = tx.push(Err(ShardFailure {
                     shard: self.shard,
                     consecutive_restarts: 0,
@@ -226,9 +230,12 @@ impl ShardWorker {
                         // Consumer dropped the stream: orderly shutdown.
                         return;
                     }
+                    self.telemetry.chunk_produced(self.shard, self.chunk_bytes);
                     healthy_sent += 1;
                 }
                 Err(failure) => {
+                    self.telemetry
+                        .retired(self.shard, u64::from(failure.consecutive_restarts));
                     // Best effort: the consumer may already be gone.
                     let _ = tx.push(Err(failure));
                     return;
@@ -249,7 +256,9 @@ impl ShardWorker {
         loop {
             let mut block = BitBlock::empty(buffer);
             self.trng.fill_block(&mut block);
-            if chunk_is_healthy(monitor, buffer) {
+            let healthy = chunk_is_healthy(monitor, buffer);
+            self.telemetry.health_verdict(self.shard, healthy);
+            if healthy {
                 return Ok(());
             }
             // The chunk is tainted and always discarded (overwritten on
@@ -266,6 +275,8 @@ impl ShardWorker {
             // counts restarts actually performed.
             restarts_performed += 1;
             self.restarts.fetch_add(1, Ordering::Relaxed);
+            self.telemetry
+                .restart(self.shard, u64::from(restarts_performed));
             self.trng.restart();
             *monitor = self.health.monitor();
         }

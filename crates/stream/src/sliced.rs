@@ -39,6 +39,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dhtrng_core::telemetry::Telemetry;
 use dhtrng_core::SlicedDhTrng;
 
 use crate::ring::{Consumer, Producer};
@@ -66,6 +67,10 @@ pub(crate) struct SlicedBankWorker {
     pub(crate) chunk_bytes: usize,
     pub(crate) max_consecutive_restarts: u32,
     pub(crate) lanes: Vec<LaneLink>,
+    /// Stream-wide counters + event recorder (shared with every stage).
+    /// Lane `i` reports as shard `i`, so the per-shard event sequence
+    /// is identical to the scalar kernel's.
+    pub(crate) telemetry: Arc<Telemetry>,
 }
 
 impl SlicedBankWorker {
@@ -88,6 +93,7 @@ impl SlicedBankWorker {
                     continue;
                 }
                 if link.fail_after_chunks == Some(healthy_sent[lane]) {
+                    self.telemetry.retired(lane, 0);
                     let _ = link.tx.push(Err(ShardFailure {
                         shard: lane,
                         consecutive_restarts: 0,
@@ -118,7 +124,9 @@ impl SlicedBankWorker {
                 let link = &mut self.lanes[lane];
                 let mut restarts_performed = 0u32;
                 let verdict = loop {
-                    if chunk_is_healthy(&mut monitors[lane], &buffer) {
+                    let healthy = chunk_is_healthy(&mut monitors[lane], &buffer);
+                    self.telemetry.health_verdict(lane, healthy);
+                    if healthy {
                         break Ok(());
                     }
                     // Tainted chunk: discarded whole, regenerated from a
@@ -131,6 +139,7 @@ impl SlicedBankWorker {
                     }
                     restarts_performed += 1;
                     link.restarts.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.restart(lane, u64::from(restarts_performed));
                     self.bank.restart_lane_and_refill(lane, &mut buffer);
                     monitors[lane] = self.health.monitor();
                 };
@@ -139,10 +148,13 @@ impl SlicedBankWorker {
                         if link.tx.push(Ok(buffer)).is_err() {
                             dark[lane] = true;
                         } else {
+                            self.telemetry.chunk_produced(lane, self.chunk_bytes);
                             healthy_sent[lane] += 1;
                         }
                     }
                     Err(failure) => {
+                        self.telemetry
+                            .retired(lane, u64::from(failure.consecutive_restarts));
                         // Best effort: the consumer may already be gone.
                         let _ = link.tx.push(Err(failure));
                         dark[lane] = true;

@@ -140,7 +140,13 @@ impl WakeToken {
     /// have already published the state change the waiter is waiting
     /// for (a `Release` store is enough; the fence below completes the
     /// handshake).
-    pub(crate) fn notify(&self) {
+    ///
+    /// Returns `true` iff a registered waiter was actually claimed —
+    /// the telemetry definition of a "wake". A claimed waiter may still
+    /// have been between `prepare` and `cancel` (it never parked), so
+    /// wakes are not bounded by parks; the hot path (nobody waiting)
+    /// returns `false` for one fence plus one relaxed load.
+    pub(crate) fn notify(&self) -> bool {
         // Notifier-side half of the handshake: order the caller's
         // publication before the waiter-state load.
         fence(Ordering::SeqCst);
@@ -150,6 +156,9 @@ impl WakeToken {
             if let Some(thread) = self.sleeper.lock().expect("wake token poisoned").take() {
                 thread.unpark();
             }
+            true
+        } else {
+            false
         }
     }
 }

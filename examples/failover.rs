@@ -9,22 +9,35 @@
 //! surfaces at any pipeline tier (here: the DRBG tier a key-serving
 //! service would expose).
 //!
+//! The drill also captures the retirement through the telemetry layer:
+//! a deterministic [`Tracer`] records every stage event the doomed
+//! deployment emits and dumps the Perfetto-compatible trace to
+//! `failover.trace.json` — open it at <https://ui.perfetto.dev> to see
+//! the per-shard tracks and the `retired` instant on shard 1's track.
+//!
 //! Run with: `cargo run --release --example failover`
+
+use std::sync::Arc;
 
 use dh_trng::prelude::*;
 use rand::RngCore;
 
 const CHUNK: usize = 4 * 1024;
+const TRACE_PATH: &str = "failover.trace.json";
 
 fn main() {
     println!("DH-TRNG graceful shard fail-over drill");
 
     // --- The raw-tier contract: deterministic prefix, then the error.
+    // The injected-timestamp tracer makes the dump reproducible: ts is
+    // the capture sequence number, not wall time.
+    let tracer = Arc::new(Tracer::deterministic(4096));
     let mut doomed = EntropyStream::builder()
         .shards(3)
         .seed(0xFA11)
         .chunk_bytes(CHUNK)
         .inject_shard_failure(1, 2)
+        .recorder(Arc::clone(&tracer) as Arc<dyn Recorder>)
         .build();
     // Shard 1 contributes its two chunks to rounds 0 and 1; round 2
     // delivers shard 0's chunk and then hits the obituary in shard 1's
@@ -40,6 +53,26 @@ fn main() {
     );
     assert_eq!(doomed.bytes_delivered(), 7 * CHUNK as u64);
     assert!(matches!(err, StreamError::ShardFailed { shard: 1, .. }));
+
+    // Dump the captured retirement as a Chrome/Perfetto trace. The
+    // counters corroborate what the trace shows: exactly one retirement,
+    // and 7 chunks merged before the obituary slot.
+    let snapshot = doomed.metrics().snapshot();
+    assert_eq!(snapshot.retirements, 1);
+    assert_eq!(snapshot.chunks_merged, 7);
+    drop(doomed);
+    let trace = tracer.to_chrome_json();
+    assert!(!trace.is_empty(), "the drill must have produced a trace");
+    assert!(
+        trace.contains("\"retired\""),
+        "the injected retirement must appear in the trace"
+    );
+    std::fs::write(TRACE_PATH, &trace).expect("trace dump is writable");
+    println!(
+        "  trace: {} events ({} bytes) -> {TRACE_PATH}",
+        tracer.recorded(),
+        trace.len(),
+    );
 
     // --- The same failure through the full pipeline, handled. A
     // reseed-heavy policy keeps the drill short: every 512-bit block

@@ -102,6 +102,10 @@ pub mod prelude {
     };
     pub use dhtrng_core::drbg::{Drbg, DrbgConfig, HashDrbg};
     pub use dhtrng_core::kernel::{BitBlock, BlockSource, ConditionerStage, Stage};
+    pub use dhtrng_core::telemetry::{
+        MetricsHandle, NoopRecorder, Recorder, ShardSnapshot, Snapshot, StageEvent, TraceEvent,
+        Tracer,
+    };
     pub use dhtrng_core::{
         DhTrng, DhTrngArray, DhTrngBuilder, HealthMonitor, HealthStatus, HybridUnitGroup,
         KernelError, SliceError, SlicedDhTrng, SlicedKernel, Trng,

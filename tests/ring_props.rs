@@ -23,9 +23,11 @@
 //!   arrives exactly once in order, and every buffer is accounted for
 //!   at the end.
 
-use dh_trng::stream::ring::{spsc, TryPopError, TryPushError};
+use dh_trng::stream::ring::{spsc, spsc_with_wait_counters, TryPopError, TryPushError};
 use proptest::prelude::*;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -135,6 +137,88 @@ proptest! {
         }
         prop_assert!(model.is_empty());
     }
+
+    #[test]
+    fn wait_counters_stay_zero_under_try_only_interleaved_storms(
+        capacity in 1usize..9,
+        ops in proptest::collection::vec(any::<bool>(), 1..300),
+    ) {
+        // The telemetry invariant behind `Snapshot::ring_parks` /
+        // `ring_wakes`: the counters tally *actual* thread parks and
+        // claimed notifies, never speculative ones. A storm of
+        // non-blocking try_push/try_pop — however it interleaves, full
+        // or empty — must leave both at exactly zero: refusals are not
+        // parks, and publishes with no registered waiter are not wakes.
+        let parks = Arc::new(AtomicU64::new(0));
+        let wakes = Arc::new(AtomicU64::new(0));
+        let (mut tx, mut rx) =
+            spsc_with_wait_counters::<u64>(capacity, Arc::clone(&parks), Arc::clone(&wakes));
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let rounded = tx.capacity();
+        let mut next = 0u64;
+        for push in ops {
+            if push {
+                match tx.try_push(next) {
+                    Ok(()) => model.push_back(next),
+                    Err(TryPushError::Full(_)) => prop_assert_eq!(model.len(), rounded),
+                    Err(TryPushError::Disconnected(_)) => prop_assert!(false, "consumer alive"),
+                }
+                next += 1;
+            } else {
+                match rx.try_pop() {
+                    Ok(v) => prop_assert_eq!(Some(v), model.pop_front()),
+                    Err(TryPopError::Empty) => prop_assert!(model.is_empty()),
+                    Err(TryPopError::Disconnected) => prop_assert!(false, "producer alive"),
+                }
+            }
+            // Never negative (u64 by construction) and never phantom:
+            // a try-only schedule parks nobody and wakes nobody.
+            prop_assert_eq!(tx.parks(), 0);
+            prop_assert_eq!(tx.wakes(), 0);
+            prop_assert_eq!(rx.parks(), 0);
+            prop_assert_eq!(rx.wakes(), 0);
+        }
+        prop_assert_eq!(parks.load(Ordering::Relaxed), 0);
+        prop_assert_eq!(wakes.load(Ordering::Relaxed), 0);
+    }
+}
+
+/// Forces the blocking path the proptest above excludes: a consumer
+/// that `pop()`s an empty ring must actually park, and the producer's
+/// eventual push must claim that waiter — so after the hand-off both
+/// counters are at least 1 and both ends read the same shared tallies.
+/// (No `wakes <= parks` assertion: a notify can legitimately claim a
+/// waiter between its wakeup-prepare and its park, so wakes may lead.)
+#[test]
+fn blocking_pop_on_an_empty_ring_records_a_park_and_its_wake() {
+    let parks = Arc::new(AtomicU64::new(0));
+    let wakes = Arc::new(AtomicU64::new(0));
+    let (mut tx, mut rx) =
+        spsc_with_wait_counters::<u64>(2, Arc::clone(&parks), Arc::clone(&wakes));
+    let consumer = std::thread::spawn(move || {
+        let value = rx.pop().expect("producer pushes before hanging up");
+        (value, rx.parks(), rx.wakes())
+    });
+    // Give the consumer time to find the ring empty and park. A scheduling
+    // hiccup makes the test weaker (the pop might not park), never flaky,
+    // so sleep generously once.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    tx.push(7).expect("consumer alive");
+    let (value, consumer_parks, consumer_wakes) = consumer.join().expect("consumer exits");
+    assert_eq!(value, 7);
+    assert!(
+        consumer_parks >= 1,
+        "a pop that found the ring empty for 50ms must have parked"
+    );
+    assert!(
+        consumer_wakes >= 1,
+        "the push that ended the park must have claimed the waiter"
+    );
+    // Both ends (and the injected handles) observe the same shared tallies.
+    assert_eq!(tx.parks(), parks.load(Ordering::Relaxed));
+    assert_eq!(tx.wakes(), wakes.load(Ordering::Relaxed));
+    assert_eq!(consumer_parks, parks.load(Ordering::Relaxed));
+    assert_eq!(consumer_wakes, wakes.load(Ordering::Relaxed));
 }
 
 /// Two real threads, the engine's exact two-ring topology (data +

@@ -220,6 +220,66 @@ fn retirement_mid_run_degrades_drbg_sessions_without_killing_them() {
     assert!(!error.is_retriable());
 }
 
+/// The stage telemetry and the session bookkeeping are two independent
+/// tallies of the same events — the arbiter counts stalls per session,
+/// the `Telemetry` block counts them per stall event. After an injected
+/// terminal failure they must agree exactly, and the snapshot must
+/// carry the retirement and the session's delivered bytes.
+#[test]
+fn telemetry_agrees_with_session_bookkeeping_after_terminal_failure() {
+    const READS: usize = 48;
+    const READ_LEN: usize = 64;
+    let source = EntropySource::builder()
+        .shards(2)
+        .seed(97)
+        .chunk_bytes(CHUNK_BYTES)
+        .conditioner(ConditionerSpec::Crc { ratio: 2 })
+        .inject_shard_failure(0, 2)
+        .max_consecutive_restarts(0)
+        .drbg_config(DrbgConfig {
+            reseed_interval_bits: 512,
+            ..Default::default()
+        })
+        .build()
+        .expect("valid source");
+
+    let mut session = source.session(Tier::Drbg);
+    session.prime().expect("shard still alive at handshake");
+    let mut buf = [0u8; READ_LEN];
+    for _ in 0..READS {
+        session
+            .read(&mut buf)
+            .expect("drbg sessions must survive shard retirement");
+    }
+    assert!(session.is_degraded(), "retirement must reach the session");
+    assert!(session.stalled_reseeds() > 0);
+
+    let stats = source.stats();
+    assert!(stats.degraded.is_some(), "retirement must latch in stats");
+    // One session, so all three stall tallies see the same events:
+    // the session's private count, the arbiter's shared count, and
+    // the stage-telemetry counter.
+    assert_eq!(stats.stalled_reseeds, session.stalled_reseeds());
+    assert_eq!(stats.telemetry.reseeds_stalled, stats.stalled_reseeds);
+    // Every granted reseed (including the prime-time instantiate
+    // harvest) is mirrored one-for-one.
+    assert_eq!(stats.telemetry.reseeds_granted, stats.reseeds_served);
+    assert!(stats.reseeds_served >= 1, "prime harvests once");
+    // Exactly the injected retirement, and every delivered session
+    // byte accounted for.
+    assert_eq!(stats.telemetry.retirements, 1);
+    assert_eq!(stats.telemetry.session_bytes, (READS * READ_LEN) as u64);
+    assert_eq!(stats.telemetry.session_bytes, session.bytes_delivered());
+    // The live handle reads the same counters stats() snapshotted.
+    // (Only the session-side fields: the surviving shard's worker may
+    // still be filling its rings between the two snapshots.)
+    let snapshot = source.metrics().snapshot();
+    assert_eq!(snapshot.reseeds_stalled, stats.telemetry.reseeds_stalled);
+    assert_eq!(snapshot.reseeds_granted, stats.telemetry.reseeds_granted);
+    assert_eq!(snapshot.retirements, stats.telemetry.retirements);
+    assert_eq!(snapshot.session_bytes, stats.telemetry.session_bytes);
+}
+
 #[test]
 fn quotas_are_per_session_not_per_source() {
     let source = source(5);

@@ -90,3 +90,59 @@ fn raw_tier_steady_state_reads_do_not_allocate() {
     assert_eq!(stream.pool_buffers(), shards * (queue_chunks + 2));
     std::hint::black_box(&buf);
 }
+
+/// The same pin with the telemetry recorder **enabled**: a bounded
+/// [`Tracer`] pre-allocates its ring at construction and evicts in
+/// place at capacity, and the stage counters are plain relaxed
+/// atomics, so turning observability on must not cost a single
+/// allocation on the read path. This is the CI gate behind the
+/// "always-on" claim — if instrumentation ever grows a heap
+/// dependency (boxing events, formatting on record, growing a
+/// buffer), this test fails, not a benchmark.
+#[test]
+fn raw_tier_steady_state_reads_do_not_allocate_with_recorder_enabled() {
+    let shards = 2;
+    let queue_chunks = 4;
+    let chunk = 4096usize;
+    let tracer = std::sync::Arc::new(Tracer::new(64));
+    let mut stream = EntropyStream::builder()
+        .shards(shards)
+        .seed(0xA110C)
+        .chunk_bytes(chunk)
+        .queue_chunks(queue_chunks)
+        .recorder(std::sync::Arc::clone(&tracer) as std::sync::Arc<dyn Recorder>)
+        .build();
+    let mut buf = vec![0u8; chunk];
+
+    // Prime as above, and long enough that the tracer ring wraps —
+    // steady state must include the eviction path, not just appends.
+    for _ in 0..shards * (queue_chunks + 2) * 3 {
+        stream.read(&mut buf).expect("healthy stream");
+    }
+
+    let reads = shards * (queue_chunks + 2) * 4;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..reads {
+        stream.read(&mut buf).expect("healthy stream");
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "recorder-on steady-state reads must stay allocation-free \
+         ({} allocations over {reads} chunk reads)",
+        after - before
+    );
+    let snapshot = stream.metrics().snapshot();
+    assert!(
+        snapshot.chunks_merged > 0,
+        "the recorder-on run must actually have counted work"
+    );
+    assert!(tracer.recorded() > 0, "the tracer must have seen events");
+    assert!(
+        tracer.dropped() > 0,
+        "the run must be long enough to exercise the eviction path"
+    );
+    std::hint::black_box(&buf);
+}
