@@ -19,7 +19,7 @@
 //!
 //! `bench_report` re-measures the round-trip shape with the counting
 //! allocator engaged and records `scaling.handoff_ns_per_chunk` (ring)
-//! and `scaling.handoff_mpsc_ns_per_chunk` in BENCH_8.json.
+//! and `scaling.handoff_mpsc_ns_per_chunk` in BENCH_9.json.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dhtrng_stream::ring;

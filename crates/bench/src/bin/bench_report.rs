@@ -1,8 +1,8 @@
-//! Machine-readable performance report: `BENCH_8.json`.
+//! Machine-readable performance report: `BENCH_9.json`.
 //!
 //! Measures the throughput numbers this repository's CI tracks per-PR
 //! (see ISSUE 2 / ISSUE 4 / ISSUE 5 / ISSUE 6 / ISSUE 7 / ISSUE 8 /
-//! ISSUE 9 and `DESIGN.md` §5–§11):
+//! ISSUE 9 / ISSUE 10 and `DESIGN.md` §5–§12):
 //!
 //! 1. **batching speedup** — the batched `Trng::fill_bytes` fast path
 //!    against the per-bit `next_bit` path on the behavioural DH-TRNG
@@ -51,21 +51,32 @@
 //!    read with the recorder on. The always-on counters run in both
 //!    configurations, so the ratio isolates the event layer's cost; CI
 //!    fails the job when `overhead_ratio` exceeds 1.10 or the
-//!    recorder-on read path allocates at all.
+//!    recorder-on read path allocates at all;
+//! 9. **conditioning kernels** — per-conditioner ns per raw bit for the
+//!    bit-serial `push` loop vs the table-driven `condition_block`
+//!    path, measured on the same input buffer, plus a bit-exactness
+//!    check (the block path must produce the identical output stream,
+//!    partial-byte tail included). `conditioning.block_speedup` is the
+//!    CRC-16 ratio-2 ratio — the pipeline's default conditioner — and
+//!    CI fails the job when any `match` flag is false or when the
+//!    conditioned-tier read path allocates.
 //!
 //! Usage: `bench_report [--quick] [--out PATH]` (default
-//! `BENCH_8.json` in the working directory; CI uploads it as a
+//! `BENCH_9.json` in the working directory; CI uploads it as a
 //! workflow artifact and compares it against the committed snapshot:
-//! a non-zero `allocs_per_read` or a >20% drop in the batching
-//! speedup **fails the job**, while raw-Mbps and serve-latency drifts
-//! stay warnings — wall-clock throughput on shared runners is too
-//! noisy to gate on).
+//! a non-zero `allocs_per_read`, a false conditioning `match`, or
+//! a 20%+ drop in the batching speedup **fails the job**, while
+//! raw-Mbps and serve-latency drifts stay warnings — wall-clock
+//! throughput on shared runners is too noisy to gate on).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use dhtrng_bench::args;
+use dhtrng_core::conditioning::{
+    BitSink, Conditioner, CrcWhitener, LfsrConditioner, VonNeumannConditioner, XorFold,
+};
 use dhtrng_core::drbg::DrbgConfig;
 use dhtrng_core::{DhTrng, SlicedDhTrng, Trng};
 use dhtrng_serve::{loadgen, LoadConfig, Service};
@@ -357,6 +368,134 @@ fn measure_handoff(budget_s: f64) -> (f64, f64, f64) {
     (ring_s / 2.0 * 1e9, mpsc_s / 2.0 * 1e9, ring_allocs)
 }
 
+/// One conditioning machine measured both ways on the same raw
+/// buffer: ns per raw input bit through the bit-serial `push` loop vs
+/// the table-driven `condition_block` path, plus whether the two
+/// produced the identical output stream (whole bytes and the ≤7-bit
+/// partial tail). The match check runs on fresh clones before timing,
+/// so a broken kernel is reported as `match: false` rather than as a
+/// fast-but-wrong speedup.
+struct ConditioningRow {
+    name: &'static str,
+    serial_ns_per_raw_bit: f64,
+    block_ns_per_raw_bit: f64,
+    block_speedup: f64,
+    matches: bool,
+}
+
+fn measure_conditioner<C: Conditioner + Clone>(
+    name: &'static str,
+    cond: &C,
+    raw: &[u8],
+    budget_s: f64,
+) -> ConditioningRow {
+    let raw_bits = (raw.len() * 8) as f64;
+    let mut out = vec![0u8; raw.len() + 1];
+
+    // Bit-exactness first, on fresh clones.
+    let mut serial_out = vec![0u8; raw.len() + 1];
+    let mut machine = cond.clone();
+    let mut sink = BitSink::new(&mut serial_out);
+    for &byte in raw {
+        for i in (0..8).rev() {
+            if let Some(bit) = machine.push((byte >> i) & 1 == 1) {
+                sink.push_bit(bit);
+            }
+        }
+    }
+    let serial_parts = sink.into_parts();
+    let mut machine = cond.clone();
+    let mut sink = BitSink::new(&mut out);
+    machine.condition_block(raw, &mut sink);
+    let block_parts = sink.into_parts();
+    let matches =
+        serial_parts == block_parts && serial_out[..serial_parts.0] == out[..block_parts.0];
+
+    let mut machine = cond.clone();
+    let serial_s = time_mean_s(
+        || {
+            let mut sink = BitSink::new(&mut out);
+            for &byte in raw {
+                for i in (0..8).rev() {
+                    if let Some(bit) = machine.push((byte >> i) & 1 == 1) {
+                        sink.push_bit(bit);
+                    }
+                }
+            }
+            std::hint::black_box(sink.bits_pushed());
+            std::hint::black_box(&out);
+        },
+        budget_s,
+    );
+    let mut machine = cond.clone();
+    let block_s = time_mean_s(
+        || {
+            let mut sink = BitSink::new(&mut out);
+            machine.condition_block(raw, &mut sink);
+            std::hint::black_box(sink.bits_pushed());
+            std::hint::black_box(&out);
+        },
+        budget_s,
+    );
+    ConditioningRow {
+        name,
+        serial_ns_per_raw_bit: serial_s * 1e9 / raw_bits,
+        block_ns_per_raw_bit: block_s * 1e9 / raw_bits,
+        block_speedup: serial_s / block_s,
+        matches,
+    }
+}
+
+/// The conditioning-kernel sweep: every shipped machine plus the
+/// default chain shape, all over the same deterministic mixed-content
+/// buffer (a fixed multiplicative hash keeps 0/1 balance and pair
+/// diversity so Von Neumann's keep-rate is realistic).
+fn measure_conditioning(raw_bytes: usize, budget_s: f64) -> Vec<ConditioningRow> {
+    let raw: Vec<u8> = (0..raw_bytes)
+        .map(|i| ((i.wrapping_mul(2654435761)) >> 7) as u8)
+        .collect();
+    vec![
+        measure_conditioner("crc-ratio2", &CrcWhitener::new(2), &raw, budget_s),
+        measure_conditioner("crc-ratio1", &CrcWhitener::new(1), &raw, budget_s),
+        measure_conditioner("lfsr", &LfsrConditioner::new(), &raw, budget_s),
+        measure_conditioner("xorfold4", &XorFold::new(4), &raw, budget_s),
+        measure_conditioner("von-neumann", &VonNeumannConditioner::new(), &raw, budget_s),
+        measure_conditioner(
+            "chain-xf2-crc2",
+            &XorFold::new(2).then(CrcWhitener::new(2)),
+            &raw,
+            budget_s,
+        ),
+    ]
+}
+
+/// Allocations per steady-state conditioned-tier chunk read: the same
+/// counting-allocator audit as the raw-tier number, but through the
+/// block conditioning kernels end to end. The `ConditionerStage`
+/// rewrites recycled chunk buffers in place through 64-byte stack
+/// staging, so this must be exactly 0 (tests/zero_alloc.rs pins the
+/// same invariant; CI fails the job on any non-zero value).
+fn measure_conditioned_allocs(reads: usize) -> f64 {
+    let mut stream = PipelineBuilder::new()
+        .shards(4)
+        .seed(1)
+        .chunk_bytes(64 * 1024)
+        .build(Tier::Conditioned);
+    let mut buf = vec![0u8; 64 * 1024];
+    // Prime: the conditioned tier refills recycled buffers at the
+    // compression ratio, so cycle enough reads to settle the pool.
+    for _ in 0..48 {
+        stream.read(&mut buf).expect("healthy pipeline");
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..reads {
+        stream.read(&mut buf).expect("healthy pipeline");
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    std::hint::black_box(buf[0]);
+    (after - before) as f64 / reads as f64
+}
+
 /// Fleet latency over the daemon's connection state machine: one
 /// shared 4-shard source, `clients` concurrent drbg sessions, full
 /// wire round-trips per read. Aborts on any protocol error or
@@ -396,7 +535,7 @@ fn mbps_array(values: &[f64]) -> String {
 
 fn main() {
     let quick = args::switch("--quick");
-    let out_path: String = args::flag("--out", "BENCH_8.json".to_string());
+    let out_path: String = args::flag("--out", "BENCH_9.json".to_string());
     let budget_s = if quick { 0.05 } else { 0.5 };
     let bits = if quick { 1 << 18 } else { 1 << 21 };
     let stream_bytes: usize = if quick { 1 << 18 } else { 1 << 22 };
@@ -502,6 +641,33 @@ fn main() {
     // Tracer — the heaviest shipped recorder, mutex and eviction
     // included). The tracer capacity is far below the event volume so
     // the measured path includes drop-oldest eviction.
+    // 9. Conditioning kernels: bit-serial vs block path per machine,
+    // ns per raw input bit, with a bit-exactness check per row. The
+    // headline `block_speedup` is CRC ratio 2 — the pipeline default.
+    let conditioning_bytes: usize = if quick { 1 << 14 } else { 1 << 16 };
+    let conditioning = measure_conditioning(conditioning_bytes, budget_s);
+    let conditioning_all_match = conditioning.iter().all(|row| row.matches);
+    let conditioning_block_speedup = conditioning
+        .iter()
+        .find(|row| row.name == "crc-ratio2")
+        .map(|row| row.block_speedup)
+        .unwrap_or(0.0);
+    let conditioning_rows: Vec<String> = conditioning
+        .iter()
+        .map(|row| {
+            format!(
+                r#"      {{ "name": "{}", "serial_ns_per_raw_bit": {:.4}, "block_ns_per_raw_bit": {:.4}, "block_speedup": {:.3}, "match": {} }}"#,
+                row.name,
+                row.serial_ns_per_raw_bit,
+                row.block_ns_per_raw_bit,
+                row.block_speedup,
+                row.matches,
+            )
+        })
+        .collect();
+    let conditioning_machines = conditioning_rows.join(",\n");
+    let conditioned_allocs = measure_conditioned_allocs(alloc_reads);
+
     let (telemetry_off_ns, _) = measure_telemetry_point(None, budget_s, alloc_reads);
     let telemetry_tracer: std::sync::Arc<dyn dhtrng_stream::Recorder> =
         std::sync::Arc::new(dhtrng_stream::Tracer::deterministic(1024));
@@ -557,7 +723,7 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "schema": "dhtrng-bench-report/8",
+  "schema": "dhtrng-bench-report/9",
   "quick": {quick},
   "host_cpus": {cpus},
   "batching": {{
@@ -638,6 +804,16 @@ fn main() {
     "auto_decision": "{auto_decision}",
     "note": "raw-tier wall-clock Mbps at 1/2/4 shards, both kernels forced, core_affinity(PerShard) engaged (a no-op when host_cpus=1, so affinity_pins is 0 there). measured=true only when available_parallelism()>1: on a 1-CPU host the shard workers time-share one core and these columns are NOT a multicore scaling measurement — scalar_scaling_at_2 is gated in CI only when measured=true. handoff_ns_per_chunk is half the cross-thread round-trip cost of the lock-free SPSC ring (one buffer ping-ponged to an echo thread over a data/return pair, the engine's worker->merger topology) vs the bounded mpsc channel it replaced, so it includes the backoff/park protocol both transports pay when the peer is not ready; handoff_allocs_per_chunk is heap allocations per ring hand-off under the counting allocator and must be exactly 0 (CI fails otherwise)."
   }},
+  "conditioning": {{
+    "raw_bytes_per_iteration": {conditioning_bytes},
+    "block_speedup": {conditioning_block_speedup:.3},
+    "all_match": {conditioning_all_match},
+    "conditioned_tier_allocs_per_read": {conditioned_allocs:.3},
+    "machines": [
+{conditioning_machines}
+    ],
+    "note": "ns per raw input bit through each conditioning machine, bit-serial push loop vs the table-driven condition_block path, on one deterministic mixed-content buffer. 'match' verifies the block path produced the bit-identical output stream (partial-byte tail included) on fresh machine state before timing; CI fails the job when any match is false. The headline block_speedup is crc-ratio2 — the pipeline's default conditioner — and the acceptance floor is 4x (see DESIGN.md section 12). conditioned_tier_allocs_per_read is heap allocations per steady-state conditioned-tier 64 KiB chunk read under the counting allocator: the ConditionerStage rewrites recycled buffers in place through stack staging, so CI fails the job on any non-zero value."
+  }},
   "telemetry": {{
     "read_bytes_per_chunk": 65536,
     "recorder_off_ns_per_chunk": {telemetry_off_ns:.1},
@@ -717,7 +893,7 @@ fn main() {
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     print!("{json}");
     eprintln!(
-        "wrote {out_path} (batch speedup {batch_speedup:.2}x, modeled scaling {modeled_scaling:.2}x, wall-clock scaling {wallclock_scaling:.2}x on {cpus} cpu(s); tiers raw/conditioned/drbg = {raw_sim:.0}/{cond_sim:.0}/{drbg_sim:.0} simulated Mbps; {allocs_per_read:.2} allocs/read steady-state; serve {clients} clients p50/p99 = {p50:.1}/{p99:.1} us; kernel {selected_kernel}/{simd_backend} sliced-vs-scalar {kernel_speedup:.2}x; hand-off ring/mpsc = {handoff_ring_ns:.0}/{handoff_mpsc_ns:.0} ns, scaling measured = {scaling_measured}; telemetry overhead {telemetry_overhead:.3}x, {telemetry_on_allocs:.2} allocs/read recorder-on)",
+        "wrote {out_path} (batch speedup {batch_speedup:.2}x, modeled scaling {modeled_scaling:.2}x, wall-clock scaling {wallclock_scaling:.2}x on {cpus} cpu(s); tiers raw/conditioned/drbg = {raw_sim:.0}/{cond_sim:.0}/{drbg_sim:.0} simulated Mbps; {allocs_per_read:.2} allocs/read steady-state; serve {clients} clients p50/p99 = {p50:.1}/{p99:.1} us; kernel {selected_kernel}/{simd_backend} sliced-vs-scalar {kernel_speedup:.2}x; hand-off ring/mpsc = {handoff_ring_ns:.0}/{handoff_mpsc_ns:.0} ns, scaling measured = {scaling_measured}; telemetry overhead {telemetry_overhead:.3}x, {telemetry_on_allocs:.2} allocs/read recorder-on; conditioning crc2 block {conditioning_block_speedup:.2}x, all match = {conditioning_all_match})",
         clients = serve.clients,
         p50 = serve.p50_us,
         p99 = serve.p99_us,

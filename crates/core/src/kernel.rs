@@ -35,12 +35,15 @@
 //!
 //! A [`Stage`] writes output over the same bytes it reads. This is
 //! sound because a [`Conditioner`] emits at most one bit per bit pushed
-//! (compression ratio ≥ 1), so the output cursor can never overtake the
-//! input cursor by more than the ≤ 7 bits of partial-byte state carried
-//! in from the previous block — and [`ConditionerStage`] absorbs that
-//! overhang with a one-byte delay line (a completed output byte is
-//! written only once the *next* byte completes, by which point the
-//! input cursor is strictly past it).
+//! (compression ratio ≥ 1), so after `k` input bytes are consumed at
+//! most `8k + 7` output bits exist (the 7 from partial-byte state
+//! carried in from the previous block) — strictly fewer than `k + 1`
+//! completed output bytes. [`ConditionerStage`] exploits this by
+//! copying the input out in small stack staging chunks and letting the
+//! conditioner's block path write straight back over the block: the
+//! write cursor can never pass the end of the staged (already copied)
+//! region, so no delay line or double buffer is needed and the whole
+//! block is conditioned 8 raw bits per table lookup.
 //!
 //! # Example
 //!
@@ -62,7 +65,7 @@
 //! assert_eq!(stage.measured_ratio(), 2.0);
 //! ```
 
-use crate::conditioning::Conditioner;
+use crate::conditioning::{BitSink, Conditioner};
 use crate::trng::Trng;
 
 /// A borrowed byte buffer with a valid-bit length — the unit of work
@@ -239,38 +242,62 @@ impl<C: Conditioner> ConditionerStage<C> {
     }
 }
 
+/// Staging-chunk size for in-place block conditioning: input bytes are
+/// copied out in chunks this large before the conditioner's block path
+/// writes its output back over the same region.
+const STAGE_STAGING: usize = 64;
+
 impl<C: Conditioner> Stage for ConditionerStage<C> {
     fn process(&mut self, block: &mut BitBlock<'_>) {
         let in_bits = block.bits();
+        let whole = in_bits / 8;
         let bytes = block.backing_mut();
-        let mut out_bytes = 0usize;
-        // One-byte delay line: byte k is written only when byte k + 1
-        // completes, so the ≤ 7 carried `acc` bits can never push the
-        // write cursor past the read cursor (see the module docs).
-        let mut pending: Option<u8> = None;
-        for i in 0..in_bits {
-            let raw = (bytes[i / 8] >> (7 - i % 8)) & 1 == 1;
-            self.consumed += 1;
-            if let Some(bit) = self.conditioner.push(raw) {
-                self.emitted += 1;
-                self.acc = (self.acc << 1) | u8::from(bit);
-                self.acc_len += 1;
-                if self.acc_len == 8 {
-                    if let Some(done) = pending.replace(self.acc) {
-                        bytes[out_bytes] = done;
-                        out_bytes += 1;
-                    }
-                    self.acc = 0;
-                    self.acc_len = 0;
+        // Grab the trailing partial byte (if any) before the output
+        // cursor can reach it: the ≤ 7 tail bits are fed serially
+        // after the whole-byte block path below.
+        let tail_byte = if in_bits % 8 != 0 { bytes[whole] } else { 0 };
+        // In-place block conditioning through a stack staging copy:
+        // each chunk of input bytes is copied out, then the
+        // conditioner's block fast path (table-driven for the in-tree
+        // machines, bit-serial fallback otherwise) reads the copy and
+        // packs its emissions straight back into the block via a
+        // resumed [`BitSink`]. Compression ratio ≥ 1 plus the ≤ 7-bit
+        // carry keep the completed-output-byte count at or below the
+        // consumed-input-byte count, so the write cursor never passes
+        // the staged region's end — the delay line the old per-bit
+        // loop needed is subsumed by the staging copy.
+        let mut staging = [0u8; STAGE_STAGING];
+        let mut written = 0usize;
+        let mut pushed = 0u64;
+        let mut pos = 0usize;
+        while pos < whole {
+            let n = (whole - pos).min(STAGE_STAGING);
+            staging[..n].copy_from_slice(&bytes[pos..pos + n]);
+            let mut sink = BitSink::from_parts(bytes, written, self.acc, self.acc_len);
+            self.conditioner.condition_block(&staging[..n], &mut sink);
+            pushed += sink.bits_pushed();
+            let (w, acc, acc_len) = sink.into_parts();
+            written = w;
+            self.acc = acc;
+            self.acc_len = acc_len;
+            pos += n;
+        }
+        if in_bits % 8 != 0 {
+            let mut sink = BitSink::from_parts(bytes, written, self.acc, self.acc_len);
+            for i in 0..in_bits % 8 {
+                if let Some(bit) = self.conditioner.push((tail_byte >> (7 - i)) & 1 == 1) {
+                    sink.push_bit(bit);
                 }
             }
+            pushed += sink.bits_pushed();
+            let (w, acc, acc_len) = sink.into_parts();
+            written = w;
+            self.acc = acc;
+            self.acc_len = acc_len;
         }
-        // Every input bit is consumed, so the delayed byte can land.
-        if let Some(done) = pending {
-            bytes[out_bytes] = done;
-            out_bytes += 1;
-        }
-        block.set_valid_bits(out_bytes * 8);
+        self.consumed += in_bits as u64;
+        self.emitted += pushed;
+        block.set_valid_bits(written * 8);
     }
 
     fn expected_ratio(&self) -> f64 {

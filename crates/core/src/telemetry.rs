@@ -415,6 +415,52 @@ impl MetricsHandle {
     pub fn shard_snapshot(&self, shard: usize) -> ShardSnapshot {
         self.telemetry.shard_snapshot(shard)
     }
+
+    /// Derived per-shard throughput in Mbps: the growth of one shard's
+    /// `bits_emitted` from `baseline` to now, over a caller-supplied
+    /// observation window.
+    ///
+    /// The caller owns the clock: take a
+    /// [`shard_snapshot`](Self::shard_snapshot), wait (or work) for
+    /// `window`, then call this with both. Counters only grow, so the rate is never
+    /// negative; a zero-length window returns infinity on any growth
+    /// and 0.0 otherwise.
+    ///
+    /// # Panics
+    /// If `baseline.shard >= self.shards()`.
+    pub fn shard_mbps(&self, baseline: &ShardSnapshot, window: std::time::Duration) -> f64 {
+        let now = self.telemetry.shard_snapshot(baseline.shard as usize);
+        let grown = now.bits_emitted.saturating_sub(baseline.bits_emitted);
+        let secs = window.as_secs_f64();
+        if secs == 0.0 {
+            if grown == 0 {
+                return 0.0;
+            }
+            return f64::INFINITY;
+        }
+        grown as f64 / secs / 1e6
+    }
+
+    /// Derived throughput for every shard at once: element `i` is the
+    /// Mbps shard `i` sustained between `baseline` and now, over the
+    /// caller-supplied window. Baselines taken with
+    /// [`per_shard_baseline`](Self::per_shard_baseline).
+    pub fn per_shard_mbps(
+        &self,
+        baseline: &[ShardSnapshot],
+        window: std::time::Duration,
+    ) -> Vec<f64> {
+        baseline
+            .iter()
+            .map(|b| self.shard_mbps(b, window))
+            .collect()
+    }
+
+    /// Snapshot of every shard's counters, as a baseline for
+    /// [`per_shard_mbps`](Self::per_shard_mbps).
+    pub fn per_shard_baseline(&self) -> Vec<ShardSnapshot> {
+        (0..self.shards()).map(|s| self.shard_snapshot(s)).collect()
+    }
 }
 
 /// One timestamped event captured by a [`Tracer`].

@@ -15,7 +15,7 @@
 //!   consumer. Drained buffers return to their shard's worker over a
 //!   **return ring**, so the steady-state read path performs **zero
 //!   heap allocation** (pinned by `tests/zero_alloc.rs` and reported
-//!   in `BENCH_8.json`);
+//!   in `BENCH_9.json`);
 //! * the consumer merges chunks **round-robin in shard order** (chunk
 //!   `k` of the stream is chunk `k / N` of shard `k % N`), exactly as
 //!   before — the merged stream stays a pure function of the shard

@@ -98,7 +98,8 @@ pub use dhtrng_stream::api;
 pub mod prelude {
     pub use dhtrng_baselines::{Architecture, RoXorTrng};
     pub use dhtrng_core::conditioning::{
-        Conditioned, Conditioner, CrcWhitener, VonNeumannConditioner, XorFold,
+        BitSink, BlockConditioner, Conditioned, Conditioner, CrcWhitener, LfsrConditioner,
+        VonNeumannConditioner, XorFold,
     };
     pub use dhtrng_core::drbg::{Drbg, DrbgConfig, HashDrbg};
     pub use dhtrng_core::kernel::{BitBlock, BlockSource, ConditionerStage, Stage};

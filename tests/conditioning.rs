@@ -262,3 +262,128 @@ fn prediction_resistance_pulls_fresh_entropy_per_block() {
     // Conditioned consumption: (instantiate + 3 reseeds) x 16 bytes.
     assert_eq!(pool.conditioned().bytes_delivered(), 64);
 }
+
+// ---------------------------------------------------------------------
+// Block-vs-serial bit-identity: the table-driven block conditioning
+// kernels must reproduce the bit-serial machines exactly, for every
+// conditioner and chains, under arbitrary input slicing and
+// partial-byte carries. The serial reference goes through
+// `Conditioner::push` one bit at a time; the block path goes through
+// `ConditionerStage` (the production mount, staging-copy in-place).
+
+use proptest::prelude::*;
+
+/// A fresh conditioner by index — the full in-tree menu, including the
+/// 1/64 ratio boundaries and `then`-chains.
+fn machine(idx: usize) -> Box<dyn Conditioner> {
+    match idx {
+        0 => Box::new(CrcWhitener::new(1)),
+        1 => Box::new(CrcWhitener::new(2)),
+        2 => Box::new(CrcWhitener::new(64)),
+        3 => Box::new(LfsrConditioner::new()),
+        4 => Box::new(VonNeumannConditioner::new()),
+        5 => Box::new(XorFold::new(1)),
+        6 => Box::new(XorFold::new(64)),
+        7 => Box::new(XorFold::new(2).then(CrcWhitener::new(2))),
+        8 => Box::new(VonNeumannConditioner::new().then(LfsrConditioner::new())),
+        _ => Box::new(CrcWhitener::new(3).then(XorFold::new(2))),
+    }
+}
+const MACHINE_COUNT: usize = 10;
+
+/// Serial reference: the pieces' valid bits pushed one at a time,
+/// packed into whole output bytes.
+fn serial_over_pieces(mut cond: Box<dyn Conditioner>, pieces: &[(Vec<u8>, usize)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let (mut acc, mut acc_len) = (0u8, 0u32);
+    for (bytes, bits) in pieces {
+        for i in 0..*bits {
+            let raw = (bytes[i / 8] >> (7 - i % 8)) & 1 == 1;
+            if let Some(bit) = cond.push(raw) {
+                acc = (acc << 1) | u8::from(bit);
+                acc_len += 1;
+                if acc_len == 8 {
+                    out.push(acc);
+                    acc = 0;
+                    acc_len = 0;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Block path: the same pieces through `ConditionerStage::process`.
+fn stage_over_pieces(cond: Box<dyn Conditioner>, pieces: &[(Vec<u8>, usize)]) -> Vec<u8> {
+    let mut stage = ConditionerStage::new(cond);
+    let mut out = Vec::new();
+    for (bytes, bits) in pieces {
+        let mut buf = bytes.clone();
+        let mut block = BitBlock::full(&mut buf);
+        block.set_valid_bits(*bits);
+        stage.process(&mut block);
+        out.extend_from_slice(block.as_bytes());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn block_path_is_bit_identical_under_arbitrary_slicing(
+        idx in 0..MACHINE_COUNT,
+        pieces in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 1..512), 0..8usize),
+            1..8,
+        ),
+    ) {
+        // Each piece drops 0..8 trailing bits so partial-byte carries
+        // cross every block boundary.
+        let pieces: Vec<(Vec<u8>, usize)> = pieces
+            .into_iter()
+            .map(|(bytes, drop)| {
+                let bits = (bytes.len() * 8).saturating_sub(drop);
+                (bytes, bits)
+            })
+            .collect();
+        let want = serial_over_pieces(machine(idx), &pieces);
+        let got = stage_over_pieces(machine(idx), &pieces);
+        prop_assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn block_path_is_bit_identical_on_64kib_blocks() {
+    // The full 1..=64 KiB block-size envelope at the ratio boundaries,
+    // deterministically: one 64 KiB block, then a shredded copy of the
+    // same stream (1-byte and odd-sized blocks), must both match the
+    // serial machines.
+    let mut src = DhTrng::builder().seed(41).build();
+    let mut raw = vec![0u8; 1 << 16];
+    Trng::fill_bytes(&mut src, &mut raw);
+    for idx in 0..MACHINE_COUNT {
+        let whole = vec![(raw.clone(), raw.len() * 8)];
+        let want = serial_over_pieces(machine(idx), &whole);
+        assert_eq!(
+            stage_over_pieces(machine(idx), &whole),
+            want,
+            "machine {idx} whole"
+        );
+        let mut shredded: Vec<(Vec<u8>, usize)> = Vec::new();
+        let mut pos = 0usize;
+        for &len in [1usize, 4095, 64, 1, 7, 1024, 65].iter().cycle() {
+            if pos >= raw.len() {
+                break;
+            }
+            let end = (pos + len).min(raw.len());
+            shredded.push((raw[pos..end].to_vec(), (end - pos) * 8));
+            pos = end;
+        }
+        assert_eq!(
+            stage_over_pieces(machine(idx), &shredded),
+            want,
+            "machine {idx} shredded"
+        );
+    }
+}

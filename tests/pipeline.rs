@@ -101,6 +101,56 @@ fn sp800_22_core_tests_pass_on_drbg_tier_output() {
 }
 
 #[test]
+fn sp800_22_core_tests_pass_on_block_conditioned_tier_output() {
+    // The conditioned tier now runs the table-driven block
+    // conditioning kernels end to end; the battery run at the same
+    // pinned seed bases as the raw/drbg acceptance runs must still
+    // pass — the block path is required to be bit-identical to the
+    // serial machines, so any structure here would mean a kernel bug,
+    // not seed luck.
+    let conditioned_stream = |seed: u64, nbits: usize| -> BitBuffer {
+        let mut tier = PipelineBuilder::new()
+            .shards(3)
+            .seed(seed)
+            .chunk_bytes(4096)
+            .conditioner(ConditionerSpec::Crc { ratio: 2 })
+            .build_conditioned();
+        let mut bytes = vec![0u8; nbits / 8];
+        tier.read(&mut bytes).expect("healthy pipeline");
+        bytes
+            .iter()
+            .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
+            .collect()
+    };
+    let seqs: Vec<BitBuffer> = (0..8)
+        .map(|i| conditioned_stream(300 + i, 1 << 19))
+        .collect();
+    let quick = [
+        TestId::Frequency,
+        TestId::BlockFrequency,
+        TestId::CumulativeSums,
+        TestId::Runs,
+        TestId::LongestRun,
+        TestId::Rank,
+        TestId::Fft,
+        TestId::OverlappingTemplate,
+        TestId::ApproximateEntropy,
+        TestId::Serial,
+        TestId::LinearComplexity,
+    ];
+    let report = run_suite_subset(&seqs, &quick);
+    for row in &report.rows {
+        assert!(
+            row.uniformity_p > 1e-4 && row.passed + 1 >= row.applicable,
+            "{}: P = {:.4}, prop {}",
+            row.test,
+            row.uniformity_p,
+            row.proportion()
+        );
+    }
+}
+
+#[test]
 fn sp800_90b_battery_is_high_entropy() {
     let bits = stream(7, 1 << 20);
     for est in non_iid_battery(&bits) {

@@ -337,6 +337,66 @@ fn conditioned_rollback_is_counted_and_traced() {
 }
 
 #[test]
+fn metrics_handle_derives_per_shard_mbps_over_a_caller_window() {
+    let mut stream = EntropyStream::builder()
+        .shards(2)
+        .seed(9)
+        .chunk_bytes(CHUNK)
+        .build();
+    let metrics = stream.metrics();
+    let baseline = metrics.per_shard_baseline();
+    assert_eq!(baseline.len(), 2);
+
+    // Drain a known number of chunks; every chunk was produced by some
+    // shard, so total emitted growth is exactly reads * CHUNK * 8 bits.
+    let reads = 16u64;
+    let mut buf = [0u8; CHUNK];
+    for _ in 0..reads {
+        stream.read(&mut buf).expect("healthy stream");
+    }
+    // Freeze the counters before deriving rates: a live worker's
+    // relaxed bits_emitted bump can lag the chunk push it accounts
+    // for, so reading the counters mid-flight would race. The handle
+    // outlives the stream, and post-drop snapshots are exact.
+    drop(stream);
+    // Workers may have produced (queued) more than we consumed; the
+    // derived rate uses bits_emitted, which counts production. Use a
+    // deterministic 2-second window: rate must equal growth / window.
+    let window = std::time::Duration::from_secs(2);
+    let rates = metrics.per_shard_mbps(&baseline, window);
+    assert_eq!(rates.len(), 2);
+    for (shard, rate) in rates.iter().enumerate() {
+        let grown = metrics.shard_snapshot(shard).bits_emitted - baseline[shard].bits_emitted;
+        let expect = grown as f64 / 2.0 / 1e6;
+        assert!(
+            (rate - expect).abs() < 1e-9,
+            "shard {shard}: {rate} vs {expect}"
+        );
+        assert_eq!(metrics.shard_mbps(&baseline[shard], window), *rate);
+    }
+    // Absolute production (not growth: workers produce between build
+    // and the baseline, and those queued chunks were consumed too)
+    // must cover every bit the reads drained.
+    let produced: u64 = (0..2).map(|s| metrics.shard_snapshot(s).bits_emitted).sum();
+    assert!(
+        produced >= reads * CHUNK as u64 * 8,
+        "production covers at least what was consumed"
+    );
+
+    // Degenerate window: infinity on growth, 0.0 flat.
+    let zero = std::time::Duration::ZERO;
+    assert_eq!(
+        metrics.shard_mbps(&metrics.shard_snapshot(0), zero),
+        0.0,
+        "no growth, zero window"
+    );
+    let stale = &baseline[0];
+    if metrics.shard_snapshot(0).bits_emitted > stale.bits_emitted {
+        assert!(metrics.shard_mbps(stale, zero).is_infinite());
+    }
+}
+
+#[test]
 fn chrome_export_is_valid_json_with_monotonic_timestamps() {
     let tracer = Arc::new(Tracer::deterministic(4096));
     let _ = run_injected_retirement(&tracer, None);

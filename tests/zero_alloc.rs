@@ -146,3 +146,65 @@ fn raw_tier_steady_state_reads_do_not_allocate_with_recorder_enabled() {
     );
     std::hint::black_box(&buf);
 }
+
+/// Conditioned-tier twin of the raw-tier pin: the block conditioning
+/// kernels (table lookups into construction-time tables, stack staging
+/// buffers, in-place `BitSink` packing) must keep steady-state
+/// conditioned reads allocation-free — the tables are built once in
+/// `ConditionerSpec::build`, never on the read path.
+#[test]
+fn conditioned_tier_steady_state_reads_do_not_allocate() {
+    let mut tier = PipelineBuilder::new()
+        .shards(2)
+        .seed(0xB10C)
+        .chunk_bytes(4096)
+        .queue_chunks(4)
+        .conditioner(ConditionerSpec::Crc { ratio: 2 })
+        .build_conditioned();
+    let mut buf = vec![0u8; 4096];
+
+    // Prime: pool commit, session carry growth, conditioner tables.
+    for _ in 0..48 {
+        tier.read(&mut buf).expect("healthy pipeline");
+    }
+
+    let reads = 64;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..reads {
+        tier.read(&mut buf).expect("healthy pipeline");
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state conditioned-tier reads must be allocation-free \
+         ({} allocations over {reads} reads)",
+        after - before
+    );
+    std::hint::black_box(&buf);
+}
+
+/// And the single-instance adaptor: `Conditioned::fill_bytes` now runs
+/// the block path through a stack staging chunk — steady-state fills
+/// must not allocate either.
+#[test]
+fn conditioned_adaptor_block_fill_does_not_allocate() {
+    let raw = DhTrng::builder().seed(77).build();
+    let mut conditioned = Conditioned::new(raw, CrcWhitener::new(2));
+    let mut buf = [0u8; 1024];
+    for _ in 0..4 {
+        conditioned.fill_bytes(&mut buf);
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..32 {
+        conditioned.fill_bytes(&mut buf);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "block-path fills must be allocation-free"
+    );
+    std::hint::black_box(&buf);
+}
